@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/skysim"
+)
+
+// TestFullCampaignShape runs the complete §5 campaign — all 8 clusters at
+// their paper-scale galaxy counts — and asserts the accounting shape against
+// the paper's reported numbers. It takes ~20 s, so it is skipped under
+// -short; the scaled version lives in internal/core.
+func TestFullCampaignShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign skipped in -short mode")
+	}
+	tb, err := core.NewTestbed(core.Config{
+		ClusterSpecs: skysim.StandardClusters(),
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := core.RunCampaign(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(report.Clusters) != 8 {
+		t.Fatalf("clusters = %d, want 8 (paper §5)", len(report.Clusters))
+	}
+	minG, maxG := report.Clusters[0].Galaxies, report.Clusters[0].Galaxies
+	for _, c := range report.Clusters {
+		if c.Galaxies < minG {
+			minG = c.Galaxies
+		}
+		if c.Galaxies > maxG {
+			maxG = c.Galaxies
+		}
+		// Figure 7 in every cluster: positive asymmetry-radius correlation.
+		if c.AsymmetryRadiusRho <= 0 {
+			t.Errorf("%s: rho = %.3f, want positive", c.Cluster, c.AsymmetryRadiusRho)
+		}
+		// Invalid rows stay rare (the paper's occasional bad images).
+		if c.InvalidRows*20 > c.Galaxies {
+			t.Errorf("%s: %d/%d invalid rows", c.Cluster, c.InvalidRows, c.Galaxies)
+		}
+	}
+	if minG != 37 || maxG != 561 {
+		t.Errorf("galaxy range %d-%d, want the paper's 37-561", minG, maxG)
+	}
+	// Jobs exceed galaxies (per-cluster concat), as in the paper
+	// (1152 jobs > galaxy count).
+	if report.TotalJobs != report.TotalGalaxies+8 {
+		t.Errorf("jobs = %d, want galaxies+8 = %d", report.TotalJobs, report.TotalGalaxies+8)
+	}
+	// One image per galaxy.
+	if report.TotalImages != report.TotalGalaxies {
+		t.Errorf("images = %d, want %d", report.TotalImages, report.TotalGalaxies)
+	}
+	// Data volume in the paper's ballpark (30 MB): same order of magnitude.
+	if report.TotalBytes < 10e6 || report.TotalBytes > 100e6 {
+		t.Errorf("bytes = %d, want tens of MB", report.TotalBytes)
+	}
+	// Transfers exceed images (stage-in + inter-site + delivery), as the
+	// paper's 2295 transfers exceed its 1525 images.
+	if report.TotalTransfers <= report.TotalImages {
+		t.Errorf("transfers (%d) must exceed images (%d)",
+			report.TotalTransfers, report.TotalImages)
+	}
+	if len(report.Pools) != 3 {
+		t.Errorf("pools = %v, want 3", report.Pools)
+	}
+}

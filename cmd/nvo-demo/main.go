@@ -1,0 +1,124 @@
+// Command nvo-demo reproduces the paper's experiments from the command
+// line:
+//
+//	nvo-demo -table1              print Table 1 (data collections & interfaces)
+//	nvo-demo -campaign            run the §5 eight-cluster campaign and print
+//	                              the paper-vs-measured accounting
+//	nvo-demo -figure7 COMA        run one cluster and draw the Figure 7 sky
+//	                              map plus the Dressler radial bins
+//	nvo-demo -scale 0.25          scale the campaign's galaxy counts
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fits"
+	"repro/internal/services"
+	"repro/internal/skysim"
+	"repro/internal/visual"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print the paper's Table 1 registry")
+	campaign := flag.Bool("campaign", false, "run the §5 eight-cluster campaign")
+	figure7 := flag.String("figure7", "", "analyze one cluster and draw the Figure 7 map")
+	scale := flag.Float64("scale", 1.0, "scale factor on per-cluster galaxy counts")
+	workers := flag.Int("workers", 1, "analyze clusters concurrently with this many workers")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if !*table1 && !*campaign && *figure7 == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table1 {
+		fmt.Println("Table 1: Data and Interfaces used by the Galaxy Morphology Application")
+		fmt.Printf("%-60s %-45s %s\n", "Data Center", "Data Collection", "Interfaces")
+		for _, e := range services.Table1() {
+			ifaces := ""
+			for i, s := range e.Interfaces {
+				if i > 0 {
+					ifaces += ", "
+				}
+				ifaces += s
+			}
+			fmt.Printf("%-60s %-45s %s\n", e.DataCenter, e.Collection, ifaces)
+		}
+		fmt.Println()
+	}
+
+	if !*campaign && *figure7 == "" {
+		return
+	}
+
+	specs := skysim.StandardClusters()
+	for i := range specs {
+		specs[i].Seed += *seed
+		n := int(float64(specs[i].NumGalaxies) * *scale)
+		if n < 3 {
+			n = 3
+		}
+		specs[i].NumGalaxies = n
+	}
+	tb, err := core.NewTestbed(core.Config{ClusterSpecs: specs, Seed: *seed})
+	check(err)
+
+	if *campaign {
+		fmt.Printf("Running the §5 campaign (8 clusters, 3 Condor pools, %d workers)...\n", *workers)
+		report, err := core.RunCampaignParallel(tb, *workers)
+		check(err)
+		fmt.Println(report.Format())
+	}
+
+	if *figure7 != "" {
+		cl, err := tb.Cluster(*figure7)
+		check(err)
+		run, err := core.RunCluster(tb, *figure7)
+		check(err)
+
+		// The full Figure 7 composition: X-ray surface brightness under
+		// the measured galaxy morphologies.
+		xrayBytes, err := tb.MAST.FieldFITS(*figure7, services.BandXRay)
+		check(err)
+		xray, err := fits.Decode(bytes.NewReader(xrayBytes))
+		check(err)
+		m, err := visual.SkyMapOverlay(xray, run.Table, cl.Center, 8*cl.CoreRadiusDeg, 72, 28)
+		check(err)
+		fmt.Println(m)
+
+		bins, err := core.DresslerBins(run.Table, cl.Center, 4)
+		check(err)
+		fmt.Println("Dressler radial bins (equal-count):")
+		fmt.Printf("%10s %6s %10s %10s %12s\n", "r(deg)", "N", "mean A", "mean C", "early frac")
+		for _, b := range bins {
+			fmt.Printf("%10.4f %6d %10.4f %10.3f %12.2f\n",
+				b.MidRadiusDeg, b.N, b.MeanAsymmetry, b.MeanConcentration, b.EarlyFraction)
+		}
+		denBins, err := core.DresslerDensityBins(run.Table, cl.Center, 4)
+		check(err)
+		fmt.Println("\nDressler morphology-density bins (equal-count, ascending density):")
+		fmt.Printf("%14s %6s %10s %12s\n", "Σ5(gal/deg²)", "N", "mean A", "early frac")
+		for _, b := range denBins {
+			fmt.Printf("%14.0f %6d %10.4f %12.2f\n",
+				b.MeanDensity, b.N, b.MeanAsymmetry, b.EarlyFraction)
+		}
+
+		denRho, _, err := core.AsymmetryDensityCorrelation(run.Table, cl.Center)
+		check(err)
+		fmt.Printf("\nSpearman(asymmetry, radius)  = %+.3f\n", run.AsymmetryRadiusRho)
+		fmt.Printf("Spearman(asymmetry, density) = %+.3f over %d galaxies\n",
+			denRho, run.Galaxies-run.InvalidRows)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nvo-demo:", err)
+		os.Exit(1)
+	}
+}

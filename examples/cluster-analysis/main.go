@@ -1,0 +1,89 @@
+// Cluster analysis: the paper's end-to-end Figure 5 flow on one cluster —
+// portal selects the cluster, finds large-scale images, builds the galaxy
+// catalog from the cone-search services, ships it to the Pegasus compute
+// service, polls until done, merges the results and "rediscovers" the
+// Dressler density–morphology relation (Figure 7).
+//
+//	go run ./examples/cluster-analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/skysim"
+	"repro/internal/visual"
+	"repro/internal/wcs"
+)
+
+func main() {
+	// Wire the whole NVO testbed: archives, RLS, transformation catalog,
+	// GridFTP, three Condor pools, the compute web service and the portal,
+	// all talking HTTP over in-process virtual hosts.
+	tb, err := core.NewTestbed(core.Config{
+		ClusterSpecs: []skysim.Spec{{
+			Name:        "COMA",
+			Center:      wcs.New(194.95, 27.98),
+			Redshift:    0.023,
+			NumGalaxies: 200,
+			Seed:        42,
+		}},
+		Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user-facing flow (synchronous, like the paper's portal).
+	res, err := tb.Portal.Analyze("COMA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %d galaxies (image search %v, catalog %v, compute %v)\n\n",
+		res.Table.NumRows(), res.ImageSearch, res.CatalogTime, res.ComputeTime)
+	fmt.Println("large-scale images found:")
+	for _, im := range res.Images {
+		fmt.Printf("  %-24s %s\n", im.Title, im.AcRef)
+	}
+	fmt.Println()
+
+	// Figure 7: sky map with glyphs by measured asymmetry.
+	cl := tb.Clusters[0]
+	m, err := visual.SkyMap(res.Table, cl.Center, 8*cl.CoreRadiusDeg, 72, 26)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m)
+
+	// The quantitative version: radial bins and the rank correlation.
+	bins, err := core.DresslerBins(res.Table, cl.Center, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("morphology vs cluster radius (equal-count bins):")
+	fmt.Printf("%10s %6s %10s %12s\n", "r(deg)", "N", "mean A", "early frac")
+	for _, b := range bins {
+		fmt.Printf("%10.4f %6d %10.4f %12.2f\n", b.MidRadiusDeg, b.N, b.MeanAsymmetry, b.EarlyFraction)
+	}
+	rho, n, err := core.AsymmetryRadiusCorrelation(res.Table, cl.Center)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSpearman(asymmetry, radius) = %+.3f over %d galaxies — the\n", rho, n)
+	fmt.Println("positive trend is the Dressler relation: ellipticals at the core,")
+	fmt.Println("spirals in the outskirts, recovered from the computed parameters alone.")
+
+	// Export for the visualization tools the paper used.
+	fmt.Printf("\nMirage export preview (first 3 lines):\n")
+	mirage := visual.ToMirage(res.Table)
+	for i, line := 0, 0; i < len(mirage) && line < 3; i++ {
+		if mirage[i] == '\n' {
+			line++
+		}
+		if line < 3 {
+			fmt.Print(string(mirage[i]))
+		}
+	}
+	fmt.Println()
+}

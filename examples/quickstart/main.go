@@ -1,0 +1,69 @@
+// Quickstart: synthesize one galaxy image and measure the paper's three
+// morphology parameters with the public measurement API — the smallest
+// possible tour of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/morphology"
+	"repro/internal/skysim"
+	"repro/internal/wcs"
+)
+
+func main() {
+	// A small synthetic cluster gives us realistic galaxies of every type.
+	cluster := skysim.Generate(skysim.Spec{
+		Name:        "DEMO",
+		Center:      wcs.New(194.95, 27.98), // Coma's coordinates
+		Redshift:    0.023,
+		NumGalaxies: 40,
+		Seed:        7,
+	})
+
+	// Measure every galaxy and average by intrinsic type: ellipticals come
+	// out symmetric and concentrated, spirals and irregulars asymmetric.
+	cfg := morphology.DefaultConfig(cluster.Redshift)
+	type accum struct {
+		n          int
+		sumA, sumC float64
+	}
+	byType := map[skysim.GalaxyType]*accum{}
+	for i, g := range cluster.Galaxies {
+		// Render the cutout the NVO image service would deliver...
+		im := skysim.RenderGalaxy(g, 0, int64(i))
+
+		// ...and measure it, exactly as the Grid's galMorph jobs do.
+		p, err := morphology.Measure(im, cfg)
+		if err != nil {
+			log.Printf("%s: %v", g.ID, err)
+			continue
+		}
+		a := byType[g.Type]
+		if a == nil {
+			a = &accum{}
+			byType[g.Type] = a
+		}
+		a.n++
+		a.sumA += p.Asymmetry
+		a.sumC += p.Concentration
+	}
+
+	fmt.Printf("%-5s %5s %12s %12s\n", "type", "n", "mean A", "mean C")
+	for _, ty := range []skysim.GalaxyType{
+		skysim.Elliptical, skysim.Lenticular, skysim.Spiral, skysim.Irregular,
+	} {
+		a := byType[ty]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		fmt.Printf("%-5s %5d %12.4f %12.3f\n",
+			ty, a.n, a.sumA/float64(a.n), a.sumC/float64(a.n))
+	}
+
+	fmt.Println("\nExpect: E/S0 with small mean asymmetry (symmetric light),")
+	fmt.Println("Sp/Irr clearly higher — the discriminating power behind Figure 7.")
+}

@@ -1,0 +1,103 @@
+// Workflow reduction: the paper's Figures 1, 3 and 4 on the command line.
+// The VDL catalog defines d1: a -> b and d2: b -> c; we plan a request for
+// file c three times:
+//
+//  1. nothing cached           -> both jobs run (Figure 1);
+//  2. intermediate b cached    -> d1 pruned (Figure 3), and the concrete
+//     workflow is exactly "move b, run d2, move c to U, register c"
+//     (Figure 4);
+//  3. everything cached        -> zero compute, pure data delivery.
+//
+// go run ./examples/workflow-reduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chimera"
+	"repro/internal/gridftp"
+	"repro/internal/pegasus"
+	"repro/internal/rls"
+	"repro/internal/tcat"
+	"repro/internal/vdl"
+)
+
+const workflowVDL = `
+TR step( in x, out y ) { /* any program */ }
+DV d1->step( x=@{in:"a"}, y=@{out:"b"} );
+DV d2->step( x=@{in:"b"}, y=@{out:"c"} );
+`
+
+func main() {
+	cat, err := vdl.Parse(workflowVDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wf, err := chimera.Compose(cat, chimera.Request{LFNs: []string{"c"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Figure 1 — abstract workflow for request 'c':")
+	printDAG(wf)
+
+	tc := tcat.New()
+	// The transformation is only installed at site B, as in Figure 4.
+	must(tc.Add(tcat.Entry{Transformation: "step", Site: "B", Path: "/grid/bin/step"}))
+
+	scenario := func(title string, registered ...string) {
+		fmt.Printf("\n%s\n", title)
+		r := rls.New()
+		must(r.Register("a", rls.PFN{Site: "A", URL: gridftp.URL("A", "a")}))
+		for _, lfn := range registered {
+			must(r.Register(lfn, rls.PFN{Site: "A", URL: gridftp.URL("A", lfn)}))
+		}
+		plan, err := pegasus.Map(wf, pegasus.Config{
+			RLS: r, TC: tc,
+			OutputSite:      "U",
+			RegisterOutputs: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := plan.Stats()
+		fmt.Printf("  pruned jobs: %v\n", plan.PrunedJobs)
+		fmt.Printf("  concrete workflow: %d compute, %d transfer, %d register\n",
+			st.ComputeJobs, st.TransferNodes, st.RegisterNodes)
+		order, _ := plan.Concrete.TopoSort()
+		for _, id := range order {
+			n, _ := plan.Concrete.Node(id)
+			switch n.Type {
+			case pegasus.NodeCompute:
+				fmt.Printf("    run      %-24s at %s\n", id, n.Attr(pegasus.AttrSite))
+			case pegasus.NodeTransfer:
+				fmt.Printf("    move     %-24s %s -> %s\n",
+					n.Attr(pegasus.AttrLFN), n.Attr(pegasus.AttrSrcURL), n.Attr(pegasus.AttrDstURL))
+			case pegasus.NodeRegister:
+				fmt.Printf("    register %-24s as %s\n",
+					n.Attr(pegasus.AttrLFN), n.Attr(pegasus.AttrPFN))
+			}
+		}
+	}
+
+	scenario("Scenario 1 — nothing cached (full workflow):")
+	scenario("Scenario 2 — intermediate b cached at A (Figures 3 & 4):", "b")
+	scenario("Scenario 3 — final product c cached too (pure reuse):", "b", "c")
+}
+
+func printDAG(wf *chimera.Workflow) {
+	order, _ := wf.Graph.TopoSort()
+	for _, id := range order {
+		n, _ := wf.Graph.Node(id)
+		fmt.Printf("  %s: %s( %s ) -> %s\n", id,
+			n.Attr(chimera.AttrTransformation),
+			n.Attr(chimera.AttrInputs), n.Attr(chimera.AttrOutputs))
+	}
+	fmt.Printf("  raw inputs: %v, intermediates: %v\n", wf.RawInputs, wf.Intermediate)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun builds and runs every example binary end to end and
+// checks for its signature output — the "does the README actually work"
+// test. Requires the go toolchain on PATH; skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke tests skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	cases := []struct {
+		pkg  string
+		args []string
+		want []string
+	}{
+		{"./examples/quickstart", nil, []string{"mean A", "Sp"}},
+		{"./examples/workflow-reduction", nil, []string{
+			"Figure 1", "pruned jobs: [d1]", "register c", "pruned jobs: [d1 d2]",
+		}},
+		{"./examples/grid-execution", nil, []string{
+			"rescue-DAG recovery", "recovered: true", "speedup",
+		}},
+		{"./examples/cluster-analysis", nil, []string{
+			"Dressler relation", "Spearman(asymmetry, radius)", "legend",
+		}},
+		{"./examples/eight-clusters", []string{"-scale", "0.1"}, []string{
+			"Totals:", "Paper §5", "makespan",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", c.pkg}, c.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.pkg, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q:\n%s", c.pkg, want, out)
+				}
+			}
+		})
+	}
+}

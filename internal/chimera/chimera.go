@@ -1,0 +1,196 @@
+// Package chimera implements the workflow-composition half of the GriPhyN
+// Virtual Data System (Foster et al. 2002) as the paper uses it: given a
+// Virtual Data Catalog of transformations and derivations and a requested
+// logical file, compose the abstract workflow — the DAG of derivations that
+// materializes the file, chaining backward through derivations whose outputs
+// feed other derivations' inputs (Figure 1 of the paper).
+//
+// The abstract workflow names only logical transformations and logical
+// files; no resources are assigned. That is Pegasus's job (internal/pegasus).
+package chimera
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/vdl"
+)
+
+// Node attribute keys used on abstract workflow nodes. Downstream packages
+// (pegasus, dagman) read these.
+const (
+	// AttrTransformation is the logical transformation name of a job node.
+	AttrTransformation = "transformation"
+	// AttrInputs / AttrOutputs are comma-joined logical file lists.
+	AttrInputs  = "inputs"
+	AttrOutputs = "outputs"
+	// AttrDerivation is the originating DV name.
+	AttrDerivation = "derivation"
+)
+
+// NodeType is the Type of every abstract-workflow job node.
+const NodeType = "job"
+
+// Errors returned by composition.
+var (
+	ErrNoProducer = errors.New("chimera: no derivation produces the requested file")
+	ErrAmbiguous  = errors.New("chimera: multiple derivations produce the same file")
+)
+
+// Request asks for one or more logical files to be materialized.
+type Request struct {
+	LFNs []string
+}
+
+// Workflow is the result of composition: the abstract DAG plus the file sets
+// Pegasus needs for feasibility checks and reduction.
+type Workflow struct {
+	Graph *dag.Graph
+	// RequestedLFNs are the files the user asked for.
+	RequestedLFNs []string
+	// RawInputs are input files no derivation in the catalog produces; they
+	// must pre-exist somewhere in the Grid (Pegasus checks the RLS).
+	RawInputs []string
+	// Intermediate are files both produced and consumed inside the workflow.
+	Intermediate []string
+}
+
+// Compose builds the abstract workflow that materializes every requested
+// LFN, walking the catalog backward from the requested files through their
+// producing derivations. A file produced by more than one derivation is an
+// ErrAmbiguous error; a requested file with no producer is ErrNoProducer.
+func Compose(cat *vdl.Catalog, req Request) (*Workflow, error) {
+	if len(req.LFNs) == 0 {
+		return nil, errors.New("chimera: empty request")
+	}
+	g := dag.New()
+	wf := &Workflow{Graph: g, RequestedLFNs: append([]string(nil), req.LFNs...)}
+
+	// visit composes the producer chain for lfn; returns the derivation
+	// name producing it, or "" for raw inputs.
+	visited := map[string]string{} // lfn -> producing node id ("" = raw)
+	rawSet := map[string]bool{}
+	interSet := map[string]bool{}
+
+	var visit func(lfn string, needed bool) (string, error)
+	visit = func(lfn string, requested bool) (string, error) {
+		if prod, seen := visited[lfn]; seen {
+			return prod, nil
+		}
+		producers := cat.Producers(lfn)
+		switch {
+		case len(producers) == 0:
+			if requested {
+				return "", fmt.Errorf("%w: %q", ErrNoProducer, lfn)
+			}
+			visited[lfn] = ""
+			rawSet[lfn] = true
+			return "", nil
+		case len(producers) > 1:
+			return "", fmt.Errorf("%w: %q produced by %v", ErrAmbiguous, lfn, producers)
+		}
+		dvName := producers[0]
+		visited[lfn] = dvName
+		dv, _ := cat.Derivation(dvName)
+
+		if _, exists := g.Node(dvName); !exists {
+			n := &dag.Node{ID: dvName, Type: NodeType}
+			n.SetAttr(AttrTransformation, dv.TR)
+			n.SetAttr(AttrDerivation, dvName)
+			n.SetAttr(AttrInputs, joinLFNs(dv.InputLFNs()))
+			n.SetAttr(AttrOutputs, joinLFNs(dv.OutputLFNs()))
+			if err := g.AddNode(n); err != nil {
+				return "", err
+			}
+			// Mark every output of this DV as visited to avoid re-walking.
+			for _, out := range dv.OutputLFNs() {
+				visited[out] = dvName
+			}
+			// Recurse into the DV's inputs.
+			for _, in := range dv.InputLFNs() {
+				parent, err := visit(in, false)
+				if err != nil {
+					return "", err
+				}
+				if parent != "" {
+					interSet[in] = true
+					if err := g.AddEdge(parent, dvName); err != nil {
+						return "", err
+					}
+				}
+			}
+		}
+		return dvName, nil
+	}
+
+	for _, lfn := range req.LFNs {
+		if _, err := visit(lfn, true); err != nil {
+			return nil, err
+		}
+	}
+
+	wf.RawInputs = sortedSet(rawSet)
+	wf.Intermediate = sortedSet(interSet)
+	return wf, nil
+}
+
+// ComposeAll materializes the outputs of every derivation in the catalog —
+// the "run the whole request" mode the galaxy-morphology web service uses,
+// where the derivation file contains exactly the jobs wanted.
+func ComposeAll(cat *vdl.Catalog) (*Workflow, error) {
+	var lfns []string
+	seen := map[string]bool{}
+	for _, dvName := range cat.Derivations() {
+		dv, _ := cat.Derivation(dvName)
+		for _, out := range dv.OutputLFNs() {
+			if !seen[out] {
+				seen[out] = true
+				lfns = append(lfns, out)
+			}
+		}
+	}
+	if len(lfns) == 0 {
+		return nil, errors.New("chimera: catalog has no derivations")
+	}
+	return Compose(cat, Request{LFNs: lfns})
+}
+
+func joinLFNs(lfns []string) string {
+	out := ""
+	for i, l := range lfns {
+		if i > 0 {
+			out += ","
+		}
+		out += l
+	}
+	return out
+}
+
+// SplitLFNs reverses joinLFNs for node-attribute consumers.
+func SplitLFNs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,288 @@
+// Package condor simulates the Condor-G multi-pool execution fabric the
+// prototype submitted its concrete workflows to (Frey et al. 2001). The
+// paper's campaign ran on three Condor pools (USC, Wisconsin, Fermilab); this
+// simulator models any number of pools, each with a slot count and relative
+// CPU speed, a FIFO matchmaking queue, and a discrete-event clock, so the
+// 1152-job campaign executes deterministically in milliseconds of wall time
+// while preserving queueing and contention behaviour.
+//
+// The caller (internal/dagman) submits Tasks and repeatedly calls Step to
+// advance the virtual clock to the next completion. A Task's Run closure
+// carries its real side effects (computing morphology, moving files,
+// registering replicas) and executes at completion time in model order.
+package condor
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Pool describes one Condor pool.
+type Pool struct {
+	Name  string
+	Slots int
+	Speed float64 // relative CPU speed; execution time = Cost / Speed
+}
+
+// Task is one schedulable job.
+type Task struct {
+	ID   string
+	Site string        // required pool; "" lets the matchmaker choose
+	Cost time.Duration // model execution time at Speed 1.0
+	Run  func() error  // side effects, executed at completion (may be nil)
+}
+
+// Completion reports one finished task.
+type Completion struct {
+	TaskID string
+	Site   string
+	Start  time.Duration // model time the task began executing
+	End    time.Duration // model time it finished
+	Err    error         // non-nil if Run failed
+}
+
+// Errors returned by the simulator.
+var (
+	ErrUnknownPool = errors.New("condor: unknown pool")
+	ErrBadTask     = errors.New("condor: bad task")
+	ErrDuplicate   = errors.New("condor: duplicate task id in flight")
+)
+
+// Stats aggregates scheduler counters.
+type Stats struct {
+	Submitted int
+	Completed int
+	Failed    int
+	// BusyTime accumulates slot-seconds of execution per site.
+	BusyTime map[string]time.Duration
+}
+
+type poolState struct {
+	Pool
+	busy int
+}
+
+// event is a scheduled completion.
+type event struct {
+	at    time.Duration
+	seq   int // FIFO tie-break for determinism
+	task  Task
+	site  string
+	start time.Duration
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is the discrete-event scheduler. It is not safe for concurrent
+// use; drive it from one goroutine (as DAGMan does).
+type Simulator struct {
+	pools    map[string]*poolState
+	ordered  []string // pool names, sorted, for deterministic matchmaking
+	now      time.Duration
+	queue    []Task
+	running  eventQueue
+	inFlight map[string]bool
+	seq      int
+	stats    Stats
+}
+
+// NewSimulator builds a simulator over the given pools.
+func NewSimulator(pools ...Pool) (*Simulator, error) {
+	if len(pools) == 0 {
+		return nil, errors.New("condor: need at least one pool")
+	}
+	s := &Simulator{
+		pools:    map[string]*poolState{},
+		inFlight: map[string]bool{},
+		stats:    Stats{BusyTime: map[string]time.Duration{}},
+	}
+	for _, p := range pools {
+		if p.Name == "" || p.Slots <= 0 {
+			return nil, fmt.Errorf("condor: pool needs name and positive slots: %+v", p)
+		}
+		if p.Speed <= 0 {
+			p.Speed = 1
+		}
+		if _, dup := s.pools[p.Name]; dup {
+			return nil, fmt.Errorf("condor: duplicate pool %q", p.Name)
+		}
+		s.pools[p.Name] = &poolState{Pool: p}
+		s.ordered = append(s.ordered, p.Name)
+	}
+	sort.Strings(s.ordered)
+	return s, nil
+}
+
+// Now returns the current model time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Pools returns the pool names, sorted.
+func (s *Simulator) Pools() []string { return append([]string(nil), s.ordered...) }
+
+// BusySlots returns the running-job count at a site.
+func (s *Simulator) BusySlots(site string) int {
+	if p, ok := s.pools[site]; ok {
+		return p.busy
+	}
+	return 0
+}
+
+// QueueLen returns the number of tasks waiting for a slot.
+func (s *Simulator) QueueLen() int { return len(s.queue) }
+
+// RunningLen returns the number of tasks currently executing.
+func (s *Simulator) RunningLen() int { return len(s.running) }
+
+// Idle reports whether nothing is queued or running.
+func (s *Simulator) Idle() bool { return len(s.queue) == 0 && len(s.running) == 0 }
+
+// Stats returns the cumulative counters.
+func (s *Simulator) Stats() Stats {
+	out := s.stats
+	out.BusyTime = make(map[string]time.Duration, len(s.stats.BusyTime))
+	for k, v := range s.stats.BusyTime {
+		out.BusyTime[k] = v
+	}
+	return out
+}
+
+// Submit enqueues a task and dispatches it immediately if a slot is free.
+func (s *Simulator) Submit(t Task) error {
+	if t.ID == "" {
+		return fmt.Errorf("%w: empty id", ErrBadTask)
+	}
+	if t.Cost < 0 {
+		return fmt.Errorf("%w: negative cost", ErrBadTask)
+	}
+	if t.Site != "" {
+		if _, ok := s.pools[t.Site]; !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownPool, t.Site)
+		}
+	}
+	if s.inFlight[t.ID] {
+		return fmt.Errorf("%w: %q", ErrDuplicate, t.ID)
+	}
+	s.inFlight[t.ID] = true
+	s.stats.Submitted++
+	s.queue = append(s.queue, t)
+	s.dispatch()
+	return nil
+}
+
+// dispatch starts every queued task that can get a slot, preserving FIFO
+// order per matchmaking constraint.
+func (s *Simulator) dispatch() {
+	remaining := s.queue[:0]
+	for _, t := range s.queue {
+		site := s.match(t)
+		if site == "" {
+			remaining = append(remaining, t)
+			continue
+		}
+		p := s.pools[site]
+		p.busy++
+		dur := time.Duration(float64(t.Cost) / p.Speed)
+		s.seq++
+		heap.Push(&s.running, event{
+			at:    s.now + dur,
+			seq:   s.seq,
+			task:  t,
+			site:  site,
+			start: s.now,
+		})
+	}
+	s.queue = remaining
+}
+
+// match picks a pool with a free slot for the task: its pinned site, or the
+// pool with the most free slots (ties by name). Returns "" if none is free.
+func (s *Simulator) match(t Task) string {
+	if t.Site != "" {
+		if p := s.pools[t.Site]; p.busy < p.Slots {
+			return t.Site
+		}
+		return ""
+	}
+	best := ""
+	bestFree := 0
+	for _, name := range s.ordered {
+		p := s.pools[name]
+		free := p.Slots - p.busy
+		if free > bestFree {
+			best = name
+			bestFree = free
+		}
+	}
+	return best
+}
+
+// Step advances the clock to the next completion time and returns every task
+// completing at that instant (deterministic order). It returns ok=false when
+// nothing is running; if tasks remain queued at that point they are starved
+// (pinned to saturated pools) — callers detect that via QueueLen.
+func (s *Simulator) Step() (completions []Completion, ok bool) {
+	if len(s.running) == 0 {
+		return nil, false
+	}
+	next := s.running[0].at
+	s.now = next
+	for len(s.running) > 0 && s.running[0].at == next {
+		e := heap.Pop(&s.running).(event)
+		p := s.pools[e.site]
+		p.busy--
+		s.stats.BusyTime[e.site] += e.at - e.start
+		delete(s.inFlight, e.task.ID)
+
+		var err error
+		if e.task.Run != nil {
+			err = e.task.Run()
+		}
+		if err != nil {
+			s.stats.Failed++
+		} else {
+			s.stats.Completed++
+		}
+		completions = append(completions, Completion{
+			TaskID: e.task.ID,
+			Site:   e.site,
+			Start:  e.start,
+			End:    e.at,
+			Err:    err,
+		})
+	}
+	// Freed slots may admit queued work.
+	s.dispatch()
+	return completions, true
+}
+
+// Drain runs Step until the simulator is quiet and returns all completions.
+func (s *Simulator) Drain() []Completion {
+	var all []Completion
+	for {
+		cs, ok := s.Step()
+		if !ok {
+			return all
+		}
+		all = append(all, cs...)
+	}
+}

@@ -1,0 +1,108 @@
+package condor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestConservationProperty: for any random workload, every submitted task
+// completes exactly once, slot capacity is never exceeded (checked via busy
+// time), and the makespan is bounded below by both the critical job and the
+// total-work/total-slots ratio.
+func TestConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	f := func() bool {
+		nPools := 1 + rng.Intn(3)
+		pools := make([]Pool, nPools)
+		totalSlots := 0
+		for i := range pools {
+			pools[i] = Pool{Name: fmt.Sprintf("p%d", i), Slots: 1 + rng.Intn(8)}
+			totalSlots += pools[i].Slots
+		}
+		s, err := NewSimulator(pools...)
+		if err != nil {
+			return false
+		}
+		n := 1 + rng.Intn(60)
+		var totalWork, maxCost time.Duration
+		for i := 0; i < n; i++ {
+			cost := time.Duration(1+rng.Intn(50)) * time.Second
+			totalWork += cost
+			if cost > maxCost {
+				maxCost = cost
+			}
+			if err := s.Submit(Task{ID: fmt.Sprintf("t%d", i), Cost: cost}); err != nil {
+				return false
+			}
+		}
+		completions := s.Drain()
+		if len(completions) != n {
+			return false
+		}
+		st := s.Stats()
+		if st.Submitted != n || st.Completed != n || st.Failed != 0 {
+			return false
+		}
+		// Busy time across pools equals total work (speed 1 pools).
+		var busy time.Duration
+		for _, d := range st.BusyTime {
+			busy += d
+		}
+		if busy != totalWork {
+			return false
+		}
+		// Makespan lower bounds.
+		makespan := s.Now()
+		if makespan < maxCost {
+			return false
+		}
+		if makespan < totalWork/time.Duration(totalSlots) {
+			return false
+		}
+		// Per-completion sanity: start <= end, end <= makespan.
+		for _, c := range completions {
+			if c.Start > c.End || c.End > makespan {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSlotCapacityProperty: at no instant do more tasks run on a pool than
+// it has slots. Verified by replaying completion intervals.
+func TestSlotCapacityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		slots := 1 + rng.Intn(5)
+		s, err := NewSimulator(Pool{Name: "p", Slots: slots})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			_ = s.Submit(Task{ID: fmt.Sprintf("t%d", i),
+				Cost: time.Duration(1+rng.Intn(20)) * time.Second})
+		}
+		completions := s.Drain()
+		// Sweep: count overlapping [start, end) intervals at each start.
+		for _, probe := range completions {
+			overlap := 0
+			for _, c := range completions {
+				if c.Start <= probe.Start && probe.Start < c.End {
+					overlap++
+				}
+			}
+			if overlap > slots {
+				t.Fatalf("trial %d: %d tasks overlap at %v with %d slots",
+					trial, overlap, probe.Start, slots)
+			}
+		}
+	}
+}

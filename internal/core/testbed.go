@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/gridftp"
+	"repro/internal/mds"
+	"repro/internal/myproxy"
+	"repro/internal/portal"
+	"repro/internal/registry"
+	"repro/internal/rls"
+	"repro/internal/services"
+	"repro/internal/skysim"
+	"repro/internal/tableops"
+	"repro/internal/tcat"
+	"repro/internal/webservice"
+)
+
+// Virtual host names of the testbed's services, mirroring the institutions
+// of the paper's deployment.
+const (
+	HostMAST     = "mast.nvo"     // DSS images + cutouts + cone search (STScI)
+	HostNED      = "ned.nvo"      // secondary catalog (IPAC)
+	HostHEASARC  = "heasarc.nvo"  // X-ray images (ROSAT/Chandra stand-in)
+	HostCompute  = "compute.isi"  // Pegasus web service (ISI)
+	HostRLS      = "rls.isi"      // replica location service front-end
+	HostRegistry = "registry.nvo" // resource registry (§5 future work)
+	HostTableOps = "tableops.nvo" // generic VOTable operations (§5 future work)
+)
+
+// Config parameterizes a testbed.
+type Config struct {
+	// ClusterSpecs generate the sky. Defaults to skysim.StandardClusters()
+	// truncated to the first two (keep the default light).
+	ClusterSpecs []skysim.Spec
+	// Pools are the Condor pools; default: the paper's three (USC,
+	// Wisconsin, Fermilab).
+	Pools []condor.Pool
+	// Seed drives all randomness.
+	Seed int64
+	// FailureRate injects transient job failures in the compute service.
+	FailureRate float64
+	// StrictFaults selects the rejected fault-tolerance design (A4).
+	StrictFaults bool
+	// CacheImageSearch enables the portal's image-search cache.
+	CacheImageSearch bool
+	// UseRegistryDiscovery makes the portal discover its services from the
+	// resource registry instead of hard-coded endpoints (§5 future work).
+	UseRegistryDiscovery bool
+	// RequireProxy gates the compute service behind a MyProxy credential
+	// (§4.3.1 item 5); the testbed delegates one for user "nvoportal".
+	RequireProxy bool
+	// BatchFetch makes the compute service collect galaxy images through
+	// the batched cutout interface instead of one request per galaxy.
+	BatchFetch bool
+}
+
+// Testbed is the fully wired end-to-end system.
+type Testbed struct {
+	Clusters []*skysim.Cluster
+	MAST     *services.Archive
+	NED      *services.Archive
+
+	RLS *rls.RLS
+	TC  *tcat.Catalog
+	FTP *gridftp.Service
+	MDS *mds.Service
+
+	Registry *registry.Registry
+	MyProxy  *myproxy.Repository
+
+	Compute *webservice.Service
+	Portal  *portal.Portal
+
+	// Client routes the virtual hosts in-process; every component uses it.
+	Client *http.Client
+}
+
+// MyProxyUser and MyProxyPass are the delegation the testbed installs when
+// RequireProxy is set.
+const (
+	MyProxyUser = "nvoportal"
+	MyProxyPass = "nvo-demo-pass"
+)
+
+// DefaultPools are the paper's three Condor pools with plausible 2003-era
+// sizes.
+func DefaultPools() []condor.Pool {
+	return []condor.Pool{
+		{Name: "usc", Slots: 20},
+		{Name: "wisc", Slots: 30},
+		{Name: "fnal", Slots: 20},
+	}
+}
+
+// ComputeSites returns the pool names jobs can run on.
+func ComputeSites(pools []condor.Pool) []string {
+	out := make([]string, len(pools))
+	for i, p := range pools {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// NewTestbed generates the sky and wires every service together.
+func NewTestbed(cfg Config) (*Testbed, error) {
+	if len(cfg.ClusterSpecs) == 0 {
+		cfg.ClusterSpecs = skysim.StandardClusters()[:2]
+	}
+	if len(cfg.Pools) == 0 {
+		cfg.Pools = DefaultPools()
+	}
+
+	tb := &Testbed{
+		RLS:      rls.New(),
+		TC:       tcat.New(),
+		FTP:      gridftp.NewService(gridftp.Network{}),
+		MDS:      mds.New(),
+		Registry: registry.New(),
+		MyProxy:  myproxy.New(),
+	}
+
+	// Sky + archives.
+	for _, spec := range cfg.ClusterSpecs {
+		tb.Clusters = append(tb.Clusters, skysim.Generate(spec))
+	}
+	tb.MAST = services.NewArchive("mast", tb.Clusters...)
+	tb.NED = services.NewArchive("ned", tb.Clusters...)
+
+	// Grid information services.
+	for _, p := range cfg.Pools {
+		if err := tb.MDS.Register(mds.SiteInfo{
+			Name:        p.Name,
+			Slots:       p.Slots,
+			GridFTPBase: "gridftp://" + p.Name,
+		}); err != nil {
+			return nil, err
+		}
+		if err := tb.TC.Add(tcat.Entry{Transformation: "galMorph", Site: p.Name, Path: "/nvo/bin/galMorph"}); err != nil {
+			return nil, err
+		}
+		if err := tb.TC.Add(tcat.Entry{Transformation: "concatVOT", Site: p.Name, Path: "/nvo/bin/concatVOT"}); err != nil {
+			return nil, err
+		}
+	}
+
+	// HTTP fabric: every virtual host resolves in-process.
+	router := hostRouter{}
+	tb.Client = &http.Client{Transport: router}
+
+	wsCfg := webservice.Config{
+		RLS:          tb.RLS,
+		TC:           tb.TC,
+		GridFTP:      tb.FTP,
+		Pools:        cfg.Pools,
+		CacheSite:    "isi",
+		HTTPClient:   tb.Client,
+		Seed:         cfg.Seed,
+		FailureRate:  cfg.FailureRate,
+		StrictFaults: cfg.StrictFaults,
+		MaxRetries:   5,
+		BatchFetch:   cfg.BatchFetch,
+	}
+	if cfg.RequireProxy {
+		if err := tb.MyProxy.Delegate(MyProxyUser, MyProxyPass,
+			"/C=US/O=NVO/CN=Portal Service", 12*time.Hour, time.Hour); err != nil {
+			return nil, err
+		}
+		repo := tb.MyProxy
+		wsCfg.Proxy = func() (myproxy.Proxy, error) {
+			return repo.Retrieve(MyProxyUser, MyProxyPass, time.Hour)
+		}
+	}
+	compute, err := webservice.New(wsCfg)
+	if err != nil {
+		return nil, err
+	}
+	tb.Compute = compute
+
+	// Publish every service in the resource registry (§5 future work),
+	// whether or not the portal uses discovery — other clients can.
+	for _, e := range []registry.Entry{
+		{ID: "ivo://mast.nvo/dss-sia", Type: registry.TypeSIA, Title: "Digitized Sky Survey images",
+			DataCenter: "MAST", Collection: "DSS", BaseURL: "http://" + HostMAST + "/sia"},
+		{ID: "ivo://heasarc.nvo/xray-sia", Type: registry.TypeSIA, Title: "ROSAT/Chandra X-ray images",
+			DataCenter: "HEASARC", Collection: "ROSAT", BaseURL: "http://" + HostHEASARC + "/sia"},
+		{ID: "ivo://ipac.nvo/ned-cone", Type: registry.TypeConeSearch, Title: "NASA Extragalactic Database",
+			DataCenter: "IPAC", Collection: "NED", BaseURL: "http://" + HostNED + "/cone"},
+		{ID: "ivo://mast.nvo/dss-cone", Type: registry.TypeConeSearch, Title: "DSS source catalog",
+			DataCenter: "MAST", Collection: "DSS", BaseURL: "http://" + HostMAST + "/cone"},
+		{ID: "ivo://mast.nvo/cutout", Type: registry.TypeCutout, Title: "DSS image cutout service",
+			DataCenter: "MAST", Collection: "DSS", BaseURL: "http://" + HostMAST + "/siacut"},
+		{ID: "ivo://isi.nvo/galmorph", Type: registry.TypeCompute, Title: "Galaxy Morphology compute service",
+			DataCenter: "ISI", BaseURL: "http://" + HostCompute},
+		{ID: "ivo://nvo/tableops", Type: registry.TypeTableOps, Title: "VOTable operations",
+			DataCenter: "NVO", BaseURL: "http://" + HostTableOps},
+	} {
+		if err := tb.Registry.Register(e); err != nil {
+			return nil, err
+		}
+	}
+
+	var entries []portal.ClusterEntry
+	for _, c := range tb.Clusters {
+		entries = append(entries, portal.ClusterEntry{
+			Name:            c.Name,
+			Center:          c.Center,
+			Redshift:        c.Redshift,
+			SearchRadiusDeg: 8*c.CoreRadiusDeg + 0.01,
+		})
+	}
+	archiveHandler := tb.MAST.Handler()
+	router[HostMAST] = archiveHandler
+	router[HostHEASARC] = archiveHandler // X-ray comes from the same sky
+	router[HostNED] = tb.NED.Handler()
+	router[HostCompute] = compute.Handler()
+	router[HostRLS] = rls.Handler(tb.RLS)
+	router[HostRegistry] = registry.Handler(tb.Registry)
+	router[HostTableOps] = tableops.Handler()
+
+	var p *portal.Portal
+	if cfg.UseRegistryDiscovery {
+		regClient := &registry.Client{Base: "http://" + HostRegistry, HTTP: tb.Client}
+		pCfg, err := portal.DiscoverConfig(regClient, entries, tb.Client)
+		if err != nil {
+			return nil, err
+		}
+		pCfg.CacheImageSearch = cfg.CacheImageSearch
+		p, err = portal.New(pCfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		p, err = portal.New(portal.Config{
+			Clusters: entries,
+			ConeServices: []string{
+				"http://" + HostNED + "/cone",
+				"http://" + HostMAST + "/cone",
+			},
+			SIAServices: []string{
+				"http://" + HostMAST + "/sia",
+				"http://" + HostHEASARC + "/sia",
+			},
+			CutoutService:    "http://" + HostMAST + "/siacut",
+			ComputeService:   "http://" + HostCompute,
+			HTTPClient:       tb.Client,
+			CacheImageSearch: cfg.CacheImageSearch,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	tb.Portal = p
+
+	return tb, nil
+}
+
+// Cluster returns a generated cluster by name.
+func (tb *Testbed) Cluster(name string) (*skysim.Cluster, error) {
+	for _, c := range tb.Clusters {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return nil, errors.New("core: unknown cluster " + name)
+}

@@ -1,0 +1,334 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds a -> b -> c ... for the given IDs.
+func chain(t *testing.T, ids ...string) *Graph {
+	t.Helper()
+	g := New()
+	for _, id := range ids {
+		if err := g.AddNode(&Node{ID: id, Type: "compute"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if err := g.AddEdge(ids[i-1], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddNodeErrors(t *testing.T) {
+	g := New()
+	if err := g.AddNode(nil); err == nil {
+		t.Error("nil node must fail")
+	}
+	if err := g.AddNode(&Node{}); err == nil {
+		t.Error("unnamed node must fail")
+	}
+	if err := g.AddNode(&Node{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(&Node{ID: "a"}); err == nil {
+		t.Error("duplicate node must fail")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := chain(t, "a", "b")
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Error("self edge must fail")
+	}
+	if err := g.AddEdge("a", "zz"); err == nil {
+		t.Error("missing node must fail")
+	}
+	if err := g.AddEdge("zz", "a"); err == nil {
+		t.Error("missing node must fail")
+	}
+	// Idempotent re-add.
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Errorf("re-adding existing edge: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestCycleRejection(t *testing.T) {
+	g := chain(t, "a", "b", "c")
+	if err := g.AddEdge("c", "a"); err == nil {
+		t.Error("cycle must be rejected")
+	}
+	if err := g.AddEdge("b", "a"); err == nil {
+		t.Error("2-cycle must be rejected")
+	}
+	// Graph must be unchanged after rejected edges.
+	if g.NumEdges() != 2 {
+		t.Errorf("edges = %d after rejections, want 2", g.NumEdges())
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain(t, "d1", "d2", "d3")
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"d1", "d2", "d3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestTopoSortDeterministicAndValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		n := 30
+		for i := 0; i < n; i++ {
+			_ = g.AddNode(&Node{ID: fmt.Sprintf("n%02d", i)})
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.1 {
+					_ = g.AddEdge(fmt.Sprintf("n%02d", i), fmt.Sprintf("n%02d", j))
+				}
+			}
+		}
+		o1, err := g.TopoSort()
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, _ := g.TopoSort()
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatal("topo sort not deterministic")
+			}
+		}
+		pos := map[string]int{}
+		for i, id := range o1 {
+			pos[id] = i
+		}
+		for _, from := range g.Nodes() {
+			for _, to := range g.Children(from) {
+				if pos[from] >= pos[to] {
+					t.Fatalf("edge %s->%s violated by order", from, to)
+				}
+			}
+		}
+	}
+}
+
+func TestTopoSortCycleViaInternalState(t *testing.T) {
+	// Force a cycle bypassing AddEdge's check to prove TopoSort detects it.
+	g := chain(t, "a", "b")
+	g.children["b"]["a"] = true
+	g.parents["a"]["b"] = true
+	if _, err := g.TopoSort(); err == nil {
+		t.Error("TopoSort must detect cycles")
+	}
+	if _, err := g.Levels(); err == nil {
+		t.Error("Levels must propagate cycle errors")
+	}
+}
+
+func TestRootsLeaves(t *testing.T) {
+	g := chain(t, "a", "b", "c")
+	_ = g.AddNode(&Node{ID: "x"})
+	roots := g.Roots()
+	if len(roots) != 2 || roots[0] != "a" || roots[1] != "x" {
+		t.Errorf("roots = %v", roots)
+	}
+	leaves := g.Leaves()
+	if len(leaves) != 2 || leaves[0] != "c" || leaves[1] != "x" {
+		t.Errorf("leaves = %v", leaves)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	// diamond: a -> b, a -> c, b -> d, c -> d
+	g := New()
+	for _, id := range []string{"a", "b", "c", "d"} {
+		_ = g.AddNode(&Node{ID: id})
+	}
+	_ = g.AddEdge("a", "b")
+	_ = g.AddEdge("a", "c")
+	_ = g.AddEdge("b", "d")
+	_ = g.AddEdge("c", "d")
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %v", levels)
+	}
+	if levels[0][0] != "a" || len(levels[1]) != 2 || levels[2][0] != "d" {
+		t.Errorf("levels = %v", levels)
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	g := chain(t, "a", "b", "c", "d")
+	anc := g.Ancestors("c")
+	if len(anc) != 2 || anc[0] != "a" || anc[1] != "b" {
+		t.Errorf("ancestors = %v", anc)
+	}
+	desc := g.Descendants("b")
+	if len(desc) != 2 || desc[0] != "c" || desc[1] != "d" {
+		t.Errorf("descendants = %v", desc)
+	}
+	if len(g.Ancestors("a")) != 0 || len(g.Descendants("d")) != 0 {
+		t.Error("root/leaf must have empty ancestors/descendants")
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := chain(t, "a", "b", "c")
+	if err := g.RemoveNode("b"); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 || g.NumEdges() != 0 {
+		t.Errorf("after removal: %d nodes %d edges", g.Len(), g.NumEdges())
+	}
+	if err := g.RemoveNode("b"); err == nil {
+		t.Error("double removal must fail")
+	}
+	// Remaining structure intact.
+	if _, ok := g.Node("a"); !ok {
+		t.Error("node a lost")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := chain(t, "a", "b")
+	n, _ := g.Node("a")
+	n.SetAttr("site", "isi")
+	c := g.Clone()
+	cn, _ := c.Node("a")
+	cn.SetAttr("site", "fnal")
+	if n.Attr("site") != "isi" {
+		t.Error("clone shares attr maps")
+	}
+	_ = c.RemoveNode("b")
+	if g.Len() != 2 {
+		t.Error("clone shares node maps")
+	}
+	if c.NumEdges() != 0 || g.NumEdges() != 1 {
+		t.Error("clone shares edges")
+	}
+}
+
+func TestNodeAttrs(t *testing.T) {
+	n := &Node{ID: "x"}
+	if n.Attr("k") != "" {
+		t.Error("missing attr must be empty")
+	}
+	n.SetAttr("k", "v")
+	if n.Attr("k") != "v" {
+		t.Error("attr lost")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := chain(t, "a", "b")
+	dot := g.DOT("wf")
+	for _, want := range []string{`digraph "wf"`, `"a" -> "b";`, `"a" [label=`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestCountByType(t *testing.T) {
+	g := New()
+	_ = g.AddNode(&Node{ID: "1", Type: "compute"})
+	_ = g.AddNode(&Node{ID: "2", Type: "compute"})
+	_ = g.AddNode(&Node{ID: "3", Type: "transfer"})
+	c := g.CountByType()
+	if c["compute"] != 2 || c["transfer"] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestAcyclicInvariantProperty(t *testing.T) {
+	// Whatever random edges we try to add, the graph always topo-sorts.
+	f := func(edges []uint8) bool {
+		g := New()
+		const n = 12
+		for i := 0; i < n; i++ {
+			_ = g.AddNode(&Node{ID: fmt.Sprintf("n%d", i)})
+		}
+		for k := 0; k+1 < len(edges); k += 2 {
+			from := fmt.Sprintf("n%d", int(edges[k])%n)
+			to := fmt.Sprintf("n%d", int(edges[k+1])%n)
+			_ = g.AddEdge(from, to) // errors (cycles, self) are expected
+		}
+		_, err := g.TopoSort()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTopoSort(b *testing.B) {
+	g := New()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		_ = g.AddNode(&Node{ID: fmt.Sprintf("n%04d", i)})
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			j := i + 1 + rng.Intn(n)
+			if j < n {
+				_ = g.AddEdge(fmt.Sprintf("n%04d", i), fmt.Sprintf("n%04d", j))
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddEdgeWithCycleCheck(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := New()
+		const n = 200
+		for j := 0; j < n; j++ {
+			_ = g.AddNode(&Node{ID: fmt.Sprintf("n%03d", j)})
+		}
+		b.StartTimer()
+		for j := 1; j < n; j++ {
+			_ = g.AddEdge(fmt.Sprintf("n%03d", j-1), fmt.Sprintf("n%03d", j))
+		}
+	}
+}
+
+func TestHasEdgeAndParents(t *testing.T) {
+	g := chain(t, "a", "b", "c")
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") || g.HasEdge("a", "c") {
+		t.Error("HasEdge wrong")
+	}
+	if p := g.Parents("b"); len(p) != 1 || p[0] != "a" {
+		t.Errorf("Parents(b) = %v", p)
+	}
+	if p := g.Parents("a"); len(p) != 0 {
+		t.Errorf("Parents(a) = %v", p)
+	}
+}

@@ -1,0 +1,327 @@
+// Package dagman executes concrete workflows the way Condor DAGMan does
+// (Frey et al. 2001): it releases a node to the Condor-G scheduler only when
+// all its parents have completed, retries failed nodes up to a configurable
+// limit, and when nodes fail permanently produces a rescue DAG — the
+// sub-workflow of failed and never-run nodes that a later submission can
+// resume from.
+//
+// The actual behaviour of each node (computing morphology, moving files with
+// GridFTP, registering replicas) is supplied by the caller as a Runner that
+// maps concrete-workflow nodes to condor Tasks.
+package dagman
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/dag"
+)
+
+// NodeState is the lifecycle state of one workflow node.
+type NodeState int
+
+// Node states.
+const (
+	StatePending NodeState = iota
+	StateRunning
+	StateDone
+	StateFailed // exhausted retries
+	StateUnrun  // never became runnable (upstream failure)
+)
+
+// String labels the state.
+func (s NodeState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateUnrun:
+		return "unrun"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
+	}
+}
+
+// Spec is the execution recipe for one node.
+type Spec struct {
+	Site string        // pool to run on ("" = matchmake)
+	Cost time.Duration // model duration at unit speed
+	Run  func() error  // side effects, executed at completion time
+}
+
+// Runner maps a workflow node to its execution recipe. It is called once per
+// attempt, so a retry can pick a different site.
+type Runner func(n *dag.Node, attempt int) (Spec, error)
+
+// EventKind classifies monitoring events (the "Monitoring" and "Log Files"
+// arrows of the paper's Figure 2).
+type EventKind int
+
+// Event kinds.
+const (
+	EventSubmitted EventKind = iota
+	EventCompleted
+	EventRetried
+	EventFailed // retries exhausted
+)
+
+// String labels the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSubmitted:
+		return "submitted"
+	case EventCompleted:
+		return "completed"
+	case EventRetried:
+		return "retried"
+	case EventFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one monitoring record.
+type Event struct {
+	Kind    EventKind
+	Node    string
+	Site    string        // set on completion events
+	Attempt int           // 1-based
+	At      time.Duration // model time
+	Err     error         // set on retried/failed
+}
+
+// Options tunes the executor.
+type Options struct {
+	// MaxRetries is the number of re-submissions after a failure (so a node
+	// runs at most MaxRetries+1 times). DAGMan's default of retrying is the
+	// prototype's primary infrastructure fault tolerance.
+	MaxRetries int
+	// Monitor, when set, receives every lifecycle event — the job-status
+	// stream a portal's progress display consumes.
+	Monitor func(Event)
+	// MaxInFlight caps the number of simultaneously submitted nodes, like
+	// DAGMan's -maxjobs throttle (0 = unlimited). Ready nodes beyond the
+	// cap wait in submission order.
+	MaxInFlight int
+}
+
+// emit delivers a monitoring event if a monitor is installed.
+func (o Options) emit(e Event) {
+	if o.Monitor != nil {
+		o.Monitor(e)
+	}
+}
+
+// Result describes one node's execution.
+type Result struct {
+	Node     string
+	State    NodeState
+	Site     string
+	Attempts int
+	Start    time.Duration // model time of the last attempt's start
+	End      time.Duration // model time of the last attempt's end
+	Err      error         // last error, when State != StateDone
+}
+
+// Report is the outcome of a workflow execution.
+type Report struct {
+	Results  map[string]*Result
+	Makespan time.Duration
+	Done     int
+	Failed   int
+	Unrun    int
+}
+
+// Succeeded reports whether every node completed.
+func (r *Report) Succeeded() bool { return r.Failed == 0 && r.Unrun == 0 }
+
+// RescueDAG returns the sub-workflow of failed and unrun nodes with the
+// dependency edges among them — the DAG a resubmission would run.
+func (r *Report) RescueDAG(g *dag.Graph) *dag.Graph {
+	out := dag.New()
+	include := map[string]bool{}
+	for id, res := range r.Results {
+		if res.State == StateFailed || res.State == StateUnrun {
+			include[id] = true
+		}
+	}
+	for id := range include {
+		n, _ := g.Node(id)
+		attrs := make(map[string]string, len(n.Attrs))
+		for k, v := range n.Attrs {
+			attrs[k] = v
+		}
+		// Error impossible: ids are unique by construction.
+		_ = out.AddNode(&dag.Node{ID: id, Type: n.Type, Attrs: attrs})
+	}
+	for id := range include {
+		for _, c := range g.Children(id) {
+			if include[c] {
+				_ = out.AddEdge(id, c)
+			}
+		}
+	}
+	return out
+}
+
+// Errors returned by Execute.
+var (
+	ErrNilInput = errors.New("dagman: nil graph, runner or simulator")
+	ErrStarved  = errors.New("dagman: tasks starved (pinned to saturated pools)")
+)
+
+// Execute runs the workflow to completion (or permanent failure) on the
+// given simulator. It is deterministic for a deterministic Runner.
+func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*Report, error) {
+	if g == nil || runner == nil || sim == nil {
+		return nil, ErrNilInput
+	}
+	report := &Report{Results: map[string]*Result{}}
+	if g.Len() == 0 {
+		return report, nil
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return nil, err
+	}
+
+	start := sim.Now()
+	pendingParents := map[string]int{}
+	for _, id := range g.Nodes() {
+		pendingParents[id] = len(g.Parents(id))
+		report.Results[id] = &Result{Node: id, State: StatePending}
+	}
+
+	// The throttle queue holds ready nodes waiting under MaxInFlight.
+	var waiting []string
+	inFlight := 0
+
+	doSubmit := func(id string) error {
+		n, _ := g.Node(id)
+		res := report.Results[id]
+		res.Attempts++
+		spec, err := runner(n, res.Attempts)
+		if err != nil {
+			return fmt.Errorf("dagman: runner for %s: %w", id, err)
+		}
+		res.State = StateRunning
+		inFlight++
+		opt.emit(Event{Kind: EventSubmitted, Node: id, Attempt: res.Attempts, At: sim.Now()})
+		return sim.Submit(condor.Task{ID: id, Site: spec.Site, Cost: spec.Cost, Run: spec.Run})
+	}
+
+	// submit releases a node immediately or queues it under the throttle.
+	submit := func(id string) error {
+		if opt.MaxInFlight > 0 && inFlight >= opt.MaxInFlight {
+			waiting = append(waiting, id)
+			return nil
+		}
+		return doSubmit(id)
+	}
+
+	// drainWaiting releases throttled nodes as capacity frees up.
+	drainWaiting := func() error {
+		for len(waiting) > 0 && (opt.MaxInFlight == 0 || inFlight < opt.MaxInFlight) {
+			id := waiting[0]
+			waiting = waiting[1:]
+			if err := doSubmit(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Release the roots.
+	for _, id := range g.Roots() {
+		if err := submit(id); err != nil {
+			return nil, err
+		}
+	}
+
+	markUnrunDescendants := func(id string) {
+		for _, d := range g.Descendants(id) {
+			res := report.Results[d]
+			if res.State == StatePending {
+				res.State = StateUnrun
+			}
+		}
+	}
+
+	for {
+		completions, ok := sim.Step()
+		if !ok {
+			break
+		}
+		for _, c := range completions {
+			res := report.Results[c.TaskID]
+			res.Site = c.Site
+			res.Start = c.Start
+			res.End = c.End
+			res.Err = c.Err
+			inFlight--
+
+			if c.Err != nil {
+				if res.Attempts <= opt.MaxRetries {
+					opt.emit(Event{Kind: EventRetried, Node: c.TaskID, Site: c.Site,
+						Attempt: res.Attempts, At: c.End, Err: c.Err})
+					if err := submit(c.TaskID); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				res.State = StateFailed
+				opt.emit(Event{Kind: EventFailed, Node: c.TaskID, Site: c.Site,
+					Attempt: res.Attempts, At: c.End, Err: c.Err})
+				markUnrunDescendants(c.TaskID)
+				continue
+			}
+			res.State = StateDone
+			opt.emit(Event{Kind: EventCompleted, Node: c.TaskID, Site: c.Site,
+				Attempt: res.Attempts, At: c.End})
+			// Release children whose parents are now all done.
+			for _, child := range g.Children(c.TaskID) {
+				pendingParents[child]--
+				if pendingParents[child] > 0 {
+					continue
+				}
+				childRes := report.Results[child]
+				if childRes.State != StatePending {
+					continue // upstream failure already marked it unrun
+				}
+				if err := submit(child); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := drainWaiting(); err != nil {
+			return nil, err
+		}
+	}
+
+	if sim.QueueLen() > 0 {
+		return nil, ErrStarved
+	}
+
+	for _, res := range report.Results {
+		switch res.State {
+		case StateDone:
+			report.Done++
+		case StateFailed:
+			report.Failed++
+		case StateUnrun, StatePending, StateRunning:
+			// Pending/Running here would indicate a scheduler bug; count
+			// them as unrun rather than losing them silently.
+			res.State = StateUnrun
+			report.Unrun++
+		}
+	}
+	report.Makespan = sim.Now() - start
+	return report, nil
+}

@@ -1,0 +1,179 @@
+package dagman
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/dag"
+)
+
+func freshSim(t testing.TB) func() (*condor.Simulator, error) {
+	t.Helper()
+	return func() (*condor.Simulator, error) {
+		return condor.NewSimulator(condor.Pool{Name: "p", Slots: 4})
+	}
+}
+
+func TestExecuteWithRescueRecovers(t *testing.T) {
+	// b fails in round 1 (all attempts), succeeds in round 2.
+	g := chainGraph(t, 3) // n1 -> n2 -> n3
+	failuresLeft := 2     // MaxRetries=1 gives 2 attempts per round
+	runner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error {
+			if n.ID == "n2" && failuresLeft > 0 {
+				failuresLeft--
+				return errors.New("flaky")
+			}
+			return nil
+		}}, nil
+	}
+	rep, err := ExecuteWithRescue(g, runner, freshSim(t), Options{MaxRetries: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Succeeded() {
+		t.Fatalf("report = done %d failed %d unrun %d", rep.Done, rep.Failed, rep.Unrun)
+	}
+	// n2 ran twice in round 1 and once in round 2.
+	if rep.Results["n2"].Attempts != 3 {
+		t.Errorf("n2 attempts = %d, want 3", rep.Results["n2"].Attempts)
+	}
+	// n1 completed in round 1 and must not have re-run.
+	if rep.Results["n1"].Attempts != 1 {
+		t.Errorf("n1 attempts = %d, want 1", rep.Results["n1"].Attempts)
+	}
+	// n3 was unrun in round 1 and completed in round 2.
+	if rep.Results["n3"].State != StateDone {
+		t.Errorf("n3 = %+v", rep.Results["n3"])
+	}
+	if rep.Makespan <= 0 {
+		t.Error("makespan must accumulate across rounds")
+	}
+}
+
+func TestExecuteWithRescueGivesUp(t *testing.T) {
+	g := chainGraph(t, 2)
+	runner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error {
+			if n.ID == "n1" {
+				return errors.New("permanently broken")
+			}
+			return nil
+		}}, nil
+	}
+	rep, err := ExecuteWithRescue(g, runner, freshSim(t), Options{MaxRetries: 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded() {
+		t.Fatal("must not succeed")
+	}
+	if rep.Results["n1"].State != StateFailed || rep.Results["n2"].State != StateUnrun {
+		t.Errorf("states: n1=%v n2=%v", rep.Results["n1"].State, rep.Results["n2"].State)
+	}
+	// 1 initial + 3 rescue rounds = 4 attempts.
+	if rep.Results["n1"].Attempts != 4 {
+		t.Errorf("n1 attempts = %d, want 4", rep.Results["n1"].Attempts)
+	}
+}
+
+func TestExecuteWithRescueZeroRounds(t *testing.T) {
+	g := chainGraph(t, 1)
+	runner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error { return errors.New("x") }}, nil
+	}
+	rep, err := ExecuteWithRescue(g, runner, freshSim(t), Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded() || rep.Results["n1"].Attempts != 1 {
+		t.Errorf("zero rounds must behave like Execute: %+v", rep.Results["n1"])
+	}
+}
+
+func TestExecuteWithRescueNilFactory(t *testing.T) {
+	if _, err := ExecuteWithRescue(chainGraph(t, 1), unitRunner(nil), nil, Options{}, 1); err == nil {
+		t.Error("nil factory must fail")
+	}
+}
+
+func TestMonitorEvents(t *testing.T) {
+	g := chainGraph(t, 2)
+	failuresLeft := 1
+	runner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error {
+			if n.ID == "n1" && failuresLeft > 0 {
+				failuresLeft--
+				return errors.New("flaky")
+			}
+			return nil
+		}}, nil
+	}
+	var events []Event
+	sim, err := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Execute(g, runner, sim, Options{
+		MaxRetries: 2,
+		Monitor:    func(e Event) { events = append(events, e) },
+	})
+	if err != nil || !rep.Succeeded() {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+	// n1 submitted, retried, submitted, completed; n2 submitted, completed.
+	kinds := map[EventKind]int{}
+	for _, e := range events {
+		kinds[e.Kind]++
+	}
+	if kinds[EventSubmitted] != 3 || kinds[EventRetried] != 1 || kinds[EventCompleted] != 2 {
+		t.Errorf("event counts = %v (events: %+v)", kinds, events)
+	}
+	// Events carry monotone model times.
+	last := time.Duration(-1)
+	for _, e := range events {
+		if e.At < last {
+			t.Errorf("event times not monotone: %+v", events)
+			break
+		}
+		last = e.At
+	}
+}
+
+func TestMonitorFailedEvent(t *testing.T) {
+	g := chainGraph(t, 1)
+	runner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error { return errors.New("x") }}, nil
+	}
+	var failed int
+	sim, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 1})
+	_, err := Execute(g, runner, sim, Options{
+		Monitor: func(e Event) {
+			if e.Kind == EventFailed {
+				failed++
+				if e.Err == nil {
+					t.Error("failed event must carry the error")
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Errorf("failed events = %d", failed)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	for k, want := range map[EventKind]string{
+		EventSubmitted: "submitted", EventCompleted: "completed",
+		EventRetried: "retried", EventFailed: "failed", EventKind(9): "EventKind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d -> %q", int(k), k.String())
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package gridftp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestURLRoundTrip(t *testing.T) {
+	u := URL("isi", "data/g1.fit")
+	if u != "gridftp://isi/data/g1.fit" {
+		t.Fatalf("URL = %q", u)
+	}
+	site, path, err := ParseURL(u)
+	if err != nil || site != "isi" || path != "data/g1.fit" {
+		t.Fatalf("ParseURL = %q %q %v", site, path, err)
+	}
+	// Leading slash in path is normalized.
+	if URL("isi", "/x") != "gridftp://isi/x" {
+		t.Error("leading slash not normalized")
+	}
+}
+
+func TestParseURLErrors(t *testing.T) {
+	for _, u := range []string{
+		"", "http://isi/x", "gridftp://", "gridftp://siteonly", "gridftp:///path", "gridftp://site/",
+	} {
+		if _, _, err := ParseURL(u); err == nil {
+			t.Errorf("ParseURL(%q) must fail", u)
+		}
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	st := NewStore("isi")
+	if st.Site() != "isi" {
+		t.Error("site name lost")
+	}
+	if err := st.Put("a.fit", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("empty", nil); err == nil {
+		t.Error("empty content must fail")
+	}
+	data, err := st.Get("a.fit")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("Get = %q, %v", data, err)
+	}
+	// Mutating the returned copy must not affect the store.
+	data[0] = 'X'
+	again, _ := st.Get("a.fit")
+	if string(again) != "hello" {
+		t.Error("Get must return a copy")
+	}
+	if !st.Exists("a.fit") || st.Exists("b") {
+		t.Error("Exists wrong")
+	}
+	if st.Size("a.fit") != 5 || st.Size("b") != 0 {
+		t.Error("Size wrong")
+	}
+	if st.Len() != 1 || st.TotalBytes() != 5 {
+		t.Error("accounting wrong")
+	}
+	if err := st.Delete("a.fit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("a.fit"); err == nil {
+		t.Error("double delete must fail")
+	}
+	if _, err := st.Get("a.fit"); err == nil {
+		t.Error("deleted file must not be readable")
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	st := NewStore("s")
+	_ = st.Put("b", []byte("1"))
+	_ = st.Put("a", []byte("2"))
+	l := st.List()
+	if len(l) != 2 || l[0] != "a" || l[1] != "b" {
+		t.Errorf("List = %v", l)
+	}
+}
+
+func TestTransferMovesBytes(t *testing.T) {
+	svc := NewService(Network{})
+	payload := bytes.Repeat([]byte{0xAB}, 1024)
+	if err := svc.Store("isi").Put("img/g1.fit", payload); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Transfer(URL("isi", "img/g1.fit"), URL("fnal", "stage/g1.fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 1024 {
+		t.Errorf("bytes = %d", res.Bytes)
+	}
+	got, err := svc.Store("fnal").Get("stage/g1.fit")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatal("content not delivered intact")
+	}
+	// Source keeps its copy (replication, not move).
+	if !svc.Store("isi").Exists("img/g1.fit") {
+		t.Error("source file must remain")
+	}
+	st := svc.Stats()
+	if st.Transfers != 1 || st.Bytes != 1024 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTransferErrors(t *testing.T) {
+	svc := NewService(Network{})
+	if _, err := svc.Transfer("bogus", URL("a", "b")); err == nil {
+		t.Error("bad src URL must fail")
+	}
+	if _, err := svc.Transfer(URL("a", "b"), "bogus"); err == nil {
+		t.Error("bad dst URL must fail")
+	}
+	if _, err := svc.Transfer(URL("ghost", "x"), URL("a", "b")); err == nil {
+		t.Error("unknown source site must fail")
+	}
+	svc.Store("isi") // create empty store
+	if _, err := svc.Transfer(URL("isi", "missing"), URL("a", "b")); err == nil {
+		t.Error("missing file must fail")
+	}
+	if st := svc.Stats(); st.Transfers != 0 {
+		t.Errorf("failed transfers must not count: %+v", st)
+	}
+}
+
+func TestNetworkCostModel(t *testing.T) {
+	n := Network{WideAreaMBps: 10, LocalMBps: 100, Latency: 50 * time.Millisecond}
+	size := int64(10 * 1e6) // 10 MB
+	wide := n.Cost("isi", "fnal", size)
+	local := n.Cost("isi", "isi", size)
+	if wide <= local {
+		t.Errorf("wide-area (%v) must cost more than local (%v)", wide, local)
+	}
+	wantWide := 50*time.Millisecond + time.Second
+	if wide != wantWide {
+		t.Errorf("wide cost = %v, want %v", wide, wantWide)
+	}
+	// Latency floor applies to tiny transfers.
+	if got := n.Cost("a", "b", 1); got < 50*time.Millisecond {
+		t.Errorf("tiny transfer cost %v below latency floor", got)
+	}
+	// Zero-valued network gets defaults.
+	var dflt Network
+	if dflt.Cost("a", "b", 1e6) <= 0 {
+		t.Error("default network must have positive cost")
+	}
+}
+
+func TestConcurrentTransfers(t *testing.T) {
+	svc := NewService(Network{})
+	for i := 0; i < 8; i++ {
+		_ = svc.Store("src").Put(fmt.Sprintf("f%d", i), bytes.Repeat([]byte{1}, 100))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				if _, err := svc.Transfer(URL("src", fmt.Sprintf("f%d", i)),
+					URL(fmt.Sprintf("dst%d", k%3), fmt.Sprintf("f%d-%d", i, k))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if st.Transfers != 160 || st.Bytes != 16000 {
+		t.Errorf("stats = %+v", st)
+	}
+	svc.ResetStats()
+	if st := svc.Stats(); st.Transfers != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestSites(t *testing.T) {
+	svc := NewService(Network{})
+	svc.Store("b")
+	svc.Store("a")
+	if s := svc.Sites(); len(s) != 2 || s[0] != "a" {
+		t.Errorf("Sites = %v", s)
+	}
+}
+
+func BenchmarkTransfer64KB(b *testing.B) {
+	svc := NewService(Network{})
+	payload := bytes.Repeat([]byte{7}, 64<<10)
+	_ = svc.Store("src").Put("f", payload)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Transfer(URL("src", "f"), URL("dst", fmt.Sprintf("f%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	svc := NewService(Network{WideAreaMBps: 10, LocalMBps: 100, Latency: 50 * time.Millisecond})
+	_ = svc.Store("src").Put("f", bytes.Repeat([]byte{1}, 10_000_000)) // 10 MB
+	wide := svc.Estimate(URL("src", "f"), URL("dst", "f"))
+	if wide != 50*time.Millisecond+time.Second {
+		t.Errorf("wide estimate = %v", wide)
+	}
+	local := svc.Estimate(URL("src", "f"), URL("src", "f2"))
+	if local >= wide {
+		t.Errorf("local estimate %v should be below wide %v", local, wide)
+	}
+	// Unknown source or bad URLs cost bare latency.
+	if got := svc.Estimate(URL("ghost", "x"), URL("dst", "x")); got != 50*time.Millisecond {
+		t.Errorf("unknown source estimate = %v", got)
+	}
+	if got := svc.Estimate("junk", URL("dst", "x")); got != 50*time.Millisecond {
+		t.Errorf("bad URL estimate = %v", got)
+	}
+}

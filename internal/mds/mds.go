@@ -1,0 +1,155 @@
+// Package mds implements the resource-information service the paper lists as
+// near-future work for its Pegasus configuration ("we plan to include dynamic
+// information provided by Globus Monitoring and Discovery Service (MDS)",
+// §3.2): a registry of compute sites with static attributes (slot counts,
+// data-transfer endpoints) and dynamic load, which the planner's
+// least-loaded site-selection policy consults (ablation A3 in DESIGN.md).
+package mds
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SiteInfo describes one Grid site.
+type SiteInfo struct {
+	Name        string
+	Slots       int     // compute slots in the site's Condor pool
+	Speed       float64 // relative CPU speed (1.0 = baseline)
+	GridFTPBase string  // e.g. "gridftp://isi.edu/data"
+	WorkDir     string  // scratch directory jobs run in
+}
+
+// Errors returned by the service.
+var (
+	ErrUnknownSite = errors.New("mds: unknown site")
+	ErrBadSite     = errors.New("mds: bad site info")
+)
+
+// Service is a thread-safe site registry with dynamic load tracking.
+type Service struct {
+	mu    sync.RWMutex
+	sites map[string]SiteInfo
+	load  map[string]int // currently running jobs per site
+}
+
+// New returns an empty registry.
+func New() *Service {
+	return &Service{sites: map[string]SiteInfo{}, load: map[string]int{}}
+}
+
+// Register adds or updates a site.
+func (s *Service) Register(info SiteInfo) error {
+	if info.Name == "" || info.Slots <= 0 {
+		return fmt.Errorf("%w: need name and positive slots", ErrBadSite)
+	}
+	if info.Speed <= 0 {
+		info.Speed = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sites[info.Name] = info
+	return nil
+}
+
+// Lookup returns a site's static information.
+func (s *Service) Lookup(name string) (SiteInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.sites[name]
+	if !ok {
+		return SiteInfo{}, fmt.Errorf("%w: %q", ErrUnknownSite, name)
+	}
+	return info, nil
+}
+
+// Sites returns all registered site names, sorted.
+func (s *Service) Sites() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.sites))
+	for n := range s.sites {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetLoad records the number of running jobs at a site.
+func (s *Service) SetLoad(name string, running int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sites[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSite, name)
+	}
+	if running < 0 {
+		running = 0
+	}
+	s.load[name] = running
+	return nil
+}
+
+// AddLoad increments (delta may be negative) a site's running-job count.
+func (s *Service) AddLoad(name string, delta int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sites[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSite, name)
+	}
+	s.load[name] += delta
+	if s.load[name] < 0 {
+		s.load[name] = 0
+	}
+	return nil
+}
+
+// Load returns a site's running-job count.
+func (s *Service) Load(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.load[name]
+}
+
+// Utilization returns running/slots for a site (0 for unknown sites).
+func (s *Service) Utilization(name string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.sites[name]
+	if !ok || info.Slots == 0 {
+		return 0
+	}
+	return float64(s.load[name]) / float64(info.Slots)
+}
+
+// LeastLoaded returns, among the candidate sites (all registered sites when
+// candidates is empty), the one with the lowest utilization; ties break by
+// name for determinism.
+func (s *Service) LeastLoaded(candidates ...string) (string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(candidates) == 0 {
+		for n := range s.sites {
+			candidates = append(candidates, n)
+		}
+	}
+	sort.Strings(candidates)
+	best := ""
+	bestU := 0.0
+	for _, name := range candidates {
+		info, ok := s.sites[name]
+		if !ok {
+			continue
+		}
+		u := float64(s.load[name]) / float64(info.Slots)
+		if best == "" || u < bestU {
+			best = name
+			bestU = u
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: none of %v registered", ErrUnknownSite, candidates)
+	}
+	return best, nil
+}

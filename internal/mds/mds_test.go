@@ -1,0 +1,109 @@
+package mds
+
+import (
+	"sync"
+	"testing"
+)
+
+func sample() *Service {
+	s := New()
+	_ = s.Register(SiteInfo{Name: "isi", Slots: 10, GridFTPBase: "gridftp://isi/data"})
+	_ = s.Register(SiteInfo{Name: "wisc", Slots: 20})
+	_ = s.Register(SiteInfo{Name: "fnal", Slots: 5, Speed: 2})
+	return s
+}
+
+func TestRegisterLookup(t *testing.T) {
+	s := sample()
+	info, err := s.Lookup("isi")
+	if err != nil || info.Slots != 10 || info.GridFTPBase != "gridftp://isi/data" {
+		t.Fatalf("Lookup = %+v, %v", info, err)
+	}
+	if info.Speed != 1 {
+		t.Errorf("default speed = %v, want 1", info.Speed)
+	}
+	if _, err := s.Lookup("moon"); err == nil {
+		t.Error("unknown site must fail")
+	}
+	if err := s.Register(SiteInfo{Name: "", Slots: 1}); err == nil {
+		t.Error("unnamed site must fail")
+	}
+	if err := s.Register(SiteInfo{Name: "x", Slots: 0}); err == nil {
+		t.Error("zero slots must fail")
+	}
+	if got := s.Sites(); len(got) != 3 || got[0] != "fnal" {
+		t.Errorf("sites = %v", got)
+	}
+}
+
+func TestLoadTracking(t *testing.T) {
+	s := sample()
+	if err := s.SetLoad("isi", 5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Load("isi") != 5 {
+		t.Errorf("load = %d", s.Load("isi"))
+	}
+	if u := s.Utilization("isi"); u != 0.5 {
+		t.Errorf("utilization = %v", u)
+	}
+	_ = s.AddLoad("isi", -10)
+	if s.Load("isi") != 0 {
+		t.Error("load must clamp at 0")
+	}
+	if err := s.SetLoad("moon", 1); err == nil {
+		t.Error("unknown site must fail")
+	}
+	if err := s.AddLoad("moon", 1); err == nil {
+		t.Error("unknown site must fail")
+	}
+	if u := s.Utilization("moon"); u != 0 {
+		t.Errorf("unknown utilization = %v", u)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	s := sample()
+	_ = s.SetLoad("isi", 9)  // 0.9
+	_ = s.SetLoad("wisc", 5) // 0.25
+	_ = s.SetLoad("fnal", 2) // 0.4
+
+	best, err := s.LeastLoaded()
+	if err != nil || best != "wisc" {
+		t.Errorf("LeastLoaded() = %q, %v", best, err)
+	}
+	best, err = s.LeastLoaded("isi", "fnal")
+	if err != nil || best != "fnal" {
+		t.Errorf("LeastLoaded(isi,fnal) = %q, %v", best, err)
+	}
+	// Tie: both at 0 load -> lexicographically first.
+	_ = s.SetLoad("isi", 0)
+	_ = s.SetLoad("fnal", 0)
+	best, _ = s.LeastLoaded("isi", "fnal")
+	if best != "fnal" {
+		t.Errorf("tie break = %q, want fnal", best)
+	}
+	if _, err := s.LeastLoaded("moon"); err == nil {
+		t.Error("all-unknown candidates must fail")
+	}
+}
+
+func TestConcurrentLoad(t *testing.T) {
+	s := sample()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.AddLoad("isi", 1)
+				_ = s.AddLoad("isi", -1)
+				_, _ = s.LeastLoaded()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Load("isi") != 0 {
+		t.Errorf("final load = %d", s.Load("isi"))
+	}
+}

@@ -1,0 +1,128 @@
+package morphology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fits"
+)
+
+// TestAsymmetryFluxScaleInvariance: A = Σ|I-I180| / 2Σ|I| is scale free, so
+// multiplying the galaxy flux (not the sky) by a constant must leave the
+// asymmetry essentially unchanged.
+func TestAsymmetryFluxScaleInvariance(t *testing.T) {
+	base := renderAsymmetric(64, 64, 31)
+	cfg := cfg()
+	p1, err := Measure(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []float64{2, 5, 10} {
+		scaled := fits.NewImage(64, 64, -64)
+		for i, v := range base.Data {
+			// Scale the signal above the (known) injected background of 100.
+			scaled.Data[i] = (v-100)*k + 100
+		}
+		p2, err := Measure(scaled, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p1.Asymmetry-p2.Asymmetry) > 0.02 {
+			t.Errorf("k=%v: A changed %v -> %v", k, p1.Asymmetry, p2.Asymmetry)
+		}
+		if math.Abs(p1.Concentration-p2.Concentration) > 0.15 {
+			t.Errorf("k=%v: C changed %v -> %v", k, p1.Concentration, p2.Concentration)
+		}
+	}
+}
+
+// TestBackgroundShiftInvariance: adding a constant sky level must not change
+// any morphology parameter (the background estimator removes it).
+func TestBackgroundShiftInvariance(t *testing.T) {
+	base := renderSersic(64, 64, 32, 32, 2000, 4, 1.5, 0.9, 0.7, 100, 2, 33)
+	cfg := cfg()
+	p1, err := Measure(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shift := range []float64{50, 500, 5000} {
+		shifted := fits.NewImage(64, 64, -64)
+		for i, v := range base.Data {
+			shifted.Data[i] = v + shift
+		}
+		p2, err := Measure(shifted, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p1.Asymmetry-p2.Asymmetry) > 0.01 ||
+			math.Abs(p1.Concentration-p2.Concentration) > 0.05 ||
+			math.Abs(p1.SurfaceBrightness-p2.SurfaceBrightness) > 0.05 {
+			t.Errorf("shift %v: params moved: A %v->%v C %v->%v SB %v->%v",
+				shift, p1.Asymmetry, p2.Asymmetry, p1.Concentration, p2.Concentration,
+				p1.SurfaceBrightness, p2.SurfaceBrightness)
+		}
+	}
+}
+
+// TestTranslationInvariance: moving the galaxy within the frame must not
+// change the measured parameters appreciably.
+func TestTranslationInvariance(t *testing.T) {
+	cfg := cfg()
+	ref, err := Measure(renderSersic(96, 96, 48, 48, 2000, 4, 1.5, 1, 0, 100, 2, 35), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range [][2]float64{{-10, 5}, {8, -12}, {15, 15}} {
+		im := renderSersic(96, 96, 48+off[0], 48+off[1], 2000, 4, 1.5, 1, 0, 100, 2, 35)
+		p, err := Measure(im, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Asymmetry-ref.Asymmetry) > 0.03 {
+			t.Errorf("offset %v: A %v vs %v", off, p.Asymmetry, ref.Asymmetry)
+		}
+		if math.Abs(p.Concentration-ref.Concentration) > 0.25 {
+			t.Errorf("offset %v: C %v vs %v", off, p.Concentration, ref.Concentration)
+		}
+	}
+}
+
+// TestGrowthCurveOrderProperty: r20 <= r80 <= aperture for any valid
+// measurement of random smooth blobs.
+func TestGrowthCurveOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	f := func() bool {
+		re := 2 + rng.Float64()*6
+		n := 0.8 + rng.Float64()*3
+		q := 0.4 + rng.Float64()*0.6
+		im := renderSersic(64, 64, 32, 32, 3000, re, n, q, rng.Float64()*3, 100, 2, rng.Int63())
+		p, err := Measure(im, cfg())
+		if err != nil {
+			return true // non-detection is acceptable, mis-ordering is not
+		}
+		return p.R20 <= p.R80+1e-9 && p.R80 <= p.ApertureRadius+1e-9 && p.Asymmetry >= 0
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCosmologyDistanceOrdering: for any z > 0, D_A < D_C < D_L.
+func TestCosmologyDistanceOrdering(t *testing.T) {
+	c := paperCosmology()
+	f := func(zRaw float64) bool {
+		z := math.Abs(math.Mod(zRaw, 5))
+		if z == 0 {
+			return true
+		}
+		da := c.AngularDiameterDistance(z)
+		dc := c.ComovingDistance(z)
+		dl := c.LuminosityDistance(z)
+		return da < dc && dc < dl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

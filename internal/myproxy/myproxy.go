@@ -1,0 +1,167 @@
+// Package myproxy implements the online credential repository the paper
+// plans for user authentication (§4.3.1 item 5: "for a more general
+// solution, we are planning to use MyProxy", after Novotny et al. 2001).
+//
+// The model follows MyProxy's: a user delegates a proxy credential to the
+// repository under a username and passphrase with a lifetime; a service
+// acting on the user's behalf retrieves a short-lived proxy by presenting
+// the passphrase; proxies expire and can be renewed from the stored
+// delegation while it remains valid. Cryptography is simulated — the
+// "credential" is an opaque token derived by hashing — but the lifetime,
+// passphrase and delegation-chain semantics are real, which is what the
+// Grid-workflow code paths depend on.
+package myproxy
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Proxy is a short-lived credential retrieved from the repository.
+type Proxy struct {
+	Subject  string // identity, e.g. "/C=US/O=NVO/CN=Jane Astronomer"
+	Token    string // opaque credential material
+	IssuedAt time.Time
+	Expires  time.Time
+}
+
+// Valid reports whether the proxy is usable at the given instant.
+func (p Proxy) Valid(now time.Time) bool {
+	return p.Token != "" && now.Before(p.Expires)
+}
+
+// Errors returned by the repository.
+var (
+	ErrBadRequest    = errors.New("myproxy: username, passphrase and subject required")
+	ErrUnknownUser   = errors.New("myproxy: no credential stored for user")
+	ErrBadPassphrase = errors.New("myproxy: passphrase mismatch")
+	ErrExpired       = errors.New("myproxy: stored delegation expired")
+	ErrShortLifetime = errors.New("myproxy: lifetime must be positive")
+)
+
+// stored is one delegated credential.
+type stored struct {
+	subject    string
+	passHash   [32]byte
+	delegated  time.Time
+	expires    time.Time
+	maxProxyTT time.Duration
+	serial     int
+}
+
+// Repository is the credential store. The clock is injectable so lifetime
+// behaviour is testable without sleeping.
+type Repository struct {
+	now func() time.Time
+
+	mu    sync.Mutex
+	users map[string]*stored
+}
+
+// New returns a repository using the real clock.
+func New() *Repository { return NewWithClock(time.Now) }
+
+// NewWithClock returns a repository with an injected clock.
+func NewWithClock(now func() time.Time) *Repository {
+	return &Repository{now: now, users: map[string]*stored{}}
+}
+
+// Delegate stores a credential for username protected by passphrase. The
+// delegation lives for lifetime; proxies retrieved from it last at most
+// maxProxyLifetime (clamped to the remaining delegation lifetime).
+// Re-delegating replaces any previous credential.
+func (r *Repository) Delegate(username, passphrase, subject string, lifetime, maxProxyLifetime time.Duration) error {
+	if username == "" || passphrase == "" || subject == "" {
+		return ErrBadRequest
+	}
+	if lifetime <= 0 || maxProxyLifetime <= 0 {
+		return ErrShortLifetime
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.users[username] = &stored{
+		subject:    subject,
+		passHash:   sha256.Sum256([]byte(passphrase)),
+		delegated:  now,
+		expires:    now.Add(lifetime),
+		maxProxyTT: maxProxyLifetime,
+	}
+	return nil
+}
+
+// Retrieve issues a short-lived proxy from the stored delegation.
+func (r *Repository) Retrieve(username, passphrase string, lifetime time.Duration) (Proxy, error) {
+	if lifetime <= 0 {
+		return Proxy{}, ErrShortLifetime
+	}
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.users[username]
+	if !ok {
+		return Proxy{}, fmt.Errorf("%w: %q", ErrUnknownUser, username)
+	}
+	want := sha256.Sum256([]byte(passphrase))
+	if !hmac.Equal(s.passHash[:], want[:]) {
+		return Proxy{}, ErrBadPassphrase
+	}
+	if !now.Before(s.expires) {
+		return Proxy{}, fmt.Errorf("%w (at %s)", ErrExpired, s.expires.Format(time.RFC3339))
+	}
+	if lifetime > s.maxProxyTT {
+		lifetime = s.maxProxyTT
+	}
+	expires := now.Add(lifetime)
+	if expires.After(s.expires) {
+		expires = s.expires
+	}
+	s.serial++
+	return Proxy{
+		Subject:  s.subject,
+		Token:    deriveToken(username, s.passHash, s.serial, expires),
+		IssuedAt: now,
+		Expires:  expires,
+	}, nil
+}
+
+// Destroy removes a user's delegation.
+func (r *Repository) Destroy(username, passphrase string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.users[username]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownUser, username)
+	}
+	want := sha256.Sum256([]byte(passphrase))
+	if !hmac.Equal(s.passHash[:], want[:]) {
+		return ErrBadPassphrase
+	}
+	delete(r.users, username)
+	return nil
+}
+
+// Info reports a delegation's subject and expiry without authenticating
+// (MyProxy's anonymous info operation).
+func (r *Repository) Info(username string) (subject string, expires time.Time, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.users[username]
+	if !ok {
+		return "", time.Time{}, fmt.Errorf("%w: %q", ErrUnknownUser, username)
+	}
+	return s.subject, s.expires, nil
+}
+
+// deriveToken builds the opaque credential material. Including the serial
+// makes every retrieval distinct, as real proxy certificates are.
+func deriveToken(username string, passHash [32]byte, serial int, expires time.Time) string {
+	mac := hmac.New(sha256.New, passHash[:])
+	fmt.Fprintf(mac, "%s|%d|%d", username, serial, expires.UnixNano())
+	return hex.EncodeToString(mac.Sum(nil))
+}

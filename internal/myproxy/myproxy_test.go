@@ -1,0 +1,191 @@
+package myproxy
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a controllable time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_060_000_000, 0)} }
+func repoWith(c *fakeClock) *Repository      { return NewWithClock(c.now) }
+func delegate(t *testing.T, r *Repository) string {
+	t.Helper()
+	if err := r.Delegate("jane", "s3cret", "/C=US/O=NVO/CN=Jane", 10*time.Hour, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return "jane"
+}
+
+func TestDelegateValidation(t *testing.T) {
+	r := New()
+	cases := []struct {
+		u, p, s string
+		life    time.Duration
+	}{
+		{"", "p", "s", time.Hour},
+		{"u", "", "s", time.Hour},
+		{"u", "p", "", time.Hour},
+		{"u", "p", "s", 0},
+		{"u", "p", "s", -time.Hour},
+	}
+	for _, c := range cases {
+		if err := r.Delegate(c.u, c.p, c.s, c.life, time.Hour); err == nil {
+			t.Errorf("Delegate(%q,%q,%q,%v) must fail", c.u, c.p, c.s, c.life)
+		}
+	}
+	if err := r.Delegate("u", "p", "s", time.Hour, 0); err == nil {
+		t.Error("zero proxy lifetime must fail")
+	}
+}
+
+func TestRetrieveHappyPath(t *testing.T) {
+	clock := newClock()
+	r := repoWith(clock)
+	delegate(t, r)
+
+	p, err := r.Retrieve("jane", "s3cret", 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(clock.t) {
+		t.Error("fresh proxy must be valid")
+	}
+	if p.Subject != "/C=US/O=NVO/CN=Jane" {
+		t.Errorf("subject = %q", p.Subject)
+	}
+	if got := p.Expires.Sub(p.IssuedAt); got != 30*time.Minute {
+		t.Errorf("lifetime = %v", got)
+	}
+	// Each retrieval yields distinct credential material.
+	p2, err := r.Retrieve("jane", "s3cret", 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Token == p.Token {
+		t.Error("proxies must be distinct")
+	}
+}
+
+func TestRetrieveAuthFailures(t *testing.T) {
+	r := repoWith(newClock())
+	delegate(t, r)
+	if _, err := r.Retrieve("nobody", "x", time.Hour); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("unknown user: %v", err)
+	}
+	if _, err := r.Retrieve("jane", "wrong", time.Hour); !errors.Is(err, ErrBadPassphrase) {
+		t.Errorf("bad passphrase: %v", err)
+	}
+	if _, err := r.Retrieve("jane", "s3cret", 0); !errors.Is(err, ErrShortLifetime) {
+		t.Errorf("zero lifetime: %v", err)
+	}
+}
+
+func TestProxyLifetimeClamping(t *testing.T) {
+	clock := newClock()
+	r := repoWith(clock)
+	delegate(t, r) // max proxy lifetime: 1h
+
+	// Requested lifetime above the delegation's max is clamped.
+	p, err := r.Retrieve("jane", "s3cret", 8*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Expires.Sub(p.IssuedAt); got != time.Hour {
+		t.Errorf("clamped lifetime = %v, want 1h", got)
+	}
+
+	// Near the delegation's end the proxy cannot outlive it.
+	clock.advance(9*time.Hour + 30*time.Minute) // 30m of delegation left
+	p, err = r.Retrieve("jane", "s3cret", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Expires.Sub(clock.t); got != 30*time.Minute {
+		t.Errorf("end-clamped lifetime = %v, want 30m", got)
+	}
+}
+
+func TestDelegationExpiry(t *testing.T) {
+	clock := newClock()
+	r := repoWith(clock)
+	delegate(t, r)
+	clock.advance(11 * time.Hour)
+	if _, err := r.Retrieve("jane", "s3cret", time.Minute); !errors.Is(err, ErrExpired) {
+		t.Errorf("expired delegation: %v", err)
+	}
+}
+
+func TestProxyExpiry(t *testing.T) {
+	clock := newClock()
+	r := repoWith(clock)
+	delegate(t, r)
+	p, err := r.Retrieve("jane", "s3cret", 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Valid(clock.t) {
+		t.Error("proxy must start valid")
+	}
+	if p.Valid(clock.t.Add(11 * time.Minute)) {
+		t.Error("proxy must expire")
+	}
+	if (Proxy{}).Valid(clock.t) {
+		t.Error("zero proxy must be invalid")
+	}
+}
+
+func TestRedelegationReplaces(t *testing.T) {
+	clock := newClock()
+	r := repoWith(clock)
+	delegate(t, r)
+	if err := r.Delegate("jane", "newpass", "/C=US/O=NVO/CN=Jane", time.Hour, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retrieve("jane", "s3cret", time.Minute); !errors.Is(err, ErrBadPassphrase) {
+		t.Error("old passphrase must stop working")
+	}
+	if _, err := r.Retrieve("jane", "newpass", time.Minute); err != nil {
+		t.Errorf("new passphrase: %v", err)
+	}
+}
+
+func TestDestroyAndInfo(t *testing.T) {
+	r := repoWith(newClock())
+	delegate(t, r)
+
+	subject, expires, err := r.Info("jane")
+	if err != nil || subject == "" || expires.IsZero() {
+		t.Fatalf("Info = %q, %v, %v", subject, expires, err)
+	}
+	if _, _, err := r.Info("ghost"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("Info ghost: %v", err)
+	}
+
+	if err := r.Destroy("jane", "wrong"); !errors.Is(err, ErrBadPassphrase) {
+		t.Errorf("Destroy wrong pass: %v", err)
+	}
+	if err := r.Destroy("jane", "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Destroy("jane", "s3cret"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("double destroy: %v", err)
+	}
+}
+
+func BenchmarkRetrieve(b *testing.B) {
+	r := New()
+	if err := r.Delegate("jane", "s3cret", "/CN=Jane", 24*time.Hour, time.Hour); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Retrieve("jane", "s3cret", time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

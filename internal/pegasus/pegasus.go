@@ -1,0 +1,502 @@
+// Package pegasus implements the planner half of the GriPhyN Virtual Data
+// System as the paper configures it (§3.2, Figure 2): it receives an
+// abstract workflow from Chimera and produces a concrete, executable
+// workflow by
+//
+//  1. reducing the abstract DAG against the Replica Location Service —
+//     jobs whose data products already exist anywhere in the Grid are
+//     pruned, on the assumption that fetching data is always cheaper than
+//     recomputing it (Figures 1 → 3 of the paper);
+//  2. checking feasibility — the root jobs' input files must exist in the
+//     RLS and be reachable by a transport protocol;
+//  3. mapping each remaining job onto a site where the Transformation
+//     Catalog has its executable (random, round-robin, or MDS-driven
+//     least-loaded selection);
+//  4. adding transfer nodes that stage inputs to the chosen sites (replica
+//     source picked at random, as in the paper), transfer nodes that
+//     deliver requested outputs to the user's storage location U, and
+//     registration nodes that publish new data products in the RLS
+//     (Figure 4);
+//  5. generating Condor-G submit files and the DAGMan .dag file.
+package pegasus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/chimera"
+	"repro/internal/dag"
+	"repro/internal/gridftp"
+	"repro/internal/mds"
+	"repro/internal/rls"
+	"repro/internal/tcat"
+)
+
+// Node types in concrete workflows.
+const (
+	NodeCompute  = "compute"
+	NodeTransfer = "transfer"
+	NodeRegister = "register"
+)
+
+// Node attribute keys on concrete-workflow nodes.
+const (
+	AttrSite       = "site"       // compute: execution site
+	AttrExecutable = "executable" // compute: executable path from the TC
+	AttrSrcURL     = "src"        // transfer: source physical URL
+	AttrDstURL     = "dst"        // transfer: destination physical URL
+	AttrLFN        = "lfn"        // transfer/register: logical file
+	AttrPFN        = "pfn"        // register: physical URL to publish
+)
+
+// SiteSelection is the policy for mapping jobs to sites.
+type SiteSelection int
+
+// Site-selection policies. The paper's prototype "picks a random location to
+// execute from among the returned locations"; round-robin and least-loaded
+// are the natural alternatives its related-work section discusses.
+const (
+	SelectRandom SiteSelection = iota
+	SelectRoundRobin
+	SelectLeastLoaded
+)
+
+// Errors returned by the planner.
+var (
+	ErrInfeasible = errors.New("pegasus: workflow infeasible: missing input replicas")
+	ErrNoSite     = errors.New("pegasus: no site can run transformation")
+	ErrNeedMDS    = errors.New("pegasus: least-loaded selection requires an MDS service")
+)
+
+// Config wires the planner to its information services.
+type Config struct {
+	RLS *rls.RLS
+	TC  *tcat.Catalog
+	MDS *mds.Service // required for SelectLeastLoaded
+
+	Selection SiteSelection
+	// Rand drives random site and replica selection; a fixed seed makes
+	// plans reproducible. Defaults to a seed-1 source.
+	Rand *rand.Rand
+
+	// NoReduce disables the abstract-DAG reduction (ablation A1).
+	NoReduce bool
+
+	// OutputSite is the user-specified storage location U; requested
+	// outputs are delivered there and, when RegisterOutputs is set,
+	// registered with their U replica.
+	OutputSite string
+	// RegisterOutputs adds RLS registration nodes for every data product.
+	RegisterOutputs bool
+}
+
+func (c Config) rng() *rand.Rand {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.New(rand.NewSource(1))
+}
+
+// Plan is the planner's result.
+type Plan struct {
+	// Abstract is the workflow as received (not mutated).
+	Abstract *dag.Graph
+	// Reduced is the abstract workflow after RLS-based pruning.
+	Reduced *dag.Graph
+	// Concrete is the executable workflow with transfer/register nodes.
+	Concrete *dag.Graph
+
+	// PrunedJobs are abstract jobs eliminated because their outputs were
+	// already materialized.
+	PrunedJobs []string
+	// ReusedLFNs are files satisfied from existing replicas.
+	ReusedLFNs []string
+	// SiteOf maps each compute job to its execution site.
+	SiteOf map[string]string
+}
+
+// Stats summarizes a plan for reports and experiments.
+type Stats struct {
+	AbstractJobs  int
+	PrunedJobs    int
+	ComputeJobs   int
+	TransferNodes int
+	RegisterNodes int
+}
+
+// Stats computes the plan's node counts.
+func (p *Plan) Stats() Stats {
+	byType := p.Concrete.CountByType()
+	return Stats{
+		AbstractJobs:  p.Abstract.Len(),
+		PrunedJobs:    len(p.PrunedJobs),
+		ComputeJobs:   byType[NodeCompute],
+		TransferNodes: byType[NodeTransfer],
+		RegisterNodes: byType[NodeRegister],
+	}
+}
+
+// Map plans an abstract workflow onto the Grid, producing a concrete plan.
+func Map(wf *chimera.Workflow, cfg Config) (*Plan, error) {
+	if wf == nil || wf.Graph == nil || wf.Graph.Len() == 0 {
+		return nil, errors.New("pegasus: empty workflow")
+	}
+	if cfg.RLS == nil || cfg.TC == nil {
+		return nil, errors.New("pegasus: RLS and TC are required")
+	}
+	if cfg.Selection == SelectLeastLoaded && cfg.MDS == nil {
+		return nil, ErrNeedMDS
+	}
+	rng := cfg.rng()
+
+	p := &Plan{Abstract: wf.Graph, SiteOf: map[string]string{}}
+
+	// --- 1. Abstract DAG reduction (Figure 2 step "Abstract DAG reduction").
+	reduced, pruned, reused := reduce(wf, cfg)
+	p.Reduced = reduced
+	p.PrunedJobs = pruned
+	p.ReusedLFNs = reused
+
+	// --- 2. Feasibility: every input consumed from outside the reduced
+	// workflow must have a replica.
+	produced := map[string]bool{}
+	for _, id := range reduced.Nodes() {
+		n, _ := reduced.Node(id)
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrOutputs)) {
+			produced[lfn] = true
+		}
+	}
+	var missing []string
+	for _, id := range reduced.Nodes() {
+		n, _ := reduced.Node(id)
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrInputs)) {
+			if !produced[lfn] && !cfg.RLS.Exists(lfn) {
+				missing = append(missing, lfn)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, dedup(missing))
+	}
+
+	// --- 3 & 4. Site selection and concrete workflow construction.
+	if err := concretize(p, wf, cfg, rng); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// reduce prunes jobs whose required outputs already exist in the RLS. A job
+// survives only if one of its outputs is required and absent: requirements
+// start at the requested LFNs and propagate to the inputs of surviving jobs
+// (walked in reverse topological order).
+func reduce(wf *chimera.Workflow, cfg Config) (g *dag.Graph, pruned, reused []string) {
+	g = wf.Graph.Clone()
+	if cfg.NoReduce {
+		return g, nil, nil
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		// Chimera guarantees acyclicity; a cycle here is a programming
+		// error upstream, and returning the unreduced graph is safe.
+		return g, nil, nil
+	}
+
+	required := map[string]bool{}
+	reusedSet := map[string]bool{}
+	for _, lfn := range wf.RequestedLFNs {
+		if cfg.RLS.Exists(lfn) {
+			reusedSet[lfn] = true
+		} else {
+			required[lfn] = true
+		}
+	}
+
+	var prunedIDs []string
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		n, _ := g.Node(id)
+		needed := false
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrOutputs)) {
+			if required[lfn] {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			prunedIDs = append(prunedIDs, id)
+			continue
+		}
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrInputs)) {
+			if cfg.RLS.Exists(lfn) {
+				reusedSet[lfn] = true
+			} else {
+				required[lfn] = true
+			}
+		}
+	}
+	for _, id := range prunedIDs {
+		_ = g.RemoveNode(id)
+	}
+	sort.Strings(prunedIDs)
+	return g, prunedIDs, sortedKeys(reusedSet)
+}
+
+// concretize performs site selection and inserts transfer and registration
+// nodes around the reduced workflow's compute jobs.
+func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error {
+	cw := dag.New()
+	reduced := p.Reduced
+
+	// producerOf maps LFN -> producing job id within the reduced workflow.
+	producerOf := map[string]string{}
+	for _, id := range reduced.Nodes() {
+		n, _ := reduced.Node(id)
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrOutputs)) {
+			producerOf[lfn] = id
+		}
+	}
+
+	// Site selection, in deterministic job order.
+	rrIndex := 0
+	jobs := reduced.Nodes()
+	for _, id := range jobs {
+		n, _ := reduced.Node(id)
+		tr := n.Attr(chimera.AttrTransformation)
+		entries, err := cfg.TC.Lookup(tr)
+		if err != nil {
+			return fmt.Errorf("%w: %q (%v)", ErrNoSite, tr, err)
+		}
+		var site string
+		switch cfg.Selection {
+		case SelectRoundRobin:
+			site = entries[rrIndex%len(entries)].Site
+			rrIndex++
+		case SelectLeastLoaded:
+			sites := make([]string, len(entries))
+			for i, e := range entries {
+				sites[i] = e.Site
+			}
+			site, err = cfg.MDS.LeastLoaded(sites...)
+			if err != nil {
+				return fmt.Errorf("%w: %q (%v)", ErrNoSite, tr, err)
+			}
+			// Planner-side load accounting so successive picks spread out.
+			_ = cfg.MDS.AddLoad(site, 1)
+		default: // SelectRandom — the paper's behaviour
+			site = entries[rng.Intn(len(entries))].Site
+		}
+		exe, err := cfg.TC.LookupSite(tr, site)
+		if err != nil {
+			return fmt.Errorf("%w: %q at %q", ErrNoSite, tr, site)
+		}
+		p.SiteOf[id] = site
+
+		cn := &dag.Node{ID: id, Type: NodeCompute}
+		cn.SetAttr(AttrSite, site)
+		cn.SetAttr(AttrExecutable, exe.Path)
+		cn.SetAttr(chimera.AttrTransformation, tr)
+		cn.SetAttr(chimera.AttrDerivation, n.Attr(chimera.AttrDerivation))
+		cn.SetAttr(chimera.AttrInputs, n.Attr(chimera.AttrInputs))
+		cn.SetAttr(chimera.AttrOutputs, n.Attr(chimera.AttrOutputs))
+		if err := cw.AddNode(cn); err != nil {
+			return err
+		}
+	}
+
+	// Dependency edges between surviving compute jobs.
+	for _, id := range jobs {
+		for _, child := range reduced.Children(id) {
+			if err := cw.AddEdge(id, child); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Transfer nodes for inputs.
+	for _, id := range jobs {
+		n, _ := reduced.Node(id)
+		site := p.SiteOf[id]
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrInputs)) {
+			if prod, ok := producerOf[lfn]; ok {
+				// Inter-stage: producer runs in this workflow.
+				srcSite := p.SiteOf[prod]
+				if srcSite == site {
+					continue // same site: no staging needed
+				}
+				txID := fmt.Sprintf("tx_%s_%s_to_%s", sanitize(lfn), srcSite, site)
+				if _, exists := cw.Node(txID); !exists {
+					tn := &dag.Node{ID: txID, Type: NodeTransfer}
+					tn.SetAttr(AttrLFN, lfn)
+					tn.SetAttr(AttrSrcURL, gridftp.URL(srcSite, lfn))
+					tn.SetAttr(AttrDstURL, gridftp.URL(site, lfn))
+					if err := cw.AddNode(tn); err != nil {
+						return err
+					}
+					if err := cw.AddEdge(prod, txID); err != nil {
+						return err
+					}
+				}
+				if err := cw.AddEdge(txID, id); err != nil {
+					return err
+				}
+				continue
+			}
+			// Stage-in from an existing replica; source replica picked at
+			// random, as in the paper.
+			replicas := cfg.RLS.Lookup(lfn)
+			if len(replicas) == 0 {
+				return fmt.Errorf("%w: %q", ErrInfeasible, lfn)
+			}
+			atSite := false
+			for _, r := range replicas {
+				if r.Site == site {
+					atSite = true
+					break
+				}
+			}
+			if atSite {
+				continue // replica already local
+			}
+			src := replicas[rng.Intn(len(replicas))]
+			txID := fmt.Sprintf("stagein_%s_to_%s", sanitize(lfn), site)
+			if _, exists := cw.Node(txID); !exists {
+				tn := &dag.Node{ID: txID, Type: NodeTransfer}
+				tn.SetAttr(AttrLFN, lfn)
+				tn.SetAttr(AttrSrcURL, src.URL)
+				tn.SetAttr(AttrDstURL, gridftp.URL(site, lfn))
+				if err := cw.AddNode(tn); err != nil {
+					return err
+				}
+			}
+			if err := cw.AddEdge(txID, id); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Output delivery and registration.
+	requested := map[string]bool{}
+	for _, lfn := range wf.RequestedLFNs {
+		requested[lfn] = true
+	}
+	for _, id := range jobs {
+		n, _ := reduced.Node(id)
+		site := p.SiteOf[id]
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrOutputs)) {
+			finalSite := site
+			lastNode := id
+			if requested[lfn] && cfg.OutputSite != "" && cfg.OutputSite != site {
+				txID := fmt.Sprintf("stageout_%s_to_%s", sanitize(lfn), cfg.OutputSite)
+				tn := &dag.Node{ID: txID, Type: NodeTransfer}
+				tn.SetAttr(AttrLFN, lfn)
+				tn.SetAttr(AttrSrcURL, gridftp.URL(site, lfn))
+				tn.SetAttr(AttrDstURL, gridftp.URL(cfg.OutputSite, lfn))
+				if err := cw.AddNode(tn); err != nil {
+					return err
+				}
+				if err := cw.AddEdge(id, txID); err != nil {
+					return err
+				}
+				finalSite = cfg.OutputSite
+				lastNode = txID
+			}
+			if cfg.RegisterOutputs {
+				regID := "reg_" + sanitize(lfn)
+				rn := &dag.Node{ID: regID, Type: NodeRegister}
+				rn.SetAttr(AttrLFN, lfn)
+				rn.SetAttr(AttrSite, finalSite)
+				rn.SetAttr(AttrPFN, gridftp.URL(finalSite, lfn))
+				if err := cw.AddNode(rn); err != nil {
+					return err
+				}
+				if err := cw.AddEdge(lastNode, regID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Requested files fully satisfied from the RLS still need delivery to U.
+	if cfg.OutputSite != "" {
+		for _, lfn := range wf.RequestedLFNs {
+			if _, producedHere := producerOf[lfn]; producedHere {
+				continue
+			}
+			replicas := cfg.RLS.Lookup(lfn)
+			if len(replicas) == 0 {
+				continue // reduction guarantees this does not happen
+			}
+			already := false
+			for _, r := range replicas {
+				if r.Site == cfg.OutputSite {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			src := replicas[rng.Intn(len(replicas))]
+			txID := fmt.Sprintf("stageout_%s_to_%s", sanitize(lfn), cfg.OutputSite)
+			tn := &dag.Node{ID: txID, Type: NodeTransfer}
+			tn.SetAttr(AttrLFN, lfn)
+			tn.SetAttr(AttrSrcURL, src.URL)
+			tn.SetAttr(AttrDstURL, gridftp.URL(cfg.OutputSite, lfn))
+			if err := cw.AddNode(tn); err != nil {
+				return err
+			}
+			if cfg.RegisterOutputs {
+				regID := "reg_" + sanitize(lfn)
+				rn := &dag.Node{ID: regID, Type: NodeRegister}
+				rn.SetAttr(AttrLFN, lfn)
+				rn.SetAttr(AttrSite, cfg.OutputSite)
+				rn.SetAttr(AttrPFN, gridftp.URL(cfg.OutputSite, lfn))
+				if err := cw.AddNode(rn); err != nil {
+					return err
+				}
+				if err := cw.AddEdge(txID, regID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	p.Concrete = cw
+	return nil
+}
+
+// sanitize turns an LFN into a legal node-id fragment.
+func sanitize(lfn string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, lfn)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

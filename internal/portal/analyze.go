@@ -1,0 +1,157 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/votable"
+)
+
+// AnalysisResult is what the user's results page is built from.
+type AnalysisResult struct {
+	Cluster string
+	// Table is the galaxy catalog with the computed morphology columns
+	// merged in (surface_brightness, concentration, asymmetry, valid).
+	Table *votable.Table
+	// Images are the large-scale image references shown to the user.
+	Images []imageRef
+	// Timing of the portal-side phases.
+	ImageSearch time.Duration
+	CatalogTime time.Duration
+	ComputeTime time.Duration
+}
+
+type imageRef struct {
+	Title string
+	AcRef string
+}
+
+// Analyze runs the full Figure 5 flow for one cluster synchronously: find
+// images, build the catalog, submit to the compute service, poll, merge.
+func (p *Portal) Analyze(cluster string) (*AnalysisResult, error) {
+	return p.analyzeWithProgress(cluster, nil)
+}
+
+// analyzeWithProgress is Analyze with a Grid-progress callback fed from the
+// compute service's status polling.
+func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total int)) (*AnalysisResult, error) {
+	res := &AnalysisResult{Cluster: cluster}
+
+	t0 := time.Now()
+	images, err := p.FindImages(cluster)
+	if err != nil {
+		return nil, err
+	}
+	for _, im := range images {
+		res.Images = append(res.Images, imageRef{Title: im.Title, AcRef: im.AcRef})
+	}
+	res.ImageSearch = time.Since(t0)
+
+	t1 := time.Now()
+	cat, err := p.BuildCatalog(cluster)
+	if err != nil {
+		return nil, err
+	}
+	res.CatalogTime = time.Since(t1)
+
+	t2 := time.Now()
+	morph, err := p.compute(cat, cluster, onProgress)
+	if err != nil {
+		return nil, err
+	}
+	// Merge the computed values into the galaxy catalog (§4.2: "the portal
+	// merges [the output table] into the galaxy catalog").
+	if err := votable.MergeColumns(cat, morph, "id", "id",
+		"surface_brightness", "concentration", "asymmetry", "valid"); err != nil {
+		return nil, err
+	}
+	res.ComputeTime = time.Since(t2)
+	res.Table = cat
+	return res, nil
+}
+
+// compute performs the §4.3 exchange with the web service: POST the
+// VOTable, poll the returned status URL until "job completed", fetch the
+// result table. This is the two-line .NET snippet of §4.2, spelled out.
+func (p *Portal) compute(cat *votable.Table, cluster string, onProgress func(done, total int)) (*votable.Table, error) {
+	var body bytes.Buffer
+	if err := votable.WriteTable(&body, cat); err != nil {
+		return nil, err
+	}
+	submitURL := fmt.Sprintf("%s/galmorph?cluster=%s", p.cfg.ComputeService, cluster)
+	resp, err := p.cfg.HTTPClient.Post(submitURL, "text/xml", &body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrComputeFailed, err)
+	}
+	statusPath, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("%w: submit status %d: %s", ErrComputeFailed, resp.StatusCode, statusPath)
+	}
+	statusURL := p.cfg.ComputeService + strings.TrimSpace(string(statusPath))
+
+	deadline := time.Now().Add(p.cfg.PollTimeout)
+	for {
+		st, err := p.pollOnce(statusURL)
+		if err != nil {
+			return nil, err
+		}
+		if onProgress != nil && st.JobsTotal > 0 {
+			onProgress(st.JobsDone, st.JobsTotal)
+		}
+		switch st.State {
+		case "completed":
+			return p.fetchResult(p.cfg.ComputeService + st.ResultURL)
+		case "failed":
+			return nil, fmt.Errorf("%w: %s", ErrComputeFailed, st.Message)
+		}
+		if time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		time.Sleep(p.cfg.PollInterval)
+	}
+}
+
+type statusPayload struct {
+	State     string
+	Message   string
+	ResultURL string
+	JobsDone  int
+	JobsTotal int
+}
+
+func (p *Portal) pollOnce(statusURL string) (statusPayload, error) {
+	var st statusPayload
+	resp, err := p.cfg.HTTPClient.Get(statusURL)
+	if err != nil {
+		return st, fmt.Errorf("%w: poll: %v", ErrComputeFailed, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("%w: poll status %d", ErrComputeFailed, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("%w: poll decode: %v", ErrComputeFailed, err)
+	}
+	return st, nil
+}
+
+func (p *Portal) fetchResult(resultURL string) (*votable.Table, error) {
+	resp, err := p.cfg.HTTPClient.Get(resultURL)
+	if err != nil {
+		return nil, fmt.Errorf("%w: result: %v", ErrComputeFailed, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%w: result status %d", ErrComputeFailed, resp.StatusCode)
+	}
+	return votable.ReadTable(resp.Body)
+}

@@ -1,0 +1,222 @@
+// Package portal implements the user-facing web portal of the paper's §4.2
+// (Figure 5), the piece STScI hosted: the user picks a galaxy cluster from
+// an internal list; the portal looks up the cluster's position, searches the
+// optical and X-ray image archives through SIA for large-scale images,
+// builds the galaxy catalog by querying Cone Search services and merging
+// their tables, attaches cutout references from the image cutout service,
+// ships the combined VOTable to the Grid compute service, polls the returned
+// status URL until "job completed", and merges the computed morphology
+// columns back into the catalog.
+//
+// The portal operates synchronously toward its user ("waiting until all
+// processing is done before returning the results page"), with the cached
+// image-search option the paper describes.
+package portal
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/services"
+	"repro/internal/votable"
+	"repro/internal/wcs"
+)
+
+// ClusterEntry is one row of the portal's internal cluster catalog.
+type ClusterEntry struct {
+	Name     string
+	Center   wcs.SkyCoord
+	Redshift float64
+	// SearchRadiusDeg bounds the catalog cone search (default 0.5).
+	SearchRadiusDeg float64
+}
+
+// Config wires the portal to the NVO services.
+type Config struct {
+	// Clusters is the internal catalog the user selects from.
+	Clusters []ClusterEntry
+	// ConeServices are Cone Search endpoints (e.g. NED, CNOC); the first
+	// is the primary catalog, later ones contribute extra columns via a
+	// left join on the id column.
+	ConeServices []string
+	// SIAServices are large-scale image endpoints (DSS, ROSAT, Chandra).
+	SIAServices []string
+	// CutoutService is the SIA cutout endpoint supplying per-galaxy acrefs.
+	CutoutService string
+	// ComputeService is the morphology web service base URL.
+	ComputeService string
+
+	HTTPClient *http.Client
+	// PollInterval is the status-URL polling period (default 10ms; the
+	// real portal used seconds, but model time is decoupled from wall
+	// time here).
+	PollInterval time.Duration
+	// PollTimeout bounds how long Analyze waits (default 60s).
+	PollTimeout time.Duration
+	// CacheImageSearch enables the cached image-search results option.
+	CacheImageSearch bool
+}
+
+// Portal is the application portal.
+type Portal struct {
+	cfg Config
+
+	mu         sync.Mutex
+	imageCache map[string][]services.SIARecord
+	jobs       map[string]*jobRecord
+	nextJob    int
+}
+
+// Errors returned by portal operations.
+var (
+	ErrUnknownCluster = errors.New("portal: unknown cluster")
+	ErrNoCatalog      = errors.New("portal: catalog services returned no galaxies")
+	ErrComputeFailed  = errors.New("portal: compute service failed")
+	ErrTimeout        = errors.New("portal: compute service timed out")
+)
+
+// New builds a portal.
+func New(cfg Config) (*Portal, error) {
+	if len(cfg.Clusters) == 0 {
+		return nil, errors.New("portal: need at least one cluster")
+	}
+	if len(cfg.ConeServices) == 0 || cfg.CutoutService == "" || cfg.ComputeService == "" {
+		return nil, errors.New("portal: cone, cutout and compute services are required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 10 * time.Millisecond
+	}
+	if cfg.PollTimeout <= 0 {
+		cfg.PollTimeout = 60 * time.Second
+	}
+	return &Portal{cfg: cfg, imageCache: map[string][]services.SIARecord{}}, nil
+}
+
+// Clusters lists the selectable clusters, sorted by name.
+func (p *Portal) Clusters() []ClusterEntry {
+	out := append([]ClusterEntry(nil), p.cfg.Clusters...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Cluster resolves a cluster by name.
+func (p *Portal) Cluster(name string) (ClusterEntry, error) {
+	for _, c := range p.cfg.Clusters {
+		if c.Name == name {
+			if c.SearchRadiusDeg <= 0 {
+				c.SearchRadiusDeg = 0.5
+			}
+			return c, nil
+		}
+	}
+	return ClusterEntry{}, fmt.Errorf("%w: %q", ErrUnknownCluster, name)
+}
+
+// FindImages queries every SIA service for large-scale images of the
+// cluster and returns the combined references ("links to these images are
+// returned to the user"). With CacheImageSearch set, repeated searches for
+// the same cluster are served from memory.
+func (p *Portal) FindImages(cluster string) ([]services.SIARecord, error) {
+	entry, err := p.Cluster(cluster)
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.CacheImageSearch {
+		p.mu.Lock()
+		cached, hit := p.imageCache[cluster]
+		p.mu.Unlock()
+		if hit {
+			return append([]services.SIARecord(nil), cached...), nil
+		}
+	}
+	var all []services.SIARecord
+	for _, base := range p.cfg.SIAServices {
+		recs, err := services.SIAQuery(p.cfg.HTTPClient, base, entry.Center, 2*entry.SearchRadiusDeg)
+		if err != nil {
+			return nil, fmt.Errorf("portal: SIA %s: %w", base, err)
+		}
+		all = append(all, recs...)
+	}
+	if p.cfg.CacheImageSearch {
+		p.mu.Lock()
+		p.imageCache[cluster] = append([]services.SIARecord(nil), all...)
+		p.mu.Unlock()
+	}
+	return all, nil
+}
+
+// BuildCatalog constructs the cluster's galaxy catalog: the primary cone
+// search supplies the base table; additional cone services contribute
+// columns via a left join on id; the cutout service's references are merged
+// in as the acref column.
+func (p *Portal) BuildCatalog(cluster string) (*votable.Table, error) {
+	entry, err := p.Cluster(cluster)
+	if err != nil {
+		return nil, err
+	}
+	base, err := services.ConeSearch(p.cfg.HTTPClient, p.cfg.ConeServices[0], entry.Center, entry.SearchRadiusDeg)
+	if err != nil {
+		return nil, fmt.Errorf("portal: cone %s: %w", p.cfg.ConeServices[0], err)
+	}
+	if base.NumRows() == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoCatalog, cluster)
+	}
+	base.Name = cluster
+
+	// Fold in additional catalogs (the "integrating heterogeneous tabular
+	// data" requirement): left join keeps galaxies missing from the
+	// secondary catalogs.
+	for _, svc := range p.cfg.ConeServices[1:] {
+		extra, err := services.ConeSearch(p.cfg.HTTPClient, svc, entry.Center, entry.SearchRadiusDeg)
+		if err != nil {
+			return nil, fmt.Errorf("portal: cone %s: %w", svc, err)
+		}
+		joined, err := votable.LeftJoin(base, extra, "id", "id")
+		if err != nil {
+			return nil, err
+		}
+		joined.Name = cluster
+		base = joined
+	}
+
+	// Attach cutout references. The SIA cutout protocol returns one row
+	// per galaxy; merge its acref by galaxy id (the title column carries
+	// the id in our cutout service).
+	cuts, err := services.SIAQuery(p.cfg.HTTPClient, p.cfg.CutoutService, entry.Center, 2*entry.SearchRadiusDeg)
+	if err != nil {
+		return nil, fmt.Errorf("portal: cutout SIA: %w", err)
+	}
+	acrefOf := make(map[string]string, len(cuts))
+	for _, c := range cuts {
+		acrefOf[c.Title] = c.AcRef
+	}
+	base.AddColumn(votable.Field{Name: "acref", Datatype: votable.TypeChar,
+		UCD: "VOX:Image_AccessReference"}, func(i int) string {
+		return p.absoluteCutoutURL(acrefOf[base.Cell(i, "id")])
+	})
+	return base, nil
+}
+
+// absoluteCutoutURL resolves a relative acref against the cutout service.
+func (p *Portal) absoluteCutoutURL(acref string) string {
+	if acref == "" {
+		return ""
+	}
+	if len(acref) > 0 && acref[0] == '/' {
+		// Strip the /siacut path to the service root.
+		base := p.cfg.CutoutService
+		for i := len(base) - 1; i >= 0; i-- {
+			if base[i] == '/' {
+				return base[:i] + acref
+			}
+		}
+	}
+	return acref
+}

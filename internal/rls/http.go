@@ -1,0 +1,153 @@
+package rls
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Handler exposes an RLS over HTTP, mirroring how the prototype's components
+// at different institutions shared one replica catalog:
+//
+//	GET  /lookup?lfn=X          -> JSON array of {site,url}
+//	GET  /exists?lfn=X          -> 200 "true" / "false"
+//	GET  /lfns                  -> JSON array of logical names
+//	POST /register   (form: lfn, site, url)
+//	POST /unregister (form: lfn, site, url)
+func Handler(r *RLS) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/lookup", func(w http.ResponseWriter, req *http.Request) {
+		lfn := req.URL.Query().Get("lfn")
+		if lfn == "" {
+			http.Error(w, "missing lfn", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, r.Lookup(lfn))
+	})
+
+	mux.HandleFunc("/exists", func(w http.ResponseWriter, req *http.Request) {
+		lfn := req.URL.Query().Get("lfn")
+		if lfn == "" {
+			http.Error(w, "missing lfn", http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "%t", r.Exists(lfn))
+	})
+
+	mux.HandleFunc("/lfns", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.LFNs())
+	})
+
+	mux.HandleFunc("/register", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		lfn, pfn, err := formPFN(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := r.Register(lfn, pfn); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
+
+	mux.HandleFunc("/unregister", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		lfn, pfn, err := formPFN(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := r.Unregister(lfn, pfn); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+	})
+
+	return mux
+}
+
+func formPFN(req *http.Request) (string, PFN, error) {
+	if err := req.ParseForm(); err != nil {
+		return "", PFN{}, err
+	}
+	lfn := req.PostForm.Get("lfn")
+	site := req.PostForm.Get("site")
+	u := req.PostForm.Get("url")
+	if lfn == "" || site == "" || u == "" {
+		return "", PFN{}, fmt.Errorf("%w: need lfn, site and url", ErrBadInput)
+	}
+	return lfn, PFN{Site: site, URL: u}, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// Client is the HTTP counterpart of *RLS, so components can talk to a remote
+// replica service with the same call shapes they use in-process.
+type Client struct {
+	Base string // e.g. "http://rls.isi.edu:8040"
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{}
+}
+
+// Lookup fetches the replicas of lfn.
+func (c *Client) Lookup(lfn string) ([]PFN, error) {
+	resp, err := c.http().Get(c.Base + "/lookup?lfn=" + url.QueryEscape(lfn))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rls: lookup status %d", resp.StatusCode)
+	}
+	var pfns []PFN
+	if err := json.NewDecoder(resp.Body).Decode(&pfns); err != nil {
+		return nil, err
+	}
+	return pfns, nil
+}
+
+// Exists checks whether any replica of lfn is registered.
+func (c *Client) Exists(lfn string) (bool, error) {
+	resp, err := c.http().Get(c.Base + "/exists?lfn=" + url.QueryEscape(lfn))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var buf [8]byte
+	n, _ := resp.Body.Read(buf[:])
+	return strings.TrimSpace(string(buf[:n])) == "true", nil
+}
+
+// Register records a replica.
+func (c *Client) Register(lfn string, pfn PFN) error {
+	form := url.Values{"lfn": {lfn}, "site": {pfn.Site}, "url": {pfn.URL}}
+	resp, err := c.http().PostForm(c.Base+"/register", form)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("rls: register status %d", resp.StatusCode)
+	}
+	return nil
+}

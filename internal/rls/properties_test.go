@@ -1,0 +1,115 @@
+package rls
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRegisterUnregisterInvariant: after any random sequence of register and
+// unregister operations, Exists(lfn) == (len(Lookup(lfn)) > 0), the index
+// agrees with the per-site catalogs, and LFNs() lists exactly the live
+// names.
+func TestRegisterUnregisterInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	f := func(ops []uint8) bool {
+		r := New()
+		// Shadow model: lfn -> site -> url set.
+		model := map[string]map[string]map[string]bool{}
+
+		lfns := []string{"a", "b", "c"}
+		sites := []string{"s1", "s2"}
+		urls := []string{"u1", "u2"}
+
+		for _, op := range ops {
+			lfn := lfns[int(op)%len(lfns)]
+			site := sites[int(op/4)%len(sites)]
+			url := urls[int(op/8)%len(urls)]
+			pfn := PFN{Site: site, URL: url}
+			if op%2 == 0 {
+				if err := r.Register(lfn, pfn); err != nil {
+					return false
+				}
+				if model[lfn] == nil {
+					model[lfn] = map[string]map[string]bool{}
+				}
+				if model[lfn][site] == nil {
+					model[lfn][site] = map[string]bool{}
+				}
+				model[lfn][site][url] = true
+			} else {
+				err := r.Unregister(lfn, pfn)
+				has := model[lfn] != nil && model[lfn][site] != nil && model[lfn][site][url]
+				if has != (err == nil) {
+					return false
+				}
+				if has {
+					delete(model[lfn][site], url)
+					if len(model[lfn][site]) == 0 {
+						delete(model[lfn], site)
+					}
+					if len(model[lfn]) == 0 {
+						delete(model, lfn)
+					}
+				}
+			}
+		}
+
+		// Compare the service against the model.
+		for _, lfn := range lfns {
+			wantCount := 0
+			for _, us := range model[lfn] {
+				wantCount += len(us)
+			}
+			got := r.Lookup(lfn)
+			if len(got) != wantCount {
+				return false
+			}
+			if r.Exists(lfn) != (wantCount > 0) {
+				return false
+			}
+		}
+		if len(r.LFNs()) != len(model) {
+			return false
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBulkLookupConsistency: BulkLookup agrees with individual Lookups.
+func TestBulkLookupConsistency(t *testing.T) {
+	r := New()
+	rng := rand.New(rand.NewSource(61))
+	var lfns []string
+	for i := 0; i < 50; i++ {
+		lfn := fmt.Sprintf("f%d", rng.Intn(20))
+		lfns = append(lfns, lfn)
+		if rng.Float64() < 0.7 {
+			_ = r.Register(lfn, PFN{Site: fmt.Sprintf("s%d", rng.Intn(3)), URL: fmt.Sprintf("u%d", i)})
+		}
+	}
+	bulk := r.BulkLookup(lfns)
+	for _, lfn := range lfns {
+		single := r.Lookup(lfn)
+		got := bulk[lfn]
+		if len(single) == 0 {
+			if _, present := bulk[lfn]; present {
+				t.Fatalf("%s: empty lookup but present in bulk", lfn)
+			}
+			continue
+		}
+		if len(got) != len(single) {
+			t.Fatalf("%s: bulk %d vs single %d", lfn, len(got), len(single))
+		}
+		for i := range single {
+			if single[i] != got[i] {
+				t.Fatalf("%s: replica %d differs", lfn, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+// Package rls implements the Globus Replica Location Service the paper's
+// Pegasus configuration depends on (Chervenak et al. 2002, "Giggle"): the
+// catalog mapping logical file names (LFNs) to the physical file names
+// (PFNs) of their replicas across Grid sites.
+//
+// Following Giggle's architecture, each site runs a Local Replica Catalog
+// (LRC) holding its own LFN→PFN mappings, and a Replica Location Index (RLI)
+// aggregates which LRCs know each LFN. The RLS facade gives Pegasus the
+// queries it needs: existence checks for workflow reduction and feasibility,
+// replica lists for source selection, and registration for newly materialized
+// data products. An HTTP front-end (see http.go) exposes the same operations
+// as a service.
+package rls
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PFN is one physical replica of a logical file.
+type PFN struct {
+	Site string // site identifier, e.g. "isi", "fnal"
+	URL  string // physical location, e.g. "gridftp://isi.edu/data/x.fit"
+}
+
+// Errors returned by the service.
+var (
+	ErrNotFound = errors.New("rls: logical file not found")
+	ErrBadInput = errors.New("rls: bad input")
+)
+
+// LRC is a Local Replica Catalog: one site's LFN→PFN mappings. It is safe
+// for concurrent use.
+type LRC struct {
+	site string
+	mu   sync.RWMutex
+	m    map[string]map[string]bool // lfn -> set of URLs
+}
+
+// NewLRC returns an empty catalog for a site.
+func NewLRC(site string) *LRC {
+	return &LRC{site: site, m: map[string]map[string]bool{}}
+}
+
+// Site returns the owning site.
+func (l *LRC) Site() string { return l.site }
+
+// Add records a replica of lfn at url.
+func (l *LRC) Add(lfn, url string) error {
+	if lfn == "" || url == "" {
+		return fmt.Errorf("%w: empty lfn or url", ErrBadInput)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m[lfn] == nil {
+		l.m[lfn] = map[string]bool{}
+	}
+	l.m[lfn][url] = true
+	return nil
+}
+
+// Remove deletes a replica mapping; removing the last replica forgets the LFN.
+func (l *LRC) Remove(lfn, url string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	urls, ok := l.m[lfn]
+	if !ok || !urls[url] {
+		return fmt.Errorf("%w: %s @ %s", ErrNotFound, lfn, url)
+	}
+	delete(urls, url)
+	if len(urls) == 0 {
+		delete(l.m, lfn)
+	}
+	return nil
+}
+
+// Lookup returns the site's replicas of lfn, sorted by URL.
+func (l *LRC) Lookup(lfn string) []PFN {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	urls := l.m[lfn]
+	out := make([]PFN, 0, len(urls))
+	for u := range urls {
+		out = append(out, PFN{Site: l.site, URL: u})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// LFNs returns every logical name the site knows, sorted.
+func (l *LRC) LFNs() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.m))
+	for lfn := range l.m {
+		out = append(out, lfn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of logical names known to the site.
+func (l *LRC) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.m)
+}
+
+// RLS is the full replica location service: an RLI over per-site LRCs.
+type RLS struct {
+	mu   sync.RWMutex
+	lrcs map[string]*LRC
+	// rli maps lfn -> set of sites whose LRC holds it (the index layer).
+	rli map[string]map[string]bool
+}
+
+// New returns an empty service.
+func New() *RLS {
+	return &RLS{lrcs: map[string]*LRC{}, rli: map[string]map[string]bool{}}
+}
+
+// Site returns (creating on demand) the LRC for a site.
+func (r *RLS) Site(site string) *LRC {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.lrcs[site]; ok {
+		return l
+	}
+	l := NewLRC(site)
+	r.lrcs[site] = l
+	return l
+}
+
+// Sites returns the registered site names, sorted.
+func (r *RLS) Sites() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.lrcs))
+	for s := range r.lrcs {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register records a replica and updates the index.
+func (r *RLS) Register(lfn string, pfn PFN) error {
+	if pfn.Site == "" {
+		return fmt.Errorf("%w: empty site", ErrBadInput)
+	}
+	if err := r.Site(pfn.Site).Add(lfn, pfn.URL); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.rli[lfn] == nil {
+		r.rli[lfn] = map[string]bool{}
+	}
+	r.rli[lfn][pfn.Site] = true
+	return nil
+}
+
+// Unregister removes a replica, updating the index when a site's last copy
+// disappears.
+func (r *RLS) Unregister(lfn string, pfn PFN) error {
+	r.mu.RLock()
+	lrc, ok := r.lrcs[pfn.Site]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: site %q", ErrNotFound, pfn.Site)
+	}
+	if err := lrc.Remove(lfn, pfn.URL); err != nil {
+		return err
+	}
+	if len(lrc.Lookup(lfn)) == 0 {
+		r.mu.Lock()
+		if sites := r.rli[lfn]; sites != nil {
+			delete(sites, pfn.Site)
+			if len(sites) == 0 {
+				delete(r.rli, lfn)
+			}
+		}
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Lookup returns every replica of lfn across all sites, sorted by site then
+// URL. A missing LFN yields an empty slice, not an error, matching how
+// Pegasus probes for reusable data products.
+func (r *RLS) Lookup(lfn string) []PFN {
+	r.mu.RLock()
+	sites := make([]string, 0, len(r.rli[lfn]))
+	for s := range r.rli[lfn] {
+		sites = append(sites, s)
+	}
+	lrcs := make([]*LRC, 0, len(sites))
+	for _, s := range sites {
+		if l, ok := r.lrcs[s]; ok {
+			lrcs = append(lrcs, l)
+		}
+	}
+	r.mu.RUnlock()
+
+	var out []PFN
+	for _, l := range lrcs {
+		out = append(out, l.Lookup(lfn)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].URL < out[j].URL
+	})
+	return out
+}
+
+// Exists reports whether any replica of lfn is registered.
+func (r *RLS) Exists(lfn string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rli[lfn]) > 0
+}
+
+// BulkLookup resolves many LFNs at once (Pegasus queries the whole abstract
+// workflow's file set in one pass; Figure 2 steps 3–4).
+func (r *RLS) BulkLookup(lfns []string) map[string][]PFN {
+	out := make(map[string][]PFN, len(lfns))
+	for _, lfn := range lfns {
+		if pfns := r.Lookup(lfn); len(pfns) > 0 {
+			out[lfn] = pfns
+		}
+	}
+	return out
+}
+
+// LFNs returns every indexed logical name, sorted.
+func (r *RLS) LFNs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.rli))
+	for lfn := range r.rli {
+		out = append(out, lfn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of indexed logical names.
+func (r *RLS) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.rli)
+}

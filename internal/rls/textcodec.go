@@ -1,0 +1,45 @@
+package rls
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadReplicas loads "lfn site url" triples (one per line; blank lines and
+// #-comments ignored) into the service — the bulk-load format the
+// pegasus-plan tool and test fixtures use.
+func ReadReplicas(r *RLS, src io.Reader) error {
+	sc := bufio.NewScanner(src)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return fmt.Errorf("%w: line %d: want 'lfn site url'", ErrBadInput, line)
+		}
+		if err := r.Register(fields[0], PFN{Site: fields[1], URL: fields[2]}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// WriteReplicas dumps every replica in the text format, deterministically
+// (sorted by LFN, then site, then URL). ReadReplicas(WriteReplicas(x))
+// reproduces x.
+func WriteReplicas(r *RLS, dst io.Writer) error {
+	for _, lfn := range r.LFNs() {
+		for _, pfn := range r.Lookup(lfn) {
+			if _, err := fmt.Fprintf(dst, "%s %s %s\n", lfn, pfn.Site, pfn.URL); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package services
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/fits"
+	"repro/internal/votable"
+	"repro/internal/wcs"
+)
+
+// Handler exposes the archive over HTTP with the NVO protocol endpoints:
+//
+//	GET /cone?RA=&DEC=&SR=            Cone Search        -> VOTable
+//	GET /sia?POS=ra,dec&SIZE=deg      large-scale images -> VOTable of acrefs
+//	GET /siacut?POS=ra,dec&SIZE=deg   cutout service     -> VOTable of acrefs
+//	GET /cutout?id=<galaxy>           cutout image       -> FITS
+//	GET /image?cluster=&band=         large-scale image  -> FITS
+func (a *Archive) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/cone", func(w http.ResponseWriter, req *http.Request) {
+		pos, err := parseRADecSR(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeVOTable(w, a.ConeSearch(pos.center, pos.radius))
+	})
+
+	mux.HandleFunc("/sia", func(w http.ResponseWriter, req *http.Request) {
+		pos, size, err := parsePosSize(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeVOTable(w, a.SIAQueryFields(pos, size))
+	})
+
+	mux.HandleFunc("/siacut", func(w http.ResponseWriter, req *http.Request) {
+		pos, size, err := parsePosSize(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeVOTable(w, a.SIAQueryCutouts(pos, size))
+	})
+
+	mux.HandleFunc("/cutout", func(w http.ResponseWriter, req *http.Request) {
+		id := req.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id", http.StatusBadRequest)
+			return
+		}
+		_, data, err := a.CutoutFITS(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/fits")
+		_, _ = w.Write(data)
+	})
+
+	mux.HandleFunc("/cutoutbatch", func(w http.ResponseWriter, req *http.Request) {
+		idsParam := req.URL.Query().Get("ids")
+		if idsParam == "" {
+			http.Error(w, "missing ids", http.StatusBadRequest)
+			return
+		}
+		data, err := a.CutoutBatchFITS(strings.Split(idsParam, ","))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/fits")
+		_, _ = w.Write(data)
+	})
+
+	mux.HandleFunc("/image", func(w http.ResponseWriter, req *http.Request) {
+		cluster := req.URL.Query().Get("cluster")
+		band := Band(req.URL.Query().Get("band"))
+		if cluster == "" || band == "" {
+			http.Error(w, "missing cluster or band", http.StatusBadRequest)
+			return
+		}
+		data, err := a.FieldFITS(cluster, band)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/fits")
+		_, _ = w.Write(data)
+	})
+
+	return mux
+}
+
+type coneParams struct {
+	center wcs.SkyCoord
+	radius float64
+}
+
+func parseRADecSR(req *http.Request) (coneParams, error) {
+	q := req.URL.Query()
+	ra, err1 := strconv.ParseFloat(q.Get("RA"), 64)
+	dec, err2 := strconv.ParseFloat(q.Get("DEC"), 64)
+	sr, err3 := strconv.ParseFloat(q.Get("SR"), 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return coneParams{}, fmt.Errorf("%w: need numeric RA, DEC, SR", ErrBadQuery)
+	}
+	if sr < 0 || dec < -90 || dec > 90 {
+		return coneParams{}, fmt.Errorf("%w: out-of-range RA/DEC/SR", ErrBadQuery)
+	}
+	return coneParams{center: wcs.New(ra, dec), radius: sr}, nil
+}
+
+func parsePosSize(req *http.Request) (wcs.SkyCoord, float64, error) {
+	q := req.URL.Query()
+	parts := strings.Split(q.Get("POS"), ",")
+	if len(parts) != 2 {
+		return wcs.SkyCoord{}, 0, fmt.Errorf("%w: POS must be ra,dec", ErrBadQuery)
+	}
+	ra, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	dec, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	size, err3 := strconv.ParseFloat(q.Get("SIZE"), 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return wcs.SkyCoord{}, 0, fmt.Errorf("%w: need numeric POS and SIZE", ErrBadQuery)
+	}
+	if size < 0 || dec < -90 || dec > 90 {
+		return wcs.SkyCoord{}, 0, fmt.Errorf("%w: out-of-range POS/SIZE", ErrBadQuery)
+	}
+	return wcs.New(ra, dec), size, nil
+}
+
+func writeVOTable(w http.ResponseWriter, t *votable.Table) {
+	w.Header().Set("Content-Type", "text/xml")
+	_ = votable.WriteTable(w, t)
+}
+
+// --- protocol clients -------------------------------------------------------
+
+// ConeSearch performs a Cone Search request against base (e.g.
+// "http://ned.example/cone") and parses the VOTable response.
+func ConeSearch(hc *http.Client, base string, pos wcs.SkyCoord, sr float64) (*votable.Table, error) {
+	u := fmt.Sprintf("%s?RA=%s&DEC=%s&SR=%s", base,
+		url.QueryEscape(votable.FormatFloat(pos.RA)),
+		url.QueryEscape(votable.FormatFloat(pos.Dec)),
+		url.QueryEscape(votable.FormatFloat(sr)))
+	return getVOTable(hc, u)
+}
+
+// SIARecord is one parsed row of an SIA response.
+type SIARecord struct {
+	Title  string
+	Pos    wcs.SkyCoord
+	Naxis1 int
+	Naxis2 int
+	Format string
+	AcRef  string
+}
+
+// SIAQuery performs an SIA request against base (".../sia" or ".../siacut")
+// and parses the image references.
+func SIAQuery(hc *http.Client, base string, pos wcs.SkyCoord, sizeDeg float64) ([]SIARecord, error) {
+	u := fmt.Sprintf("%s?POS=%s,%s&SIZE=%s", base,
+		url.QueryEscape(votable.FormatFloat(pos.RA)),
+		url.QueryEscape(votable.FormatFloat(pos.Dec)),
+		url.QueryEscape(votable.FormatFloat(sizeDeg)))
+	t, err := getVOTable(hc, u)
+	if err != nil {
+		return nil, err
+	}
+	var out []SIARecord
+	for i := 0; i < t.NumRows(); i++ {
+		ra, _ := t.Float(i, "ra")
+		dec, _ := t.Float(i, "dec")
+		n1, _ := t.Int(i, "naxis1")
+		n2, _ := t.Int(i, "naxis2")
+		out = append(out, SIARecord{
+			Title:  t.Cell(i, "title"),
+			Pos:    wcs.New(ra, dec),
+			Naxis1: int(n1),
+			Naxis2: int(n2),
+			Format: t.Cell(i, "format"),
+			AcRef:  t.Cell(i, "acref"),
+		})
+	}
+	return out, nil
+}
+
+func getVOTable(hc *http.Client, u string) (*votable.Table, error) {
+	resp, err := hc.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("services: GET %s: status %d: %s", u, resp.StatusCode, body)
+	}
+	return votable.ReadTable(resp.Body)
+}
+
+// FetchFITSBatch downloads a concatenated FITS stream (a /cutoutbatch
+// response) and decodes every image in it.
+func FetchFITSBatch(hc *http.Client, u string) ([]*fits.Image, error) {
+	resp, err := hc.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("services: GET %s: status %d: %s", u, resp.StatusCode, body)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	segments, err := fits.SplitStream(data)
+	if err != nil {
+		return nil, fmt.Errorf("services: batch from %s: %w", u, err)
+	}
+	out := make([]*fits.Image, len(segments))
+	for i, seg := range segments {
+		im, err := fits.Decode(bytes.NewReader(seg))
+		if err != nil {
+			return nil, fmt.Errorf("services: batch image %d: %w", i, err)
+		}
+		out[i] = im
+	}
+	return out, nil
+}
+
+// FetchFITS downloads and decodes a FITS image (an SIA acref dereference).
+func FetchFITS(hc *http.Client, u string) (*fits.Image, error) {
+	resp, err := hc.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, fmt.Errorf("services: GET %s: status %d: %s", u, resp.StatusCode, body)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return fits.Decode(bytes.NewReader(data))
+}

@@ -1,0 +1,154 @@
+package tcat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Catalog {
+	c := New()
+	_ = c.Add(Entry{Transformation: "galMorph", Site: "isi", Path: "/nvo/bin/galMorph",
+		Profile: map[string]string{"runtime": "4s"}})
+	_ = c.Add(Entry{Transformation: "galMorph", Site: "fnal", Path: "/grid/galMorph"})
+	_ = c.Add(Entry{Transformation: "concat", Site: "isi", Path: "/nvo/bin/concat"})
+	return c
+}
+
+func TestAddLookup(t *testing.T) {
+	c := sample()
+	es, err := c.Lookup("galMorph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != 2 || es[0].Site != "fnal" || es[1].Site != "isi" {
+		t.Errorf("entries = %+v", es)
+	}
+	if es[1].Profile["runtime"] != "4s" {
+		t.Errorf("profile lost: %+v", es[1].Profile)
+	}
+	e, err := c.LookupSite("galMorph", "isi")
+	if err != nil || e.Path != "/nvo/bin/galMorph" {
+		t.Errorf("LookupSite = %+v, %v", e, err)
+	}
+	if _, err := c.Lookup("ghost"); err == nil {
+		t.Error("unknown transformation must fail")
+	}
+	if _, err := c.LookupSite("galMorph", "moon"); err == nil {
+		t.Error("unknown site must fail")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := New()
+	for _, e := range []Entry{
+		{},
+		{Transformation: "x", Site: "s"},
+		{Transformation: "x", Path: "p"},
+		{Site: "s", Path: "p"},
+	} {
+		if err := c.Add(e); err == nil {
+			t.Errorf("incomplete entry %+v must fail", e)
+		}
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	c := sample()
+	_ = c.Add(Entry{Transformation: "galMorph", Site: "isi", Path: "/new/path"})
+	e, _ := c.LookupSite("galMorph", "isi")
+	if e.Path != "/new/path" {
+		t.Errorf("replace failed: %q", e.Path)
+	}
+	es, _ := c.Lookup("galMorph")
+	if len(es) != 2 {
+		t.Errorf("replace duplicated: %d entries", len(es))
+	}
+}
+
+func TestSitesTransformationsRemove(t *testing.T) {
+	c := sample()
+	if s := c.Sites("galMorph"); len(s) != 2 || s[0] != "fnal" {
+		t.Errorf("sites = %v", s)
+	}
+	if trs := c.Transformations(); len(trs) != 2 || trs[0] != "concat" {
+		t.Errorf("transformations = %v", trs)
+	}
+	if err := c.Remove("galMorph", "fnal"); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Sites("galMorph"); len(s) != 1 {
+		t.Errorf("sites after remove = %v", s)
+	}
+	if err := c.Remove("galMorph", "fnal"); err == nil {
+		t.Error("double remove must fail")
+	}
+	if err := c.Remove("concat", "isi"); err != nil {
+		t.Fatal(err)
+	}
+	if trs := c.Transformations(); len(trs) != 1 {
+		t.Errorf("empty transformation must disappear: %v", trs)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	c := sample()
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range c.Transformations() {
+		want, _ := c.Lookup(tr)
+		have, err := got.Lookup(tr)
+		if err != nil || len(have) != len(want) {
+			t.Fatalf("round trip lost %q: %v", tr, err)
+		}
+		for i := range want {
+			if have[i].Path != want[i].Path || have[i].Site != want[i].Site {
+				t.Errorf("%q entry %d: %+v != %+v", tr, i, have[i], want[i])
+			}
+			if have[i].Profile["runtime"] != want[i].Profile["runtime"] {
+				t.Errorf("%q profile mismatch", tr)
+			}
+		}
+	}
+}
+
+func TestReadCommentsAndErrors(t *testing.T) {
+	ok := `
+# transformation catalog
+galMorph isi /bin/gm runtime=4s
+
+concat fnal /bin/cc
+`
+	c, err := Read(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Transformations()) != 2 {
+		t.Errorf("parsed %v", c.Transformations())
+	}
+	for _, bad := range []string{
+		"onlytwo fields",
+		"tr site path notakv",
+		"tr site path =v",
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("bad line %q must fail", bad)
+		}
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	c := sample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Lookup("galMorph"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package vdl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// paperVDL is (modulo whitespace) the exact example from §3.2 of the paper.
+const paperVDL = `
+# The galaxy morphology transformation from the paper.
+TR galMorph( in redshift, in pixScale, in zeroPoint, in Ho, in om,
+             in flat, in image, out galMorph ) { /* compute CAS */ }
+
+DV d1->galMorph( redshift="0.027886",
+        image=@{in:"NGP9_F323-0927589.fit"},
+        pixScale="2.831933107035062E-4",
+        zeroPoint="0", Ho="100", om="0.3", flat="1",
+        galMorph=@{out:"NGP9_F323-0927589.txt"} );
+`
+
+func TestParsePaperExample(t *testing.T) {
+	cat, err := Parse(paperVDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := cat.Transformation("galMorph")
+	if !ok {
+		t.Fatal("galMorph TR missing")
+	}
+	if len(tr.Args) != 8 {
+		t.Fatalf("args = %d, want 8", len(tr.Args))
+	}
+	if a, _ := tr.Arg("image"); a.Dir != In {
+		t.Error("image must be in")
+	}
+	if a, _ := tr.Arg("galMorph"); a.Dir != Out {
+		t.Error("galMorph must be out")
+	}
+	if !strings.Contains(tr.Body, "compute CAS") {
+		t.Errorf("body lost: %q", tr.Body)
+	}
+
+	d, ok := cat.Derivation("d1")
+	if !ok {
+		t.Fatal("d1 DV missing")
+	}
+	if d.TR != "galMorph" {
+		t.Errorf("TR ref = %q", d.TR)
+	}
+	if got := d.Bindings["redshift"].Value; got != "0.027886" {
+		t.Errorf("redshift = %q", got)
+	}
+	if in := d.InputLFNs(); len(in) != 1 || in[0] != "NGP9_F323-0927589.fit" {
+		t.Errorf("inputs = %v", in)
+	}
+	if out := d.OutputLFNs(); len(out) != 1 || out[0] != "NGP9_F323-0927589.txt" {
+		t.Errorf("outputs = %v", out)
+	}
+	if p := cat.Producers("NGP9_F323-0927589.txt"); len(p) != 1 || p[0] != "d1" {
+		t.Errorf("producers = %v", p)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cat, err := Parse(paperVDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := cat.Format()
+	cat2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v\ntext:\n%s", err, text)
+	}
+	if len(cat2.Transformations()) != 1 || len(cat2.Derivations()) != 1 {
+		t.Fatalf("round trip lost definitions: %v %v", cat2.Transformations(), cat2.Derivations())
+	}
+	d1, _ := cat.Derivation("d1")
+	d2, _ := cat2.Derivation("d1")
+	for k, b := range d1.Bindings {
+		if d2.Bindings[k] != b {
+			t.Errorf("binding %q: %+v != %+v", k, b, d2.Bindings[k])
+		}
+	}
+}
+
+func TestParseChain(t *testing.T) {
+	// The paper's Figure 1: d1 consumes a producing b; d2 consumes b producing c.
+	src := `
+TR step( in x, out y ) {}
+DV d1->step( x=@{in:"a"}, y=@{out:"b"} );
+DV d2->step( x=@{in:"b"}, y=@{out:"c"} );
+`
+	cat, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := cat.Producers("c"); len(p) != 1 || p[0] != "d2" {
+		t.Errorf("producers(c) = %v", p)
+	}
+	if p := cat.Producers("b"); len(p) != 1 || p[0] != "d1" {
+		t.Errorf("producers(b) = %v", p)
+	}
+	if p := cat.Producers("a"); len(p) != 0 {
+		t.Errorf("producers(a) = %v, want none (raw input)", p)
+	}
+	if got := cat.Derivations(); len(got) != 2 || got[0] != "d1" || got[1] != "d2" {
+		t.Errorf("derivation order = %v", got)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+# hash comment
+// slash comment
+TR t( in a, out b ) {}
+DV d->t( a="1", b=@{out:"f"} ); # trailing comment
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	src := `TR t( in a, out b ) {}
+DV d->t( a="va\"l\\ue\n", b=@{out:"f"} );`
+	cat, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := cat.Derivation("d")
+	if d.Bindings["a"].Value != "va\"l\\ue\n" {
+		t.Errorf("escaped value = %q", d.Bindings["a"].Value)
+	}
+}
+
+func TestParseNestedBracesInBody(t *testing.T) {
+	src := `TR t( in a, out b ) { if (x) { y(); } else { z(); } }
+DV d->t( a="1", b=@{out:"f"} );`
+	cat, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := cat.Transformation("t")
+	if !strings.Contains(tr.Body, "else { z(); }") {
+		t.Errorf("nested body lost: %q", tr.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"garbage", "WHAT is this"},
+		{"unterminated string", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a="oops`},
+		{"unterminated body", `TR t( in a, out b ) { forever`},
+		{"missing arrow", `TR t( in a, out b ) {}` + "\n" + `DV d t( a="1", b=@{out:"f"} );`},
+		{"bad direction", `TR t( inout a ) {}`},
+		{"missing semicolon", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a="1", b=@{out:"f"} )`},
+		{"unknown TR", `DV d->ghost( a="1" );`},
+		{"unknown arg", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a="1", b=@{out:"f"}, c="2" );`},
+		{"unbound arg", `TR t( in a, out b ) {}` + "\n" + `DV d->t( b=@{out:"f"} );`},
+		{"direction mismatch", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a=@{out:"x"}, b=@{out:"f"} );`},
+		{"scalar for out", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a="1", b="notafile" );`},
+		{"double bind", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a="1", a="2", b=@{out:"f"} );`},
+		{"dup TR", `TR t( in a ) {}` + "\n" + `TR t( in a ) {}`},
+		{"dup DV", `TR t( out b ) {}` + "\n" + `DV d->t( b=@{out:"f"} );` + "\n" + `DV d->t( b=@{out:"g"} );`},
+		{"dup TR arg", `TR t( in a, in a ) {}`},
+		{"newline in string", "TR t( in a, out b ) {}\nDV d->t( a=\"x\ny\", b=@{out:\"f\"} );"},
+		{"bad escape", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a="\q", b=@{out:"f"} );`},
+		{"bad file binding dir", `TR t( in a, out b ) {}` + "\n" + `DV d->t( a=@{sideways:"x"}, b=@{out:"f"} );`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestErrorKinds(t *testing.T) {
+	_, err := Parse(`DV d->ghost( a="1" );`)
+	if !errors.Is(err, ErrUnknownTR) {
+		t.Errorf("want ErrUnknownTR, got %v", err)
+	}
+	_, err = Parse(`TR t( in a ) {}` + "\n" + `DV d->t( );`)
+	if !errors.Is(err, ErrUnboundArg) {
+		t.Errorf("want ErrUnboundArg, got %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, err := Parse(`TR t( in x, out y ) {}
+DV d1->t( x="1", y=@{out:"f1"} );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same TR again (as the web service re-generates it) plus a new DV.
+	b, err := Parse(`TR t( in x, out y ) {}
+DV d2->t( x="2", y=@{out:"f2"} );`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Derivations()) != 2 {
+		t.Errorf("derivations after merge = %v", a.Derivations())
+	}
+	// Conflicting DV names fail.
+	c, _ := Parse(`TR t( in x, out y ) {}
+DV d1->t( x="9", y=@{out:"f9"} );`)
+	if err := a.Merge(c); err == nil {
+		t.Error("conflicting derivation must fail merge")
+	}
+}
+
+func TestMultipleProducers(t *testing.T) {
+	src := `
+TR t( in x, out y ) {}
+DV d1->t( x=@{in:"a"}, y=@{out:"shared"} );
+DV d2->t( x=@{in:"b"}, y=@{out:"shared"} );
+`
+	cat, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := cat.Producers("shared"); len(p) != 2 {
+		t.Errorf("producers = %v, want 2", p)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if In.String() != "in" || Out.String() != "out" {
+		t.Error("direction labels wrong")
+	}
+}
+
+func TestLogicalNamesWithSpecialChars(t *testing.T) {
+	// LFNs like NGP9_F323-0927589.fit appear as strings; identifiers with
+	// dots/dashes also appear as DV names in the wild.
+	src := `TR t( in a, out b ) {}
+DV morph.NGP9-01->t( a=@{in:"NGP9_F323-0927589.fit"}, b=@{out:"x"} );`
+	cat, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cat.Derivation("morph.NGP9-01"); !ok {
+		t.Error("dotted/dashed DV name lost")
+	}
+}
+
+func buildBigCatalogSrc(n int) string {
+	var b strings.Builder
+	b.WriteString("TR galMorph( in redshift, in image, out galMorph ) {}\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "DV d%d->galMorph( redshift=\"0.05\", image=@{in:\"g%d.fit\"}, galMorph=@{out:\"g%d.txt\"} );\n", i, i, i)
+	}
+	return b.String()
+}
+
+func TestParseLargeCatalog(t *testing.T) {
+	cat, err := Parse(buildBigCatalogSrc(561)) // the paper's largest cluster
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Derivations()) != 561 {
+		t.Fatalf("derivations = %d", len(cat.Derivations()))
+	}
+}
+
+func BenchmarkParse561Derivations(b *testing.B) {
+	src := buildBigCatalogSrc(561)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFormat(b *testing.B) {
+	cat, err := Parse(buildBigCatalogSrc(561))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cat.Format()
+	}
+}

@@ -1,0 +1,125 @@
+package visual
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/fits"
+	"repro/internal/votable"
+	"repro/internal/wcs"
+)
+
+// backgroundLevels are the glyphs for increasing background surface
+// brightness (the "X-ray emission shown in blue" of Figure 7, rendered as
+// intensity shading).
+var backgroundLevels = []rune{' ', '.', ':', '-', '=', '%'}
+
+// SkyMapOverlay renders the full Figure 7 composition: the X-ray (or
+// optical) image as an intensity-shaded background, sampled through its own
+// WCS, with the measured galaxies overprinted by asymmetry class. The
+// background image must carry a TAN WCS.
+func SkyMapOverlay(bg *fits.Image, t *votable.Table, center wcs.SkyCoord,
+	radiusDeg float64, w, h int) (string, error) {
+	if t.ColumnIndex("ra") < 0 || t.ColumnIndex("dec") < 0 ||
+		t.ColumnIndex("asymmetry") < 0 || t.ColumnIndex("valid") < 0 {
+		return "", ErrBadTable
+	}
+	if w < 8 || h < 4 {
+		return "", errors.New("visual: map too small")
+	}
+	proj, ok := bg.WCS()
+	if !ok {
+		return "", errors.New("visual: background image has no WCS")
+	}
+
+	// Quantile thresholds over the background pixel values give robust
+	// shading regardless of the image's dynamic range.
+	thresholds := quantiles(bg.Data, len(backgroundLevels)-1)
+
+	grid := make([][]rune, h)
+	cosDec := math.Cos(center.Dec * wcs.Deg2Rad)
+	for y := 0; y < h; y++ {
+		grid[y] = make([]rune, w)
+		for x := 0; x < w; x++ {
+			// Cell center -> sky -> background pixel.
+			dx := (0.5 - (float64(x)+0.5)/float64(w)) * 2 * radiusDeg / cosDec
+			dy := (0.5 - (float64(y)+0.5)/float64(h)) * 2 * radiusDeg
+			sky := wcs.New(center.RA+dx, center.Dec+dy)
+			px, py, inFront := proj.SkyToPixel(sky)
+			glyph := backgroundLevels[0]
+			if inFront {
+				v := bg.At(int(px-1), int(py-1)) // WCS pixels are 1-based
+				glyph = backgroundLevels[levelOf(v, thresholds)]
+			}
+			grid[y][x] = glyph
+		}
+	}
+
+	// Overprint the galaxies.
+	for i := 0; i < t.NumRows(); i++ {
+		ra, ok1 := t.Float(i, "ra")
+		dec, ok2 := t.Float(i, "dec")
+		if !ok1 || !ok2 {
+			continue
+		}
+		dx := (ra - center.RA) * cosDec
+		if dx > 180 {
+			dx -= 360
+		}
+		if dx < -180 {
+			dx += 360
+		}
+		dy := dec - center.Dec
+		px := int((0.5 - dx/(2*radiusDeg)) * float64(w-1))
+		py := int((0.5 - dy/(2*radiusDeg)) * float64(h-1))
+		if px < 0 || px >= w || py < 0 || py >= h {
+			continue
+		}
+		asym, _ := t.Float(i, "asymmetry")
+		valid, _ := t.Bool(i, "valid")
+		grid[py][px] = glyphFor(asym, valid)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "X-ray + morphology overlay, %.3f deg across, centered on %s\n",
+		2*radiusDeg, center)
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	fmt.Fprintf(&b, "background shading: X-ray surface brightness; galaxies: %c A<0.05  %c<0.1  %c<0.2  %c>=0.2\n",
+		GlyphEarly, GlyphMid, GlyphLate, GlyphVeryAsy)
+	return b.String(), nil
+}
+
+// quantiles returns n ascending thresholds splitting vals into n+1 equal
+// population bins.
+func quantiles(vals []float64, n int) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	out := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		idx := i * len(sorted) / (n + 1)
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i-1] = sorted[idx]
+	}
+	return out
+}
+
+func levelOf(v float64, thresholds []float64) int {
+	level := 0
+	for _, th := range thresholds {
+		if v >= th {
+			level++
+		}
+	}
+	return level
+}

@@ -1,0 +1,139 @@
+package votable
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randTablePair builds two tables over a random shared key space.
+func randTablePair(rng *rand.Rand) (*Table, *Table) {
+	nKeys := 1 + rng.Intn(10)
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("K%d", i)
+	}
+	a := NewTable("a",
+		Field{Name: "id", Datatype: TypeChar},
+		Field{Name: "va", Datatype: TypeInt},
+	)
+	b := NewTable("b",
+		Field{Name: "id", Datatype: TypeChar},
+		Field{Name: "vb", Datatype: TypeInt},
+	)
+	for i := 0; i < rng.Intn(20); i++ {
+		_ = a.AppendRow(keys[rng.Intn(nKeys)], fmt.Sprint(i))
+	}
+	for i := 0; i < rng.Intn(20); i++ {
+		_ = b.AppendRow(keys[rng.Intn(nKeys)], fmt.Sprint(100+i))
+	}
+	return a, b
+}
+
+// TestJoinProperties checks, for random inputs:
+//   - |inner join| <= |a| * |b|;
+//   - |left join| >= |a| rows when b may not match, and every a-row appears
+//     at least once;
+//   - inner join rows are a subset of left join rows (by key pairing count).
+func TestJoinProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	f := func() bool {
+		a, b := randTablePair(rng)
+		inner, err := Join(a, b, "id", "id")
+		if err != nil {
+			return false
+		}
+		left, err := LeftJoin(a, b, "id", "id")
+		if err != nil {
+			return false
+		}
+		if inner.NumRows() > a.NumRows()*max(b.NumRows(), 1) {
+			return false
+		}
+		if left.NumRows() < a.NumRows() {
+			return false
+		}
+		// Count matches per key in b.
+		matches := map[string]int{}
+		for _, r := range b.Rows {
+			matches[r[0]]++
+		}
+		wantInner, wantLeft := 0, 0
+		for _, r := range a.Rows {
+			m := matches[r[0]]
+			wantInner += m
+			if m == 0 {
+				wantLeft++
+			} else {
+				wantLeft += m
+			}
+		}
+		return inner.NumRows() == wantInner && left.NumRows() == wantLeft
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeIdempotent: merging the same columns twice leaves the table
+// identical to merging once.
+func TestMergeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	f := func() bool {
+		dst, src := randTablePair(rng)
+		// Deduplicate src keys (MergeColumns requires unique keys).
+		seen := map[string]bool{}
+		uniq := src.Filter(func(i int) bool {
+			k := src.Rows[i][0]
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+			return true
+		})
+		if err := MergeColumns(dst, uniq, "id", "id", "vb"); err != nil {
+			return false
+		}
+		snapshot := dst.Clone()
+		if err := MergeColumns(dst, uniq, "id", "id", "vb"); err != nil {
+			return false
+		}
+		if dst.NumCols() != snapshot.NumCols() || dst.NumRows() != snapshot.NumRows() {
+			return false
+		}
+		for i := range dst.Rows {
+			for j := range dst.Rows[i] {
+				if dst.Rows[i][j] != snapshot.Rows[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilterPartition: a filter and its complement partition the rows.
+func TestFilterPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	f := func() bool {
+		a, _ := randTablePair(rng)
+		keep := func(i int) bool { v, _ := a.Int(i, "va"); return v%2 == 0 }
+		yes := a.Filter(keep)
+		no := a.Filter(func(i int) bool { return !keep(i) })
+		return yes.NumRows()+no.NumRows() == a.NumRows()
+	}
+	if err := quick.Check(func() bool { return f() }, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

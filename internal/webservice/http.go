@@ -1,0 +1,79 @@
+package webservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/votable"
+)
+
+// Handler exposes the compute service over HTTP, following the asynchronous
+// protocol of §4.3: the submission response carries the status URL; the
+// client polls it until a "job completed" message appears together with the
+// result URL.
+//
+//	POST /galmorph?cluster=NAME   body: VOTable       -> text: status URL path
+//	GET  /status?id=req-000001                        -> JSON Status
+//	GET  /result?lfn=NAME.vot                          -> VOTable
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/galmorph", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		cluster := req.URL.Query().Get("cluster")
+		if cluster == "" {
+			http.Error(w, "missing cluster", http.StatusBadRequest)
+			return
+		}
+		tab, err := votable.ReadTable(req.Body)
+		if err != nil {
+			http.Error(w, "bad VOTable: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := s.Submit(tab, cluster)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintf(w, "/status?id=%s", id)
+	})
+
+	mux.HandleFunc("/status", func(w http.ResponseWriter, req *http.Request) {
+		st, err := s.Status(req.URL.Query().Get("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		resp := struct {
+			Status
+			ResultURL string `json:",omitempty"`
+		}{Status: st}
+		if st.State == StateCompleted {
+			resp.ResultURL = "/result?lfn=" + st.ResultLFN
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+
+	mux.HandleFunc("/result", func(w http.ResponseWriter, req *http.Request) {
+		lfn := req.URL.Query().Get("lfn")
+		if lfn == "" {
+			http.Error(w, "missing lfn", http.StatusBadRequest)
+			return
+		}
+		tab, err := s.ResultTable(lfn)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml")
+		_ = votable.WriteTable(w, tab)
+	})
+
+	return mux
+}

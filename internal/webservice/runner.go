@@ -1,0 +1,194 @@
+package webservice
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/chimera"
+	"repro/internal/dag"
+	"repro/internal/dagman"
+	"repro/internal/fits"
+	"repro/internal/morphology"
+	"repro/internal/pegasus"
+	"repro/internal/rls"
+	"repro/internal/vdl"
+	"repro/internal/votable"
+)
+
+// Execution cost model (model time, charged to the discrete-event clock).
+// The paper reports per-galaxy computations as "fairly light" (§2); a few
+// seconds per image on 2003 hardware is the right order.
+const (
+	galMorphBaseCost = 2 * time.Second
+	galMorphPerMB    = 1500 * time.Millisecond
+	concatBaseCost   = 500 * time.Millisecond
+	concatPerRow     = 5 * time.Millisecond
+	registerCost     = 100 * time.Millisecond
+)
+
+// errInjected marks fault-injection failures (transient; DAGMan retries).
+var errInjected = errors.New("webservice: injected transient failure")
+
+// runner builds the dagman Runner that gives concrete-workflow nodes their
+// behaviour: transfers move bytes through GridFTP, registrations publish
+// replicas, galMorph jobs measure morphology, and the concat job assembles
+// the output VOTable.
+func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats) dagman.Runner {
+	return func(n *dag.Node, attempt int) (dagman.Spec, error) {
+		switch n.Type {
+		case pegasus.NodeTransfer:
+			return s.transferSpec(n, stats), nil
+		case pegasus.NodeRegister:
+			return s.registerSpec(n), nil
+		case pegasus.NodeCompute:
+			switch n.Attr(chimera.AttrTransformation) {
+			case "galMorph":
+				return s.galMorphSpec(n, cat, rng, stats), nil
+			case "concatVOT":
+				return s.concatSpec(n, cat), nil
+			default:
+				return dagman.Spec{}, fmt.Errorf("webservice: unknown transformation %q",
+					n.Attr(chimera.AttrTransformation))
+			}
+		default:
+			return dagman.Spec{}, fmt.Errorf("webservice: unknown node type %q", n.Type)
+		}
+	}
+}
+
+func (s *Service) transferSpec(n *dag.Node, stats *RunStats) dagman.Spec {
+	src := n.Attr(pegasus.AttrSrcURL)
+	dst := n.Attr(pegasus.AttrDstURL)
+	return dagman.Spec{
+		Cost: s.cfg.GridFTP.Estimate(src, dst),
+		Run: func() error {
+			// Per-request accounting happens here rather than by diffing
+			// the global GridFTP counters, so concurrent requests do not
+			// pollute each other's numbers. The runner executes in this
+			// request's single-threaded DAGMan loop.
+			res, err := s.cfg.GridFTP.Transfer(src, dst)
+			if err != nil {
+				return err
+			}
+			stats.FilesStaged++
+			stats.BytesStaged += res.Bytes
+			return nil
+		},
+	}
+}
+
+func (s *Service) registerSpec(n *dag.Node) dagman.Spec {
+	lfn := n.Attr(pegasus.AttrLFN)
+	site := n.Attr(pegasus.AttrSite)
+	pfn := n.Attr(pegasus.AttrPFN)
+	return dagman.Spec{
+		Cost: registerCost,
+		Run: func() error {
+			return s.cfg.RLS.Register(lfn, rls.PFN{Site: site, URL: pfn})
+		},
+	}
+}
+
+// galMorphSpec runs one galaxy's morphology measurement at its mapped site.
+func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, stats *RunStats) dagman.Spec {
+	site := n.Attr(pegasus.AttrSite)
+	inputs := chimera.SplitLFNs(n.Attr(chimera.AttrInputs))
+	outputs := chimera.SplitLFNs(n.Attr(chimera.AttrOutputs))
+	dvName := n.Attr(chimera.AttrDerivation)
+
+	// Cost scales with the staged image size.
+	var cost = galMorphBaseCost
+	if len(inputs) == 1 {
+		sz := s.cfg.GridFTP.Store(site).Size(inputs[0])
+		cost += time.Duration(float64(sz) / 1e6 * float64(galMorphPerMB))
+	}
+
+	return dagman.Spec{
+		Cost: cost,
+		Run: func() error {
+			if s.cfg.FailureRate > 0 && rng.Float64() < s.cfg.FailureRate {
+				return errInjected
+			}
+			if len(inputs) != 1 || len(outputs) != 1 {
+				return fmt.Errorf("webservice: galMorph expects 1 input and 1 output, got %v -> %v", inputs, outputs)
+			}
+			dv, ok := cat.Derivation(dvName)
+			if !ok {
+				return fmt.Errorf("webservice: derivation %q vanished", dvName)
+			}
+			store := s.cfg.GridFTP.Store(site)
+			raw, err := store.Get(inputs[0])
+			if err != nil {
+				return err
+			}
+			galaxyID := strings.TrimSuffix(inputs[0], ".fit")
+
+			res := GalMorphResult{ID: galaxyID}
+			im, err := fits.Decode(bytes.NewReader(raw))
+			if err == nil {
+				var p morphology.Params
+				p, err = morphology.Measure(im, morphConfigFromDV(dv))
+				if err == nil && p.Valid {
+					res.Valid = true
+					res.SurfaceBrightness = p.SurfaceBrightness
+					res.Concentration = p.Concentration
+					res.Asymmetry = p.Asymmetry
+				}
+			}
+			if err != nil {
+				// The paper's fault-tolerance design (§4.3.1 item 4): flag
+				// the galaxy invalid instead of failing the workflow —
+				// unless the strict-faults ablation asks for the rejected
+				// alternative.
+				if s.cfg.StrictFaults {
+					return err
+				}
+				res.Valid = false
+				res.Reason = err.Error()
+				stats.InvalidRows++
+			}
+			return store.Put(outputs[0], encodeResult(res))
+		},
+	}
+}
+
+// concatSpec assembles the per-galaxy results into the output VOTable.
+func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog) dagman.Spec {
+	site := n.Attr(pegasus.AttrSite)
+	inputs := chimera.SplitLFNs(n.Attr(chimera.AttrInputs))
+	outputs := chimera.SplitLFNs(n.Attr(chimera.AttrOutputs))
+	cluster := strings.TrimSuffix(n.Attr(chimera.AttrDerivation), ".vot")
+	cluster = strings.TrimPrefix(cluster, "collect-")
+
+	return dagman.Spec{
+		Cost: concatBaseCost + time.Duration(len(inputs))*concatPerRow,
+		Run: func() error {
+			if len(outputs) != 1 {
+				return fmt.Errorf("webservice: concat expects 1 output, got %v", outputs)
+			}
+			store := s.cfg.GridFTP.Store(site)
+			results := make([]GalMorphResult, 0, len(inputs))
+			for _, lfn := range inputs {
+				data, err := store.Get(lfn)
+				if err != nil {
+					return err
+				}
+				r, err := decodeResult(data)
+				if err != nil {
+					return err
+				}
+				results = append(results, r)
+			}
+			tab := resultsToVOTable(cluster, results)
+			var buf bytes.Buffer
+			if err := votable.WriteTable(&buf, tab); err != nil {
+				return err
+			}
+			return store.Put(outputs[0], buf.Bytes())
+		},
+	}
+}

@@ -1,0 +1,639 @@
+// Package webservice implements the Galaxy Morphology compute service of the
+// paper's §4.3: Pegasus exposed as an asynchronous web service. A request
+// carries a VOTable of cluster galaxies (positions, redshifts, image URLs);
+// the service
+//
+//  1. assigns a unique request identifier and immediately returns a status
+//     URL the client polls (§4.3.1 item 2: asynchronous interface);
+//  2. short-circuits if the output VOTable is already registered in the RLS
+//     (Figure 6 step 2);
+//  3. downloads every galaxy image into a local cache and registers it in
+//     the RLS — so later requests skip the slow SIA fetch and use GridFTP
+//     (§4.3.1 item 3: data caching);
+//  4. transforms the VOTable into Chimera VDL — a transformation definition
+//     plus one derivation per galaxy and a concatenating derivation (the
+//     XSLT-stylesheet step of §4.3);
+//  5. has Chimera compose the abstract workflow and Pegasus reduce and
+//     concretize it;
+//  6. executes the concrete workflow with DAGMan over simulated Condor
+//     pools, computing the three morphology parameters per galaxy, with a
+//     per-galaxy validity flag so bad images do not take down the whole
+//     experiment (§4.3.1 item 4: fault tolerance);
+//  7. concatenates results into the output VOTable, stores it, registers it
+//     in the RLS, and publishes its URL on the status page.
+package webservice
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chimera"
+	"repro/internal/condor"
+	"repro/internal/dagman"
+	"repro/internal/fits"
+	"repro/internal/gridftp"
+	"repro/internal/morphology"
+	"repro/internal/myproxy"
+	"repro/internal/pegasus"
+	"repro/internal/rls"
+	"repro/internal/tcat"
+	"repro/internal/vdl"
+	"repro/internal/votable"
+)
+
+// State is a request's lifecycle state.
+type State string
+
+// Request states published on the status URL.
+const (
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+)
+
+// RunStats aggregates what one request cost — the quantities §5 of the paper
+// reports for its campaign.
+type RunStats struct {
+	Galaxies      int
+	ComputeJobs   int
+	PrunedJobs    int
+	TransferNodes int
+	RegisterNodes int
+	ImagesFetched int           // downloaded via SIA this request (cache misses)
+	ImagesCached  int           // already in the GridFTP cache
+	SIARequests   int           // HTTP requests made to image services
+	SIABytes      int64         // bytes received from image services
+	SIAModelTime  time.Duration // modelled wide-area cost of those requests
+	FilesStaged   int           // GridFTP transfers executed
+	BytesStaged   int64         // GridFTP bytes moved
+	InvalidRows   int           // galaxies flagged invalid by the validity flag
+	Makespan      time.Duration // model execution time of the concrete DAG
+	ReusedOutput  bool          // whole result served from the RLS
+}
+
+// Wide-area SIA cost model (2003-era numbers): each HTTP request pays a
+// round-trip latency; payload bytes flow at the archive's outbound rate.
+// This is the per-galaxy overhead the paper calls "the major bottleneck in
+// the application's operation" (§4.2).
+const (
+	siaRequestLatency = 300 * time.Millisecond
+	siaBandwidthBps   = 1e6 // 1 MB/s
+)
+
+// Status is what the polling URL returns. JobsDone/JobsTotal stream the
+// workflow's progress (DAGMan monitoring, Figure 2 step 15) so the portal
+// can show intermediate status messages, as §4.3.1 item 2 intends.
+type Status struct {
+	ID        string
+	Cluster   string
+	State     State
+	Message   string
+	ResultLFN string
+	JobsDone  int
+	JobsTotal int
+	Stats     RunStats
+}
+
+// Config wires the service to its Grid substrate.
+type Config struct {
+	RLS     *rls.RLS
+	TC      *tcat.Catalog
+	GridFTP *gridftp.Service
+	Pools   []condor.Pool
+
+	// CacheSite is where downloaded images and the final tables live
+	// (the web server's local storage; "isi" in the paper's deployment).
+	CacheSite string
+	// HTTPClient fetches galaxy images from their acref URLs.
+	HTTPClient *http.Client
+	// Seed drives site selection and fault injection deterministically.
+	Seed int64
+	// FailureRate injects transient per-job failures (ablation A4).
+	FailureRate float64
+	// MaxRetries is DAGMan's retry budget per job.
+	MaxRetries int
+	// RescueRounds resubmits the rescue DAG up to this many times after a
+	// permanent workflow failure (DAGMan's rescue-file recovery).
+	RescueRounds int
+	// StrictFaults, when set, turns bad-image measurements into job
+	// failures instead of validity-flagged rows (the rejected design of
+	// §4.3.1 item 4, for the ablation).
+	StrictFaults bool
+	// Proxy, when set, supplies the Grid credential each computation runs
+	// under; requests are refused when no valid proxy is available
+	// (§4.3.1 item 5 — the MyProxy integration the paper plans; leaving it
+	// nil reproduces the prototype's server-stored-credential behaviour).
+	Proxy func() (myproxy.Proxy, error)
+	// BatchFetch pulls galaxy images through the batched cutout interface
+	// ("this could be sped up tremendously if one could query for all
+	// images at once", §4.2) when the acrefs support it, instead of one
+	// HTTP request per galaxy.
+	BatchFetch bool
+}
+
+// batchFetchSize bounds ids per batch request (URL-length safety).
+const batchFetchSize = 64
+
+// Service is the compute service. Create with New.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	requests map[string]*Status
+	nextID   int
+}
+
+// Errors returned by the service.
+var (
+	ErrBadTable   = errors.New("webservice: input table must have id, acref columns")
+	ErrNoGalaxies = errors.New("webservice: input table has no rows")
+	ErrNotFound   = errors.New("webservice: unknown request id")
+)
+
+// New validates the configuration and builds a service.
+func New(cfg Config) (*Service, error) {
+	if cfg.RLS == nil || cfg.TC == nil || cfg.GridFTP == nil || len(cfg.Pools) == 0 {
+		return nil, errors.New("webservice: RLS, TC, GridFTP and Pools are required")
+	}
+	if cfg.CacheSite == "" {
+		cfg.CacheSite = "isi"
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{}
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	return &Service{
+		cfg:      cfg,
+		requests: map[string]*Status{},
+	}, nil
+}
+
+// Submit registers a new request and starts the computation in the
+// background, returning the request ID the status URL embeds.
+func (s *Service) Submit(tab *votable.Table, cluster string) (string, error) {
+	if err := validateInput(tab); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("req-%06d", s.nextID)
+	st := &Status{ID: id, Cluster: cluster, State: StateRunning, Message: "accepted"}
+	s.requests[id] = st
+	s.mu.Unlock()
+
+	go func() {
+		out, stats, err := s.ComputeWithProgress(tab, cluster, func(done, total int) {
+			s.mu.Lock()
+			st.JobsDone = done
+			st.JobsTotal = total
+			s.mu.Unlock()
+		})
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st.Stats = stats
+		if err != nil {
+			st.State = StateFailed
+			st.Message = err.Error()
+			return
+		}
+		st.State = StateCompleted
+		st.Message = "job completed"
+		st.ResultLFN = out
+	}()
+	return id, nil
+}
+
+// Pools returns the names of the Condor pools the service submits to,
+// in configuration order.
+func (s *Service) Pools() []string {
+	out := make([]string, len(s.cfg.Pools))
+	for i, p := range s.cfg.Pools {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Status returns a snapshot of a request's state.
+func (s *Service) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.requests[id]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return *st, nil
+}
+
+func validateInput(tab *votable.Table) error {
+	if tab == nil || tab.ColumnIndex("id") < 0 || tab.ColumnIndex("acref") < 0 {
+		return ErrBadTable
+	}
+	if tab.NumRows() == 0 {
+		return ErrNoGalaxies
+	}
+	return nil
+}
+
+// outputLFN names the result table after the cluster, as §4.3 describes.
+func outputLFN(cluster string) string { return cluster + ".vot" }
+
+// requestSeed derives a deterministic, order-independent seed for one
+// cluster's computation.
+func (s *Service) requestSeed(cluster string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(cluster))
+	return s.cfg.Seed ^ int64(h.Sum64())
+}
+
+// Compute runs the full §4.3 pipeline synchronously and returns the output
+// LFN. The portal normally reaches it through Submit/Status polling.
+func (s *Service) Compute(tab *votable.Table, cluster string) (string, RunStats, error) {
+	return s.ComputeWithProgress(tab, cluster, nil)
+}
+
+// ComputeWithProgress is Compute with a workflow-progress callback
+// (done/total concrete nodes), fed from DAGMan's monitoring events.
+func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
+	onProgress func(done, total int)) (string, RunStats, error) {
+	var stats RunStats
+	if err := validateInput(tab); err != nil {
+		return "", stats, err
+	}
+	if s.cfg.Proxy != nil {
+		proxy, err := s.cfg.Proxy()
+		if err != nil {
+			return "", stats, fmt.Errorf("webservice: credential retrieval: %w", err)
+		}
+		if !proxy.Valid(time.Now()) {
+			return "", stats, errors.New("webservice: Grid proxy expired; delegate a fresh credential")
+		}
+	}
+	stats.Galaxies = tab.NumRows()
+	outLFN := outputLFN(cluster)
+
+	// Step 2: output already materialized? Serve it straight from the RLS.
+	if s.cfg.RLS.Exists(outLFN) {
+		stats.ReusedOutput = true
+		return outLFN, stats, nil
+	}
+
+	// Step 3: stage galaxy images into the local cache.
+	if err := s.cacheImages(tab, &stats); err != nil {
+		return "", stats, err
+	}
+
+	// Step 4: VOTable -> VDL (rendered to text and re-parsed, the analog of
+	// the XSLT stylesheet producing a derivation file).
+	vdlText, err := buildVDL(tab, cluster)
+	if err != nil {
+		return "", stats, err
+	}
+	cat, err := vdl.Parse(vdlText)
+	if err != nil {
+		return "", stats, fmt.Errorf("webservice: generated VDL invalid: %w", err)
+	}
+
+	// Step 5: Chimera composes the abstract workflow for the output table.
+	wf, err := chimera.Compose(cat, chimera.Request{LFNs: []string{outLFN}})
+	if err != nil {
+		return "", stats, err
+	}
+
+	// Step 6: Pegasus plans... The per-request seed derives from the
+	// cluster name (not a shared stream), so concurrent requests stay
+	// individually deterministic.
+	seed := s.requestSeed(cluster)
+	plan, err := pegasus.Map(wf, pegasus.Config{
+		RLS:             s.cfg.RLS,
+		TC:              s.cfg.TC,
+		Rand:            rand.New(rand.NewSource(seed)),
+		OutputSite:      s.cfg.CacheSite,
+		RegisterOutputs: true,
+	})
+	if err != nil {
+		return "", stats, err
+	}
+	pstats := plan.Stats()
+	stats.ComputeJobs = pstats.ComputeJobs
+	stats.PrunedJobs = pstats.PrunedJobs
+	stats.TransferNodes = pstats.TransferNodes
+	stats.RegisterNodes = pstats.RegisterNodes
+
+	// ... and DAGMan executes on the Condor pools, resubmitting the rescue
+	// DAG when configured.
+	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats)
+	opts := dagman.Options{MaxRetries: s.cfg.MaxRetries}
+	if onProgress != nil {
+		total := plan.Concrete.Len()
+		done := 0
+		onProgress(0, total)
+		opts.Monitor = func(e dagman.Event) {
+			if e.Kind == dagman.EventCompleted {
+				done++
+				onProgress(done, total)
+			}
+		}
+	}
+	newSim := func() (*condor.Simulator, error) {
+		return condor.NewSimulator(s.cfg.Pools...)
+	}
+	rep, err := dagman.ExecuteWithRescue(plan.Concrete, runner, newSim, opts, s.cfg.RescueRounds)
+	if err != nil {
+		return "", stats, err
+	}
+	stats.Makespan = rep.Makespan
+	if !rep.Succeeded() {
+		return "", stats, fmt.Errorf("webservice: workflow failed: %d failed, %d unrun", rep.Failed, rep.Unrun)
+	}
+	if !s.cfg.RLS.Exists(outLFN) {
+		return "", stats, fmt.Errorf("webservice: workflow completed but %q not registered", outLFN)
+	}
+	return outLFN, stats, nil
+}
+
+// ResultTable fetches a completed result table from the cache store.
+func (s *Service) ResultTable(lfn string) (*votable.Table, error) {
+	data, err := s.cfg.GridFTP.Store(s.cfg.CacheSite).Get(lfn)
+	if err != nil {
+		return nil, err
+	}
+	return votable.ReadTable(bytes.NewReader(data))
+}
+
+// cacheImages downloads every galaxy image not yet present in the cache and
+// registers it in the RLS, one SIA request per galaxy (the paper's
+// bottleneck) or via the batched cutout interface when configured.
+func (s *Service) cacheImages(tab *votable.Table, stats *RunStats) error {
+	type missing struct{ id, acref string }
+	var todo []missing
+	for i := 0; i < tab.NumRows(); i++ {
+		id := tab.Cell(i, "id")
+		if s.cfg.RLS.Exists(id + ".fit") {
+			stats.ImagesCached++
+			continue
+		}
+		todo = append(todo, missing{id: id, acref: tab.Cell(i, "acref")})
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+
+	if s.cfg.BatchFetch {
+		// Group by cutout-service base; acrefs look like
+		// "<base>/cutout?id=<galaxy>".
+		groups := map[string][]string{}
+		var singles []missing
+		for _, m := range todo {
+			base, id, ok := strings.Cut(m.acref, "/cutout?id=")
+			if !ok || id != m.id {
+				singles = append(singles, m)
+				continue
+			}
+			groups[base] = append(groups[base], m.id)
+		}
+		for base, ids := range groups {
+			for lo := 0; lo < len(ids); lo += batchFetchSize {
+				hi := lo + batchFetchSize
+				if hi > len(ids) {
+					hi = len(ids)
+				}
+				if err := s.cacheBatch(base, ids[lo:hi], stats); err != nil {
+					return err
+				}
+			}
+		}
+		todo = singles
+	}
+
+	for _, m := range todo {
+		data, err := s.fetchURL(m.acref)
+		if err != nil {
+			return err
+		}
+		chargeSIA(stats, len(data))
+		if err := s.storeImage(m.id+".fit", data); err != nil {
+			return err
+		}
+		stats.ImagesFetched++
+	}
+	return nil
+}
+
+// chargeSIA accounts one image-service request in the wide-area cost model.
+func chargeSIA(stats *RunStats, nbytes int) {
+	stats.SIARequests++
+	stats.SIABytes += int64(nbytes)
+	stats.SIAModelTime += siaRequestLatency +
+		time.Duration(float64(nbytes)/siaBandwidthBps*float64(time.Second))
+}
+
+// cacheBatch pulls one /cutoutbatch response and stores every image.
+func (s *Service) cacheBatch(base string, ids []string, stats *RunStats) error {
+	u := base + "/cutoutbatch?ids=" + strings.Join(ids, ",")
+	data, err := s.fetchURL(u)
+	if err != nil {
+		return err
+	}
+	chargeSIA(stats, len(data))
+	segments, err := fits.SplitStream(data)
+	if err != nil {
+		return fmt.Errorf("webservice: batch %s: %w", u, err)
+	}
+	if len(segments) != len(ids) {
+		return fmt.Errorf("webservice: batch %s returned %d images for %d ids",
+			u, len(segments), len(ids))
+	}
+	for i, seg := range segments {
+		if err := s.storeImage(ids[i]+".fit", seg); err != nil {
+			return err
+		}
+		stats.ImagesFetched++
+	}
+	return nil
+}
+
+func (s *Service) fetchURL(u string) ([]byte, error) {
+	resp, err := s.cfg.HTTPClient.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("webservice: fetch %s: %w", u, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("webservice: fetch %s: %w", u, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("webservice: fetch %s: status %d", u, resp.StatusCode)
+	}
+	return data, nil
+}
+
+func (s *Service) storeImage(lfn string, data []byte) error {
+	if err := s.cfg.GridFTP.Store(s.cfg.CacheSite).Put(lfn, data); err != nil {
+		return err
+	}
+	return s.cfg.RLS.Register(lfn, rls.PFN{
+		Site: s.cfg.CacheSite,
+		URL:  gridftp.URL(s.cfg.CacheSite, lfn),
+	})
+}
+
+// buildVDL renders the derivation file for one request: the galMorph and
+// concatVOT transformations, one galMorph derivation per galaxy with the
+// paper's parameter set, and a concatenating derivation producing the output
+// VOTable.
+func buildVDL(tab *votable.Table, cluster string) (string, error) {
+	var b strings.Builder
+	b.WriteString("TR galMorph( in redshift, in pixScale, in zeroPoint, in Ho, in om, in flat, in image, out galMorph ) { compute CAS parameters }\n")
+
+	n := tab.NumRows()
+	b.WriteString("TR concatVOT( ")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "in p%d, ", i)
+	}
+	b.WriteString("out table ) { concatenate per-galaxy results }\n")
+
+	for i := 0; i < n; i++ {
+		id := tab.Cell(i, "id")
+		z := tab.Cell(i, "z")
+		if strings.TrimSpace(z) == "" {
+			z = "0"
+		}
+		fmt.Fprintf(&b,
+			"DV m-%s->galMorph( redshift=%q, image=@{in:%q}, pixScale=\"2.831933107035062E-4\", zeroPoint=\"27.8\", Ho=\"100\", om=\"0.3\", flat=\"1\", galMorph=@{out:%q} );\n",
+			id, z, id+".fit", id+".txt")
+	}
+
+	fmt.Fprintf(&b, "DV collect-%s->concatVOT( ", cluster)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "p%d=@{in:%q}, ", i, tab.Cell(i, "id")+".txt")
+	}
+	fmt.Fprintf(&b, "table=@{out:%q} );\n", outputLFN(cluster))
+	return b.String(), nil
+}
+
+// --- per-galaxy result encoding ---------------------------------------------
+
+// GalMorphResult is the payload of one <galaxy>.txt file.
+type GalMorphResult struct {
+	ID                string
+	SurfaceBrightness float64
+	Concentration     float64
+	Asymmetry         float64
+	Valid             bool
+	Reason            string
+}
+
+// encodeResult renders a result file ("key value" lines).
+func encodeResult(r GalMorphResult) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "id %s\n", r.ID)
+	fmt.Fprintf(&b, "surface_brightness %g\n", r.SurfaceBrightness)
+	fmt.Fprintf(&b, "concentration %g\n", r.Concentration)
+	fmt.Fprintf(&b, "asymmetry %g\n", r.Asymmetry)
+	fmt.Fprintf(&b, "valid %t\n", r.Valid)
+	if r.Reason != "" {
+		fmt.Fprintf(&b, "reason %s\n", strings.ReplaceAll(r.Reason, "\n", " "))
+	}
+	return b.Bytes()
+}
+
+// decodeResult parses a result file.
+func decodeResult(data []byte) (GalMorphResult, error) {
+	var r GalMorphResult
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, found := strings.Cut(line, " ")
+		if !found {
+			return r, fmt.Errorf("webservice: bad result line %q", line)
+		}
+		switch key {
+		case "id":
+			r.ID = val
+		case "surface_brightness":
+			fmt.Sscanf(val, "%g", &r.SurfaceBrightness)
+		case "concentration":
+			fmt.Sscanf(val, "%g", &r.Concentration)
+		case "asymmetry":
+			fmt.Sscanf(val, "%g", &r.Asymmetry)
+		case "valid":
+			r.Valid = val == "true"
+		case "reason":
+			r.Reason = val
+		}
+	}
+	if r.ID == "" {
+		return r, errors.New("webservice: result file missing id")
+	}
+	return r, nil
+}
+
+// ResultFields is the column set of the computed VOTable.
+var ResultFields = []votable.Field{
+	{Name: "id", Datatype: votable.TypeChar, UCD: "meta.id;meta.main"},
+	{Name: "surface_brightness", Datatype: votable.TypeDouble, Unit: "mag/arcsec2"},
+	{Name: "concentration", Datatype: votable.TypeDouble},
+	{Name: "asymmetry", Datatype: votable.TypeDouble},
+	{Name: "valid", Datatype: votable.TypeBoolean},
+}
+
+// resultsToVOTable assembles the output table, sorted by galaxy ID.
+func resultsToVOTable(cluster string, results []GalMorphResult) *votable.Table {
+	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
+	t := votable.NewTable(cluster+"_morphology", ResultFields...)
+	t.Description = "galaxy morphology parameters computed by the NVO compute service"
+	t.SetParam(votable.Param{Name: "cluster", Datatype: votable.TypeChar, Value: cluster})
+	t.SetParam(votable.Param{Name: "n_galaxies", Datatype: votable.TypeInt,
+		Value: fmt.Sprint(len(results))})
+	for _, r := range results {
+		valid := "F"
+		if r.Valid {
+			valid = "T"
+		}
+		_ = t.AppendRow(r.ID,
+			votable.FormatFloat(r.SurfaceBrightness),
+			votable.FormatFloat(r.Concentration),
+			votable.FormatFloat(r.Asymmetry),
+			valid)
+	}
+	return t
+}
+
+// morphConfigFromDV reconstructs the measurement configuration from a
+// derivation's scalar bindings.
+func morphConfigFromDV(dv *vdl.Derivation) morphology.Config {
+	cfg := morphology.DefaultConfig(0)
+	if b, ok := dv.Bindings["redshift"]; ok && !b.IsFile {
+		fmt.Sscanf(b.Value, "%g", &cfg.Redshift)
+	}
+	if b, ok := dv.Bindings["pixScale"]; ok && !b.IsFile {
+		fmt.Sscanf(strings.ReplaceAll(b.Value, "E", "e"), "%g", &cfg.PixScaleDeg)
+	}
+	if b, ok := dv.Bindings["zeroPoint"]; ok && !b.IsFile {
+		fmt.Sscanf(b.Value, "%g", &cfg.ZeroPoint)
+	}
+	if b, ok := dv.Bindings["Ho"]; ok && !b.IsFile {
+		fmt.Sscanf(b.Value, "%g", &cfg.Cosmology.H0)
+	}
+	if b, ok := dv.Bindings["om"]; ok && !b.IsFile {
+		fmt.Sscanf(b.Value, "%g", &cfg.Cosmology.OmegaM)
+	}
+	if b, ok := dv.Bindings["flat"]; ok && !b.IsFile {
+		cfg.Cosmology.Flat = b.Value != "0"
+	}
+	return cfg
+}
