@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet chaos verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The end-to-end chaos campaign: eight clusters under seeded fault
+# schedules, byte-identical science output required.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v .
+
+# Full verification gate: vet, build, the race-enabled suite, and the
+# chaos campaign under the race detector.
+verify: vet build
+	$(GO) test -race ./...
+	$(MAKE) chaos

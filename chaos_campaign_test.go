@@ -1,0 +1,270 @@
+package repro
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/dagman"
+	"repro/internal/faults"
+	"repro/internal/gridftp"
+	"repro/internal/services"
+	"repro/internal/skysim"
+	"repro/internal/votable"
+)
+
+// chaosSpecs is the §5 eight-cluster campaign scaled down so the chaos
+// matrix (fault-free + faulted + determinism re-runs) stays fast.
+func chaosSpecs(n int) []skysim.Spec {
+	specs := skysim.StandardClusters()[:n]
+	for i := range specs {
+		specs[i].NumGalaxies = 10 + 3*i
+	}
+	return specs
+}
+
+// chaosTestbed wires a resilient testbed (retry policy, circuit breakers,
+// mirrored image cache) around the given injector; nil runs fault-free.
+func chaosTestbed(t *testing.T, clusters int, inj *faults.Injector) *core.Testbed {
+	t.Helper()
+	tb, err := core.NewTestbed(core.Config{
+		ClusterSpecs: chaosSpecs(clusters),
+		Seed:         7,
+		Resilience:   true,
+		MirrorSite:   "mirror",
+		Faults:       inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// renderTables serializes every cluster's merged result table, keyed by
+// cluster name, for byte-level comparison between campaigns.
+func renderTables(t *testing.T, rep *core.CampaignReport) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, c := range rep.Clusters {
+		var b bytes.Buffer
+		if err := votable.WriteTable(&b, c.Table); err != nil {
+			t.Fatal(err)
+		}
+		out[c.Cluster] = b.Bytes()
+	}
+	return out
+}
+
+// recoverableSchedule is a fault load the resilience stack must absorb
+// completely: transient worker deaths across all Condor pools, plus an
+// outage window on the image cache's GridFTP server long enough to trip its
+// circuit and force transfers over to the mirror replicas.
+func recoverableSchedule() *faults.Injector {
+	return faults.New(42,
+		faults.Rule{Name: condor.OpExec, Kind: faults.KindTransient, Probability: 0.08},
+		faults.Rule{Name: gridftp.OpTransfer, Site: "isi", Kind: faults.KindSiteDown, From: 3, Until: 9},
+	)
+}
+
+// TestChaosCampaignRecoverable runs the eight-cluster campaign fault-free
+// and again under a recoverable fault schedule, and requires the faulted run
+// to (a) actually exercise retries, replica failover and the circuit
+// breaker, and (b) still produce byte-identical science output.
+func TestChaosCampaignRecoverable(t *testing.T) {
+	clean := chaosTestbed(t, 8, nil)
+	cleanRep, err := core.RunCampaign(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nil injector must be a true no-op: no retries, failovers or opens.
+	for _, c := range cleanRep.Clusters {
+		if c.Retries != 0 || c.Failovers != 0 || len(c.Degraded) != 0 {
+			t.Fatalf("%s: fault-free run reports retries=%d failovers=%d degraded=%v",
+				c.Cluster, c.Retries, c.Failovers, c.Degraded)
+		}
+	}
+	if n := clean.Breakers.TotalOpens(); n != 0 {
+		t.Fatalf("fault-free run opened %d circuits", n)
+	}
+
+	inj := recoverableSchedule()
+	chaos := chaosTestbed(t, 8, inj)
+	chaosRep, err := core.RunCampaign(chaos)
+	if err != nil {
+		t.Fatalf("recoverable faults must not fail the campaign: %v", err)
+	}
+
+	if inj.Injected() == 0 {
+		t.Fatal("schedule injected no faults; the chaos run tested nothing")
+	}
+	if inj.CountKind(faults.KindSiteDown) == 0 {
+		t.Error("cache-site outage window never fired")
+	}
+	var retries, failovers int
+	for _, c := range chaosRep.Clusters {
+		retries += c.Retries
+		failovers += c.Failovers
+		if len(c.Degraded) != 0 {
+			t.Errorf("%s: no archive faults scheduled, yet degraded %v", c.Cluster, c.Degraded)
+		}
+	}
+	if retries == 0 {
+		t.Error("faulted campaign never retried a DAG node")
+	}
+	if failovers == 0 {
+		t.Error("faulted campaign never failed a transfer over to a mirror replica")
+	}
+	if chaos.Breakers.TotalOpens() == 0 {
+		t.Error("cache-site outage never opened a circuit")
+	}
+
+	// The science must not notice the chaos: identical tables, identical
+	// Figure 7 correlations.
+	want := renderTables(t, cleanRep)
+	got := renderTables(t, chaosRep)
+	for name, w := range want {
+		if !bytes.Equal(got[name], w) {
+			t.Errorf("%s: result table differs between fault-free and faulted runs", name)
+		}
+	}
+	for i := range cleanRep.Clusters {
+		if a, b := cleanRep.Clusters[i].AsymmetryRadiusRho, chaosRep.Clusters[i].AsymmetryRadiusRho; a != b {
+			t.Errorf("%s: rho %v (fault-free) != %v (faulted)",
+				cleanRep.Clusters[i].Cluster, a, b)
+		}
+	}
+}
+
+// TestChaosSameSeedSameSchedule replays the identical faulted campaign twice
+// and requires the two injectors to have produced the exact same fault
+// history — the property that makes a chaos failure reproducible.
+func TestChaosSameSeedSameSchedule(t *testing.T) {
+	run := func() (*faults.Injector, map[string][]byte) {
+		inj := recoverableSchedule()
+		tb := chaosTestbed(t, 2, inj)
+		rep, err := core.RunCampaign(tb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj, renderTables(t, rep)
+	}
+	injA, tabA := run()
+	injB, tabB := run()
+	if injA.Injected() == 0 {
+		t.Fatal("schedule injected no faults")
+	}
+	if !reflect.DeepEqual(injA.History(), injB.History()) {
+		t.Errorf("fault histories diverge:\n  A: %v\n  B: %v", injA.History(), injB.History())
+	}
+	for name, a := range tabA {
+		if !bytes.Equal(tabB[name], a) {
+			t.Errorf("%s: tables differ between identical runs", name)
+		}
+	}
+}
+
+// TestChaosCampaignDegradedArchive keeps a secondary catalog archive down
+// for the whole campaign: every cluster must still complete, with the outage
+// recorded in its degradation report.
+func TestChaosCampaignDegradedArchive(t *testing.T) {
+	inj := faults.New(9, faults.Rule{
+		Name: services.OpCone, Site: "mast", Kind: faults.KindSiteDown,
+	})
+	tb := chaosTestbed(t, 2, inj)
+	rep, err := core.RunCampaign(tb)
+	if err != nil {
+		t.Fatalf("a dead secondary archive must not fail the campaign: %v", err)
+	}
+	for _, c := range rep.Clusters {
+		found := false
+		for _, d := range c.Degraded {
+			if d.Op == "cone" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: missing cone degradation record, got %v", c.Cluster, c.Degraded)
+		}
+		if c.Table == nil || c.Table.NumRows() == 0 {
+			t.Errorf("%s: degraded run produced no catalog", c.Cluster)
+		}
+	}
+}
+
+// TestChaosUnrecoverableRescue drives a workflow into permanent failure (a
+// node whose site stays down past the retry budget), verifies the rescue
+// DAG holds exactly the failed and unrun work, and completes it on
+// re-execution once the outage has passed — the DAGMan rescue semantics the
+// paper's §4.3.1 relies on.
+func TestChaosUnrecoverableRescue(t *testing.T) {
+	g := dag.New()
+	ids := []string{"n1", "n2", "n3", "n4"}
+	for _, id := range ids {
+		if err := g.AddNode(&dag.Node{ID: id, Type: "compute"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if err := g.AddEdge(ids[i-1], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// n3's site is down for its first two execution attempts — exactly the
+	// retry budget of round one.
+	inj := faults.New(5, faults.Rule{
+		Name: condor.OpExec, Key: "n3", Kind: faults.KindSiteDown, Until: 2,
+	})
+	runner := func(n *dag.Node, attempt int) (dagman.Spec, error) {
+		return dagman.Spec{Cost: time.Second, Run: func() error { return nil }}, nil
+	}
+	newSim := func() *condor.Simulator {
+		sim, err := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.SetInjector(inj)
+		return sim
+	}
+
+	rep1, err := dagman.Execute(g, runner, newSim(), dagman.Options{MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Succeeded() {
+		t.Fatal("outage outlasting the retry budget must fail the workflow")
+	}
+	if rep1.Results["n3"].Attempts != 2 {
+		t.Errorf("n3 attempts = %d, want 2", rep1.Results["n3"].Attempts)
+	}
+
+	rescue := rep1.RescueDAG(g)
+	if rescue.Len() != 2 {
+		t.Fatalf("rescue DAG has %d nodes, want 2 (failed n3 + unrun n4)", rescue.Len())
+	}
+	for _, id := range []string{"n3", "n4"} {
+		if _, ok := rescue.Node(id); !ok {
+			t.Errorf("rescue DAG missing %s", id)
+		}
+	}
+	for _, id := range []string{"n1", "n2"} {
+		if _, ok := rescue.Node(id); ok {
+			t.Errorf("rescue DAG re-runs completed node %s", id)
+		}
+	}
+
+	// Re-execution after the outage window completes the remaining work.
+	rep2, err := dagman.Execute(rescue, runner, newSim(), dagman.Options{MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Succeeded() {
+		t.Fatalf("rescue execution: done %d failed %d unrun %d", rep2.Done, rep2.Failed, rep2.Unrun)
+	}
+	if inj.Injected() != 2 {
+		t.Errorf("injected %d faults, want exactly the 2 scheduled", inj.Injected())
+	}
+}

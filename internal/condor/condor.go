@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // Pool describes one Condor pool.
@@ -93,6 +95,10 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// OpExec is the fault-point name checked when a task completes; rules
+// select executions by pool (Site) and task id (Key).
+const OpExec = "condor.exec"
+
 // Simulator is the discrete-event scheduler. It is not safe for concurrent
 // use; drive it from one goroutine (as DAGMan does).
 type Simulator struct {
@@ -104,6 +110,7 @@ type Simulator struct {
 	inFlight map[string]bool
 	seq      int
 	stats    Stats
+	inj      *faults.Injector
 }
 
 // NewSimulator builds a simulator over the given pools.
@@ -132,6 +139,12 @@ func NewSimulator(pools ...Pool) (*Simulator, error) {
 	sort.Strings(s.ordered)
 	return s, nil
 }
+
+// SetInjector installs (or removes, with nil) the fault injector. An
+// injected fault fails the task at its completion instant — the job ran on
+// a flaky node — without executing its Run side effects, exactly what a
+// dead worker looks like to DAGMan.
+func (s *Simulator) SetInjector(in *faults.Injector) { s.inj = in }
 
 // Now returns the current model time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -253,8 +266,8 @@ func (s *Simulator) Step() (completions []Completion, ok bool) {
 		s.stats.BusyTime[e.site] += e.at - e.start
 		delete(s.inFlight, e.task.ID)
 
-		var err error
-		if e.task.Run != nil {
+		err := s.inj.Check(faults.Op{Name: OpExec, Site: e.site, Key: e.task.ID})
+		if err == nil && e.task.Run != nil {
 			err = e.task.Run()
 		}
 		if err != nil {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 func sim(t testing.TB, pools ...Pool) *Simulator {
@@ -250,5 +252,47 @@ func BenchmarkCampaign1152Jobs(b *testing.B) {
 		if got := len(s.Drain()); got != 1152 {
 			b.Fatalf("completions = %d", got)
 		}
+	}
+}
+
+func TestExecFaultInjection(t *testing.T) {
+	s := sim(t, Pool{Name: "usc", Slots: 1})
+	ran := false
+	s.SetInjector(faults.New(1,
+		faults.Rule{Name: OpExec, Site: "usc", Key: "j1", Kind: faults.KindTransient, Until: 1},
+	))
+	if err := s.Submit(Task{ID: "j1", Site: "usc", Cost: time.Second,
+		Run: func() error { ran = true; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := s.Step()
+	if !ok || len(cs) != 1 {
+		t.Fatalf("completions = %v, %v", cs, ok)
+	}
+	if !faults.Is(cs[0].Err, faults.KindTransient) {
+		t.Fatalf("err = %v, want injected transient", cs[0].Err)
+	}
+	if ran {
+		t.Error("injected fault must suppress the task's side effects")
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Completed != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Resubmitting after the fault window succeeds (a DAGMan retry).
+	if err := s.Submit(Task{ID: "j1", Site: "usc", Cost: time.Second,
+		Run: func() error { ran = true; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ = s.Step()
+	if cs[0].Err != nil || !ran {
+		t.Fatalf("retry must succeed: %v ran=%v", cs[0].Err, ran)
+	}
+	// Removing the injector restores the zero-cost path.
+	s.SetInjector(nil)
+	if err := s.Submit(Task{ID: "j2", Site: "usc", Cost: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if cs, _ := s.Step(); cs[0].Err != nil {
+		t.Fatal(cs[0].Err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/portal"
 	"repro/internal/votable"
 )
 
@@ -27,6 +28,13 @@ type ClusterRun struct {
 	AsymmetryRadiusRho float64
 	// Table is the merged catalog with morphology columns.
 	Table *votable.Table
+	// Retries counts DAG nodes the compute service resubmitted; Failovers
+	// counts transfers rerouted to an alternate RLS replica. Both are zero
+	// on a fault-free run.
+	Retries   int
+	Failovers int
+	// Degraded lists the archive services the portal proceeded without.
+	Degraded []portal.Degradation
 }
 
 // CampaignReport aggregates a multi-cluster run (§5: "a total of 1152
@@ -112,10 +120,11 @@ func RunCampaignParallel(tb *Testbed, workers int) (*CampaignReport, error) {
 // catalog construction and the compute service, returning both the science
 // table and the Grid accounting.
 func RunCluster(tb *Testbed, name string) (*ClusterRun, error) {
-	if _, err := tb.Portal.FindImages(name); err != nil {
+	_, imgDegraded, err := tb.Portal.FindImagesReport(name)
+	if err != nil {
 		return nil, err
 	}
-	cat, err := tb.Portal.BuildCatalog(name)
+	cat, catDegraded, err := tb.Portal.BuildCatalogReport(name)
 	if err != nil {
 		return nil, err
 	}
@@ -144,8 +153,12 @@ func RunCluster(tb *Testbed, name string) (*ClusterRun, error) {
 		ImagesCached:  stats.ImagesCached,
 		InvalidRows:   stats.InvalidRows,
 		Makespan:      stats.Makespan,
+		Retries:       stats.Retries,
+		Failovers:     stats.Failovers,
 		Table:         cat,
 	}
+	run.Degraded = append(run.Degraded, imgDegraded...)
+	run.Degraded = append(run.Degraded, catDegraded...)
 	if cl, err := tb.Cluster(name); err == nil {
 		if rho, _, err := AsymmetryRadiusCorrelation(cat, cl.Center); err == nil {
 			run.AsymmetryRadiusRho = rho

@@ -6,11 +6,13 @@ import (
 	"time"
 
 	"repro/internal/condor"
+	"repro/internal/faults"
 	"repro/internal/gridftp"
 	"repro/internal/mds"
 	"repro/internal/myproxy"
 	"repro/internal/portal"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/rls"
 	"repro/internal/services"
 	"repro/internal/skysim"
@@ -56,6 +58,21 @@ type Config struct {
 	// BatchFetch makes the compute service collect galaxy images through
 	// the batched cutout interface instead of one request per galaxy.
 	BatchFetch bool
+	// Faults, when set, is installed on every fault point of the testbed:
+	// GridFTP transfers, both archives' HTTP endpoints, RLS lookups and
+	// registrations, and Condor job execution inside the compute service.
+	// Nil runs fault-free at zero cost.
+	Faults *faults.Injector
+	// Resilience enables the retry/backoff/circuit-breaker stack: the
+	// portal retries archive calls and degrades gracefully, the compute
+	// service retries DAG nodes under a budgeted policy and fails transfers
+	// over to other RLS replicas. The shared breaker registry is exposed as
+	// Testbed.Breakers.
+	Resilience bool
+	// MirrorSite, when non-empty, makes the compute service replicate every
+	// cached image to this second GridFTP site (and register both PFNs in
+	// the RLS) so transfer nodes have a replica to fail over to.
+	MirrorSite string
 }
 
 // Testbed is the fully wired end-to-end system.
@@ -74,6 +91,10 @@ type Testbed struct {
 
 	Compute *webservice.Service
 	Portal  *portal.Portal
+
+	// Breakers is the circuit-breaker registry shared by the portal and the
+	// compute service; nil unless Config.Resilience is set.
+	Breakers *resilience.Registry
 
 	// Client routes the virtual hosts in-process; every component uses it.
 	Client *http.Client
@@ -130,6 +151,17 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 	tb.MAST = services.NewArchive("mast", tb.Clusters...)
 	tb.NED = services.NewArchive("ned", tb.Clusters...)
 
+	// Install the fault injector on every layer that exposes a fault point.
+	if cfg.Faults != nil {
+		tb.FTP.SetInjector(cfg.Faults)
+		tb.RLS.SetInjector(cfg.Faults)
+		tb.MAST.SetInjector(cfg.Faults)
+		tb.NED.SetInjector(cfg.Faults)
+	}
+	if cfg.Resilience {
+		tb.Breakers = resilience.NewRegistry(resilience.BreakerConfig{})
+	}
+
 	// Grid information services.
 	for _, p := range cfg.Pools {
 		if err := tb.MDS.Register(mds.SiteInfo{
@@ -163,6 +195,12 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		StrictFaults: cfg.StrictFaults,
 		MaxRetries:   5,
 		BatchFetch:   cfg.BatchFetch,
+		MirrorSite:   cfg.MirrorSite,
+		Faults:       cfg.Faults,
+	}
+	if cfg.Resilience {
+		wsCfg.Breakers = tb.Breakers
+		wsCfg.RetryPolicy = &resilience.Policy{MaxAttempts: 6, Seed: cfg.Seed}
 	}
 	if cfg.RequireProxy {
 		if err := tb.MyProxy.Delegate(MyProxyUser, MyProxyPass,
@@ -229,13 +267,16 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			return nil, err
 		}
 		pCfg.CacheImageSearch = cfg.CacheImageSearch
+		if cfg.Resilience {
+			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}
+			pCfg.Breakers = tb.Breakers
+		}
 		p, err = portal.New(pCfg)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		var err error
-		p, err = portal.New(portal.Config{
+		pCfg := portal.Config{
 			Clusters: entries,
 			ConeServices: []string{
 				"http://" + HostNED + "/cone",
@@ -249,7 +290,13 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			ComputeService:   "http://" + HostCompute,
 			HTTPClient:       tb.Client,
 			CacheImageSearch: cfg.CacheImageSearch,
-		})
+		}
+		if cfg.Resilience {
+			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}
+			pCfg.Breakers = tb.Breakers
+		}
+		var err error
+		p, err = portal.New(pCfg)
 		if err != nil {
 			return nil, err
 		}

@@ -111,6 +111,12 @@ type Options struct {
 	// DAGMan's -maxjobs throttle (0 = unlimited). Ready nodes beyond the
 	// cap wait in submission order.
 	MaxInFlight int
+	// RetryPolicy, when set, replaces the fixed MaxRetries rule: after a
+	// failed attempt it decides whether the node runs again. attempt is the
+	// 1-based attempt that just failed. Use resilience.Policy.DAGManPolicy
+	// for budgeted backoff-aware decisions; nil keeps DAGMan's classic
+	// count-based behaviour.
+	RetryPolicy func(node string, attempt int, err error) bool
 }
 
 // emit delivers a monitoring event if a monitor is installed.
@@ -268,7 +274,11 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 			inFlight--
 
 			if c.Err != nil {
-				if res.Attempts <= opt.MaxRetries {
+				retry := res.Attempts <= opt.MaxRetries
+				if opt.RetryPolicy != nil {
+					retry = opt.RetryPolicy(c.TaskID, res.Attempts, c.Err)
+				}
+				if retry {
 					opt.emit(Event{Kind: EventRetried, Node: c.TaskID, Site: c.Site,
 						Attempt: res.Attempts, At: c.End, Err: c.Err})
 					if err := submit(c.TaskID); err != nil {

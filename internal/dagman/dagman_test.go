@@ -367,3 +367,131 @@ func TestMaxInFlightWithRetries(t *testing.T) {
 		t.Errorf("makespan = %v, want 6s", rep.Makespan)
 	}
 }
+
+func TestRetryPolicyOverridesMaxRetries(t *testing.T) {
+	g := chainGraph(t, 1)
+	boom := errors.New("boom")
+	failing := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error { return boom }}, nil
+	}
+	// The policy stops after 3 attempts even though MaxRetries allows 6 runs.
+	rep, err := Execute(g, failing, newSim(t), Options{
+		MaxRetries:  5,
+		RetryPolicy: func(node string, attempt int, err error) bool { return attempt < 3 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := rep.Results["n1"]; res.State != StateFailed || res.Attempts != 3 {
+		t.Fatalf("policy-limited node: %+v", res)
+	}
+	// A non-retryable error stops at attempt 1 regardless of MaxRetries.
+	fatal := errors.New("fatal")
+	fatalRunner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error { return fatal }}, nil
+	}
+	rep, err = Execute(g, fatalRunner, newSim(t), Options{
+		MaxRetries: 5,
+		RetryPolicy: func(node string, attempt int, err error) bool {
+			return !errors.Is(err, fatal)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := rep.Results["n1"]; res.State != StateFailed || res.Attempts != 1 {
+		t.Fatalf("fatal error must not retry: %+v", res)
+	}
+}
+
+func TestEventRetriedStream(t *testing.T) {
+	g := chainGraph(t, 1)
+	attempts := 0
+	runner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error {
+			attempts++
+			if attempts < 3 {
+				return fmt.Errorf("flaky attempt %d", attempts)
+			}
+			return nil
+		}}, nil
+	}
+	var events []Event
+	rep, err := Execute(g, runner, newSim(t), Options{
+		MaxRetries: 3,
+		Monitor:    func(e Event) { events = append(events, e) },
+	})
+	if err != nil || !rep.Succeeded() {
+		t.Fatalf("rep = %+v, err = %v", rep, err)
+	}
+	var kinds []EventKind
+	var retried []Event
+	for _, e := range events {
+		kinds = append(kinds, e.Kind)
+		if e.Kind == EventRetried {
+			retried = append(retried, e)
+		}
+	}
+	want := []EventKind{EventSubmitted, EventRetried, EventSubmitted,
+		EventRetried, EventSubmitted, EventCompleted}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (stream %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+	// Retried events carry the failing attempt's number, error and site —
+	// enough for a monitor to distinguish a retry from a fresh submission.
+	for i, e := range retried {
+		if e.Attempt != i+1 || e.Err == nil || e.Node != "n1" || e.Site == "" {
+			t.Errorf("retried event %d incomplete: %+v", i, e)
+		}
+	}
+	if EventRetried.String() != "retried" {
+		t.Errorf("EventRetried.String() = %q", EventRetried.String())
+	}
+}
+
+func TestRescueDAGEdgeCases(t *testing.T) {
+	// Empty graph: empty report, empty rescue.
+	empty := dag.New()
+	rep, err := Execute(empty, unitRunner(nil), newSim(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rep.RescueDAG(empty); r.Len() != 0 {
+		t.Errorf("empty graph rescue has %d nodes", r.Len())
+	}
+
+	// Every node failed or unrun: the rescue is the whole workflow with its
+	// edges intact.
+	g := chainGraph(t, 3)
+	failing := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error { return errors.New("x") }}, nil
+	}
+	rep, err = Execute(g, failing, newSim(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescue := rep.RescueDAG(g)
+	if rescue.Len() != 3 {
+		t.Fatalf("all-failed rescue has %d nodes, want 3", rescue.Len())
+	}
+	if c := rescue.Children("n1"); len(c) != 1 || c[0] != "n2" {
+		t.Errorf("rescue lost edge n1->n2: children = %v", c)
+	}
+	if c := rescue.Children("n2"); len(c) != 1 || c[0] != "n3" {
+		t.Errorf("rescue lost edge n2->n3: children = %v", c)
+	}
+
+	// No node failed: the rescue is empty.
+	rep, err = Execute(g, unitRunner(nil), newSim(t), Options{})
+	if err != nil || !rep.Succeeded() {
+		t.Fatalf("rep = %+v, err = %v", rep, err)
+	}
+	if r := rep.RescueDAG(g); r.Len() != 0 {
+		t.Errorf("all-done rescue has %d nodes", r.Len())
+	}
+}

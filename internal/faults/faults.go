@@ -1,0 +1,249 @@
+// Package faults is a seeded, deterministic fault injector for the grid
+// stack. The paper's production runs survived exactly the failures this
+// package can express — flaky archive services, failed transfers, dead
+// worker nodes — via DAGMan retries and rescue DAGs (§4); related CMS
+// production work reports transient grid faults as the dominant operational
+// cost. Proving the stack resilient first requires injecting those faults
+// reproducibly.
+//
+// Components expose a fault point by calling
+//
+//	if err := inj.Check(faults.Op{Name: "gridftp.transfer", Site: src, Key: lfn}); err != nil { ... }
+//
+// on their *Injector field. A nil injector is the zero-cost default: Check
+// on a nil receiver returns nil immediately, so undisturbed production paths
+// pay one pointer comparison.
+//
+// Faults are declared as Rules — probability-based (every matching call
+// draws from the seeded stream) or schedule-based (a [From, Until)
+// occurrence window of matching calls) — and every injected fault is
+// recorded in an append-only history so tests can assert the exact
+// sequence. Same seed + same call sequence ⇒ same injected faults.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds, mirroring the operational failure classes of the paper's §4:
+// transient service errors, hung transfers, garbled payloads, and sites
+// dropping off the Grid.
+const (
+	// KindTransient is a one-shot error; an immediate retry may succeed.
+	KindTransient Kind = iota
+	// KindTimeout models an operation exceeding its deadline budget.
+	KindTimeout
+	// KindCorruption models payload damage detected by the receiver
+	// (checksum mismatch); the operation fails without delivering data.
+	KindCorruption
+	// KindSiteDown models a whole site being unreachable; retries against
+	// the same site keep failing until the schedule window closes, so the
+	// caller must fail over to another site to make progress.
+	KindSiteDown
+)
+
+// String labels the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTransient:
+		return "transient"
+	case KindTimeout:
+		return "timeout"
+	case KindCorruption:
+		return "corruption"
+	case KindSiteDown:
+		return "site-down"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op identifies one invocation of a fault point.
+type Op struct {
+	Name string // fault point, e.g. "gridftp.transfer", "condor.exec"
+	Site string // site or archive the operation targets ("" if none)
+	Key  string // operation detail: LFN, path, task id ("" if none)
+}
+
+// Fault is the error returned by an injected failure.
+type Fault struct {
+	Kind Kind
+	Op   Op
+	Seq  int // global injection index (0-based), for history assertions
+}
+
+// Error renders the fault.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faults: injected %s at %s site=%q key=%q (#%d)",
+		f.Kind, f.Op.Name, f.Op.Site, f.Op.Key, f.Seq)
+}
+
+// As extracts the *Fault from an error chain, if any.
+func As(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// Is reports whether err carries an injected fault of the given kind.
+func Is(err error, kind Kind) bool {
+	f, ok := As(err)
+	return ok && f.Kind == kind
+}
+
+// Rule declares one fault source. A rule matches a Check call when every
+// non-zero selector (Name, Site, Key) equals the op's field. Matching calls
+// are counted per rule; the rule fires when the occurrence index falls in
+// [From, Until) and either Probability is 1 (or unset with a window) or the
+// seeded coin comes up.
+type Rule struct {
+	// Name, Site, Key select the ops this rule applies to ("" = any).
+	Name string
+	Site string
+	Key  string
+	// Kind is the fault to inject.
+	Kind Kind
+	// Probability in (0, 1] fires the rule on that fraction of matching
+	// calls, drawn from the injector's seeded stream. 0 means 1 (always,
+	// within the window) so pure schedule rules need no boilerplate.
+	Probability float64
+	// From and Until bound the matching-call occurrence window (0-based;
+	// Until 0 = unbounded). A rule with From=3, Until=6 can fire only on
+	// the 4th..6th matching calls.
+	From, Until int
+	// MaxFaults caps the total injections by this rule (0 = unlimited).
+	MaxFaults int
+}
+
+// matches reports whether the rule's selectors accept the op.
+func (r Rule) matches(op Op) bool {
+	return (r.Name == "" || r.Name == op.Name) &&
+		(r.Site == "" || r.Site == op.Site) &&
+		(r.Key == "" || r.Key == op.Key)
+}
+
+// ruleState tracks one rule's per-run counters.
+type ruleState struct {
+	Rule
+	seen     int // matching calls observed
+	injected int // faults fired
+}
+
+// Injector is the fault source. It is safe for concurrent use; determinism
+// holds whenever the sequence of Check calls is itself deterministic.
+type Injector struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	rules   []ruleState
+	history []Fault
+	checks  int
+}
+
+// New builds an injector with the given seed and rules.
+func New(seed int64, rules ...Rule) *Injector {
+	in := &Injector{rng: rand.New(rand.NewSource(seed))}
+	for _, r := range rules {
+		in.rules = append(in.rules, ruleState{Rule: r})
+	}
+	return in
+}
+
+// Check evaluates every rule against the op and returns the first fault
+// fired, or nil. Calling Check on a nil *Injector is the disabled fast
+// path: it returns nil without any work.
+func (in *Injector) Check(op Op) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.checks++
+	var fired *Fault
+	for i := range in.rules {
+		rs := &in.rules[i]
+		if !rs.matches(op) {
+			continue
+		}
+		occ := rs.seen
+		rs.seen++
+		if fired != nil {
+			continue // at most one fault per call, but count every match
+		}
+		if occ < rs.From || (rs.Until > 0 && occ >= rs.Until) {
+			continue
+		}
+		if rs.MaxFaults > 0 && rs.injected >= rs.MaxFaults {
+			continue
+		}
+		if p := rs.Probability; p > 0 && p < 1 {
+			// Drawing only for probabilistic rules keeps schedule-based
+			// runs byte-stable when probabilities are edited.
+			if in.rng.Float64() >= p {
+				continue
+			}
+		}
+		rs.injected++
+		f := Fault{Kind: rs.Kind, Op: op, Seq: len(in.history)}
+		in.history = append(in.history, f)
+		fired = &in.history[len(in.history)-1]
+	}
+	if fired == nil {
+		return nil
+	}
+	out := *fired
+	return &out
+}
+
+// History returns a copy of every injected fault, in order.
+func (in *Injector) History() []Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault(nil), in.history...)
+}
+
+// Injected returns the total number of faults fired.
+func (in *Injector) Injected() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.history)
+}
+
+// Checks returns the number of fault-point evaluations seen.
+func (in *Injector) Checks() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.checks
+}
+
+// CountKind returns how many injected faults have the given kind.
+func (in *Injector) CountKind(kind Kind) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, f := range in.history {
+		if f.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

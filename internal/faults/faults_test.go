@@ -1,0 +1,132 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestNilInjectorIsZeroCostNoop(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 100; i++ {
+		if err := in.Check(Op{Name: "x", Site: "s"}); err != nil {
+			t.Fatalf("nil injector injected: %v", err)
+		}
+	}
+	if in.Injected() != 0 || in.Checks() != 0 || in.History() != nil ||
+		in.CountKind(KindTransient) != 0 {
+		t.Error("nil injector must report nothing")
+	}
+}
+
+func TestScheduleWindow(t *testing.T) {
+	in := New(1, Rule{Name: "op", Site: "a", Kind: KindSiteDown, From: 2, Until: 5})
+	var got []bool
+	for i := 0; i < 8; i++ {
+		got = append(got, in.Check(Op{Name: "op", Site: "a"}) != nil)
+		// Non-matching ops must not advance the window.
+		if err := in.Check(Op{Name: "op", Site: "b"}); err != nil {
+			t.Fatalf("site b hit: %v", err)
+		}
+	}
+	want := []bool{false, false, true, true, true, false, false, false}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("window pattern = %v, want %v", got, want)
+	}
+	if n := in.Injected(); n != 3 {
+		t.Errorf("injected = %d, want 3", n)
+	}
+	if n := in.CountKind(KindSiteDown); n != 3 {
+		t.Errorf("site-down count = %d, want 3", n)
+	}
+}
+
+func TestMaxFaultsCap(t *testing.T) {
+	in := New(1, Rule{Name: "op", Kind: KindTransient, MaxFaults: 2})
+	n := 0
+	for i := 0; i < 10; i++ {
+		if in.Check(Op{Name: "op"}) != nil {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("fired %d, want cap 2", n)
+	}
+}
+
+func TestProbabilityDeterminismAcrossSeeds(t *testing.T) {
+	run := func(seed int64) []Fault {
+		in := New(seed,
+			Rule{Name: "op", Kind: KindTransient, Probability: 0.3},
+			Rule{Name: "op", Site: "b", Kind: KindTimeout, Probability: 0.5})
+		for i := 0; i < 200; i++ {
+			in.Check(Op{Name: "op", Site: "a", Key: fmt.Sprint(i)})
+			in.Check(Op{Name: "op", Site: "b", Key: fmt.Sprint(i)})
+		}
+		return in.History()
+	}
+	a, b := run(42), run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give the same fault sequence")
+	}
+	if len(a) == 0 {
+		t.Fatal("expected some faults at p=0.3 over 400 calls")
+	}
+	if c := run(43); reflect.DeepEqual(a, c) {
+		t.Error("different seeds should give different sequences")
+	}
+}
+
+func TestFaultErrorClassification(t *testing.T) {
+	in := New(1, Rule{Name: "op", Kind: KindCorruption, MaxFaults: 1})
+	err := in.Check(Op{Name: "op", Site: "s", Key: "k"})
+	if err == nil {
+		t.Fatal("expected fault")
+	}
+	wrapped := fmt.Errorf("transfer failed: %w", err)
+	if !Is(wrapped, KindCorruption) {
+		t.Error("Is must see corruption through wrapping")
+	}
+	if Is(wrapped, KindTimeout) {
+		t.Error("wrong kind must not match")
+	}
+	f, ok := As(wrapped)
+	if !ok || f.Op.Site != "s" || f.Op.Key != "k" || f.Seq != 0 {
+		t.Errorf("As = %+v, %v", f, ok)
+	}
+	if Is(errors.New("plain"), KindTransient) {
+		t.Error("plain error must not classify")
+	}
+}
+
+func TestOneFaultPerCheckButAllRulesCount(t *testing.T) {
+	// Two always-firing rules: only the first injects each call, but the
+	// second still observes the call so its window stays aligned.
+	in := New(1,
+		Rule{Name: "op", Kind: KindTransient, Until: 2},
+		Rule{Name: "op", Kind: KindTimeout, From: 2, Until: 4})
+	var kinds []Kind
+	for i := 0; i < 5; i++ {
+		if err := in.Check(Op{Name: "op"}); err != nil {
+			f, _ := As(err)
+			kinds = append(kinds, f.Kind)
+		}
+	}
+	want := []Kind{KindTransient, KindTransient, KindTimeout, KindTimeout}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, s := range map[Kind]string{
+		KindTransient: "transient", KindTimeout: "timeout",
+		KindCorruption: "corruption", KindSiteDown: "site-down",
+		Kind(9): "Kind(9)",
+	} {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

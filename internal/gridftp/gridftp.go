@@ -19,6 +19,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/faults"
 )
 
 // Errors returned by the service.
@@ -34,18 +36,25 @@ func URL(site, path string) string {
 	return "gridftp://" + site + "/" + strings.TrimPrefix(path, "/")
 }
 
-// ParseURL splits a gridftp URL into site and path.
+// ParseURL splits a gridftp URL into site and path. The site and the path
+// must be non-empty, and the path may not contain empty components
+// (a "//" inside, or a trailing "/").
 func ParseURL(u string) (site, path string, err error) {
 	const prefix = "gridftp://"
 	if !strings.HasPrefix(u, prefix) {
 		return "", "", fmt.Errorf("%w: %q (missing scheme)", ErrBadURL, u)
 	}
 	rest := u[len(prefix):]
-	slash := strings.IndexByte(rest, '/')
-	if slash <= 0 || slash == len(rest)-1 {
+	site, path, ok := strings.Cut(rest, "/")
+	if !ok || site == "" || path == "" {
 		return "", "", fmt.Errorf("%w: %q (need site and path)", ErrBadURL, u)
 	}
-	return rest[:slash], rest[slash+1:], nil
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "" {
+			return "", "", fmt.Errorf("%w: %q (empty path component)", ErrBadURL, u)
+		}
+	}
+	return site, path, nil
 }
 
 // Store is one site's file system. It is safe for concurrent use.
@@ -189,9 +198,14 @@ type Stats struct {
 	Bytes     int64
 }
 
+// OpTransfer is the fault-point name Transfer checks; rules select
+// transfers by source site (Site) and source path (Key).
+const OpTransfer = "gridftp.transfer"
+
 // Service is the transfer fabric across all site stores.
 type Service struct {
 	net    Network
+	inj    *faults.Injector
 	mu     sync.Mutex
 	stores map[string]*Store
 	stats  Stats
@@ -200,6 +214,21 @@ type Service struct {
 // NewService returns a transfer service with the given cost model.
 func NewService(net Network) *Service {
 	return &Service{net: net.withDefaults(), stores: map[string]*Store{}}
+}
+
+// SetInjector installs (or removes, with nil) the fault injector. The nil
+// default costs one pointer check per transfer.
+func (s *Service) SetInjector(in *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = in
+}
+
+// injector returns the current injector under the lock.
+func (s *Service) injector() *faults.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inj
 }
 
 // Store returns (creating on demand) the store for a site.
@@ -236,6 +265,12 @@ type Result struct {
 // Transfer copies srcURL to dstURL, returning the modelled duration. The
 // copy itself happens immediately (wall-clock); Duration is for the
 // discrete-event executor's clock.
+//
+// With a fault injector installed, each transfer is a fault point keyed by
+// the source site and path: transient/timeout/site-down faults fail the
+// transfer outright, and a corruption fault models checksum verification
+// catching damage in flight — the transfer fails and no bytes are written
+// to the destination, so a retry can succeed cleanly.
 func (s *Service) Transfer(srcURL, dstURL string) (Result, error) {
 	srcSite, srcPath, err := ParseURL(srcURL)
 	if err != nil {
@@ -244,6 +279,9 @@ func (s *Service) Transfer(srcURL, dstURL string) (Result, error) {
 	dstSite, dstPath, err := ParseURL(dstURL)
 	if err != nil {
 		return Result{}, err
+	}
+	if err := s.injector().Check(faults.Op{Name: OpTransfer, Site: srcSite, Key: srcPath}); err != nil {
+		return Result{}, fmt.Errorf("gridftp: transfer %s -> %s: %w", srcURL, dstURL, err)
 	}
 	s.mu.Lock()
 	src, ok := s.stores[srcSite]

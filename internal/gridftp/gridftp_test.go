@@ -2,10 +2,13 @@ package gridftp
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
 )
 
 func TestURLRoundTrip(t *testing.T) {
@@ -23,13 +26,81 @@ func TestURLRoundTrip(t *testing.T) {
 	}
 }
 
-func TestParseURLErrors(t *testing.T) {
-	for _, u := range []string{
-		"", "http://isi/x", "gridftp://", "gridftp://siteonly", "gridftp:///path", "gridftp://site/",
-	} {
-		if _, _, err := ParseURL(u); err == nil {
-			t.Errorf("ParseURL(%q) must fail", u)
+func TestParseURL(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		site string
+		path string
+		ok   bool
+	}{
+		{"simple", "gridftp://isi/x", "isi", "x", true},
+		{"nested path", "gridftp://isi/data/g1.fit", "isi", "data/g1.fit", true},
+		{"dotted site", "gridftp://isi.edu/d/f", "isi.edu", "d/f", true},
+		{"empty string", "", "", "", false},
+		{"wrong scheme", "http://isi/x", "", "", false},
+		{"scheme only", "gridftp://", "", "", false},
+		{"site without path", "gridftp://siteonly", "", "", false},
+		{"empty site", "gridftp:///path", "", "", false},
+		{"empty path", "gridftp://site/", "", "", false},
+		{"empty site and path", "gridftp:///", "", "", false},
+		{"empty inner component", "gridftp://site/a//b", "", "", false},
+		{"trailing slash component", "gridftp://site/a/", "", "", false},
+		{"double slash path start", "gridftp://site//a", "", "", false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			site, path, err := ParseURL(tc.in)
+			if tc.ok {
+				if err != nil || site != tc.site || path != tc.path {
+					t.Fatalf("ParseURL(%q) = %q, %q, %v; want %q, %q",
+						tc.in, site, path, err, tc.site, tc.path)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("ParseURL(%q) = %q, %q; want error", tc.in, site, path)
+			}
+			if !errors.Is(err, ErrBadURL) {
+				t.Errorf("ParseURL(%q) error %v must wrap ErrBadURL", tc.in, err)
+			}
+		})
+	}
+}
+
+func TestTransferFaultInjection(t *testing.T) {
+	svc := NewService(Network{})
+	_ = svc.Store("isi").Put("g1.fit", []byte("payload"))
+
+	// Site-down window over the first two isi-sourced transfers; the third
+	// succeeds. Corruption must not deliver bytes.
+	svc.SetInjector(faults.New(1,
+		faults.Rule{Name: OpTransfer, Site: "isi", Kind: faults.KindSiteDown, Until: 2},
+		faults.Rule{Name: OpTransfer, Site: "isi", Kind: faults.KindCorruption, From: 2, Until: 3},
+	))
+	for i, wantKind := range []faults.Kind{faults.KindSiteDown, faults.KindSiteDown, faults.KindCorruption} {
+		_, err := svc.Transfer(URL("isi", "g1.fit"), URL("fnal", "g1.fit"))
+		if !faults.Is(err, wantKind) {
+			t.Fatalf("attempt %d: err = %v, want injected %v", i, err, wantKind)
 		}
+		if svc.Store("fnal").Exists("g1.fit") {
+			t.Fatal("failed transfer must not deliver bytes")
+		}
+	}
+	if st := svc.Stats(); st.Transfers != 0 {
+		t.Errorf("injected failures must not count as transfers: %+v", st)
+	}
+	// Window passed: the transfer completes.
+	if _, err := svc.Transfer(URL("isi", "g1.fit"), URL("fnal", "g1.fit")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := svc.Store("fnal").Get("g1.fit"); string(got) != "payload" {
+		t.Error("recovered transfer must deliver intact bytes")
+	}
+	// Removing the injector restores the zero-cost path.
+	svc.SetInjector(nil)
+	if _, err := svc.Transfer(URL("isi", "g1.fit"), URL("usc", "g1.fit")); err != nil {
+		t.Fatal(err)
 	}
 }
 

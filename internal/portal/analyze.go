@@ -20,6 +20,9 @@ type AnalysisResult struct {
 	Table *votable.Table
 	// Images are the large-scale image references shown to the user.
 	Images []imageRef
+	// Degraded lists the archive services the analysis proceeded without
+	// (their images or joined columns are missing from the results page).
+	Degraded []Degradation
 	// Timing of the portal-side phases.
 	ImageSearch time.Duration
 	CatalogTime time.Duration
@@ -43,20 +46,22 @@ func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total
 	res := &AnalysisResult{Cluster: cluster}
 
 	t0 := time.Now()
-	images, err := p.FindImages(cluster)
+	images, imgDegraded, err := p.FindImagesReport(cluster)
 	if err != nil {
 		return nil, err
 	}
+	res.Degraded = append(res.Degraded, imgDegraded...)
 	for _, im := range images {
 		res.Images = append(res.Images, imageRef{Title: im.Title, AcRef: im.AcRef})
 	}
 	res.ImageSearch = time.Since(t0)
 
 	t1 := time.Now()
-	cat, err := p.BuildCatalog(cluster)
+	cat, catDegraded, err := p.BuildCatalogReport(cluster)
 	if err != nil {
 		return nil, err
 	}
+	res.Degraded = append(res.Degraded, catDegraded...)
 	res.CatalogTime = time.Since(t1)
 
 	t2 := time.Now()

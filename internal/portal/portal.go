@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/services"
 	"repro/internal/votable"
 	"repro/internal/wcs"
@@ -59,6 +60,40 @@ type Config struct {
 	PollTimeout time.Duration
 	// CacheImageSearch enables the cached image-search results option.
 	CacheImageSearch bool
+	// Retry is applied to every archive call (cone, SIA, cutout). The zero
+	// value means up to 3 attempts with default backoff; set MaxAttempts: 1
+	// for the classic fail-fast portal.
+	Retry resilience.Policy
+	// Breakers, when set, short-circuits calls to archives whose
+	// (endpoint, operation) circuit is open and records every outcome; nil
+	// disables circuit breaking.
+	Breakers *resilience.Registry
+}
+
+// Degradation records one archive the portal proceeded without: a secondary
+// catalog or image service that stayed down through the retry policy, whose
+// columns or images are simply missing from the results page.
+type Degradation struct {
+	Service string // endpoint URL
+	Op      string // "cone" or "sia"
+	Err     string
+}
+
+// ErrCircuitOpen marks calls refused because the endpoint's circuit is open.
+var ErrCircuitOpen = errors.New("portal: circuit open")
+
+// callService runs one archive call under the retry policy and the circuit
+// breaker for (endpoint, op).
+func (p *Portal) callService(endpoint, op string, fn func() error) error {
+	if !p.cfg.Breakers.Allow(endpoint, op) {
+		return fmt.Errorf("%w: %s %s", ErrCircuitOpen, op, endpoint)
+	}
+	res := resilience.Retry(p.cfg.Retry, func() error {
+		err := fn()
+		p.cfg.Breakers.Record(endpoint, op, err)
+		return err
+	})
+	return res.Err
 }
 
 // Portal is the application portal.
@@ -122,65 +157,105 @@ func (p *Portal) Cluster(name string) (ClusterEntry, error) {
 // FindImages queries every SIA service for large-scale images of the
 // cluster and returns the combined references ("links to these images are
 // returned to the user"). With CacheImageSearch set, repeated searches for
-// the same cluster are served from memory.
+// the same cluster are served from memory. Image services that stay down
+// through the retry policy degrade silently; use FindImagesReport to see
+// which were skipped.
 func (p *Portal) FindImages(cluster string) ([]services.SIARecord, error) {
+	recs, _, err := p.FindImagesReport(cluster)
+	return recs, err
+}
+
+// FindImagesReport is FindImages plus the list of image services the search
+// proceeded without. Partial results are cached only when no service
+// degraded, so a recovered archive's images reappear on the next search.
+func (p *Portal) FindImagesReport(cluster string) ([]services.SIARecord, []Degradation, error) {
 	entry, err := p.Cluster(cluster)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if p.cfg.CacheImageSearch {
 		p.mu.Lock()
 		cached, hit := p.imageCache[cluster]
 		p.mu.Unlock()
 		if hit {
-			return append([]services.SIARecord(nil), cached...), nil
+			return append([]services.SIARecord(nil), cached...), nil, nil
 		}
 	}
 	var all []services.SIARecord
+	var degraded []Degradation
 	for _, base := range p.cfg.SIAServices {
-		recs, err := services.SIAQuery(p.cfg.HTTPClient, base, entry.Center, 2*entry.SearchRadiusDeg)
+		var recs []services.SIARecord
+		err := p.callService(base, "sia", func() error {
+			var e error
+			recs, e = services.SIAQuery(p.cfg.HTTPClient, base, entry.Center, 2*entry.SearchRadiusDeg)
+			return e
+		})
 		if err != nil {
-			return nil, fmt.Errorf("portal: SIA %s: %w", base, err)
+			degraded = append(degraded, Degradation{Service: base, Op: "sia", Err: err.Error()})
+			continue
 		}
 		all = append(all, recs...)
 	}
-	if p.cfg.CacheImageSearch {
+	if p.cfg.CacheImageSearch && len(degraded) == 0 {
 		p.mu.Lock()
 		p.imageCache[cluster] = append([]services.SIARecord(nil), all...)
 		p.mu.Unlock()
 	}
-	return all, nil
+	return all, degraded, nil
 }
 
 // BuildCatalog constructs the cluster's galaxy catalog: the primary cone
 // search supplies the base table; additional cone services contribute
 // columns via a left join on id; the cutout service's references are merged
-// in as the acref column.
+// in as the acref column. Secondary catalogs that stay down degrade
+// silently; use BuildCatalogReport to see which were skipped.
 func (p *Portal) BuildCatalog(cluster string) (*votable.Table, error) {
+	tab, _, err := p.BuildCatalogReport(cluster)
+	return tab, err
+}
+
+// BuildCatalogReport is BuildCatalog plus the list of secondary catalog
+// services the build proceeded without. The primary cone search and the
+// cutout service are load-bearing — without the base table or the image
+// references there is nothing to compute — so their failure (after the
+// retry policy) fails the build; secondary cone services only narrow the
+// joined columns.
+func (p *Portal) BuildCatalogReport(cluster string) (*votable.Table, []Degradation, error) {
 	entry, err := p.Cluster(cluster)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	base, err := services.ConeSearch(p.cfg.HTTPClient, p.cfg.ConeServices[0], entry.Center, entry.SearchRadiusDeg)
-	if err != nil {
-		return nil, fmt.Errorf("portal: cone %s: %w", p.cfg.ConeServices[0], err)
+	var base *votable.Table
+	primary := p.cfg.ConeServices[0]
+	if err := p.callService(primary, "cone", func() error {
+		var e error
+		base, e = services.ConeSearch(p.cfg.HTTPClient, primary, entry.Center, entry.SearchRadiusDeg)
+		return e
+	}); err != nil {
+		return nil, nil, fmt.Errorf("portal: cone %s: %w", primary, err)
 	}
 	if base.NumRows() == 0 {
-		return nil, fmt.Errorf("%w: %s", ErrNoCatalog, cluster)
+		return nil, nil, fmt.Errorf("%w: %s", ErrNoCatalog, cluster)
 	}
 	base.Name = cluster
 
 	// Fold in additional catalogs (the "integrating heterogeneous tabular
 	// data" requirement): left join keeps galaxies missing from the
 	// secondary catalogs.
+	var degraded []Degradation
 	for _, svc := range p.cfg.ConeServices[1:] {
-		extra, err := services.ConeSearch(p.cfg.HTTPClient, svc, entry.Center, entry.SearchRadiusDeg)
-		if err != nil {
-			return nil, fmt.Errorf("portal: cone %s: %w", svc, err)
+		var extra *votable.Table
+		if err := p.callService(svc, "cone", func() error {
+			var e error
+			extra, e = services.ConeSearch(p.cfg.HTTPClient, svc, entry.Center, entry.SearchRadiusDeg)
+			return e
+		}); err != nil {
+			degraded = append(degraded, Degradation{Service: svc, Op: "cone", Err: err.Error()})
+			continue
 		}
 		joined, err := votable.LeftJoin(base, extra, "id", "id")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		joined.Name = cluster
 		base = joined
@@ -189,9 +264,13 @@ func (p *Portal) BuildCatalog(cluster string) (*votable.Table, error) {
 	// Attach cutout references. The SIA cutout protocol returns one row
 	// per galaxy; merge its acref by galaxy id (the title column carries
 	// the id in our cutout service).
-	cuts, err := services.SIAQuery(p.cfg.HTTPClient, p.cfg.CutoutService, entry.Center, 2*entry.SearchRadiusDeg)
-	if err != nil {
-		return nil, fmt.Errorf("portal: cutout SIA: %w", err)
+	var cuts []services.SIARecord
+	if err := p.callService(p.cfg.CutoutService, "sia", func() error {
+		var e error
+		cuts, e = services.SIAQuery(p.cfg.HTTPClient, p.cfg.CutoutService, entry.Center, 2*entry.SearchRadiusDeg)
+		return e
+	}); err != nil {
+		return nil, nil, fmt.Errorf("portal: cutout SIA: %w", err)
 	}
 	acrefOf := make(map[string]string, len(cuts))
 	for _, c := range cuts {
@@ -201,7 +280,7 @@ func (p *Portal) BuildCatalog(cluster string) (*votable.Table, error) {
 		UCD: "VOX:Image_AccessReference"}, func(i int) string {
 		return p.absoluteCutoutURL(acrefOf[base.Cell(i, "id")])
 	})
-	return base, nil
+	return base, degraded, nil
 }
 
 // absoluteCutoutURL resolves a relative acref against the cutout service.

@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"repro/internal/condor"
+	"repro/internal/faults"
 	"repro/internal/gridftp"
 	"repro/internal/registry"
+	"repro/internal/resilience"
 	"repro/internal/rls"
 	"repro/internal/services"
 	"repro/internal/skysim"
@@ -443,5 +445,93 @@ func TestJobsNewestFirst(t *testing.T) {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestDegradedFanOut(t *testing.T) {
+	cl := skysim.Generate(skysim.Spec{
+		Name: "COMA", Center: wcs.New(195, 28), Redshift: 0.023,
+		NumGalaxies: 12, Seed: 21,
+	})
+	good := services.NewArchive("good", cl)
+	flaky := services.NewArchive("flaky", cl)
+	// The flaky archive is down for cone and SIA queries, indefinitely.
+	flaky.SetInjector(faults.New(1,
+		faults.Rule{Name: services.OpCone, Site: "flaky", Kind: faults.KindSiteDown},
+		faults.Rule{Name: services.OpSIA, Site: "flaky", Kind: faults.KindSiteDown},
+	))
+	goodSrv := httptest.NewServer(good.Handler())
+	flakySrv := httptest.NewServer(flaky.Handler())
+	t.Cleanup(goodSrv.Close)
+	t.Cleanup(flakySrv.Close)
+
+	breakers := resilience.NewRegistry(resilience.BreakerConfig{
+		FailureThreshold: 2, CooldownRejects: 100,
+	})
+	cfg := Config{
+		Clusters: []ClusterEntry{{
+			Name: "COMA", Center: cl.Center, Redshift: cl.Redshift,
+			SearchRadiusDeg: 8*cl.CoreRadiusDeg + 0.01,
+		}},
+		ConeServices:   []string{goodSrv.URL + "/cone", flakySrv.URL + "/cone"},
+		SIAServices:    []string{goodSrv.URL + "/sia", flakySrv.URL + "/sia"},
+		CutoutService:  goodSrv.URL + "/siacut",
+		ComputeService: "http://unused.invalid",
+		HTTPClient:     goodSrv.Client(),
+		Retry:          resilience.Policy{MaxAttempts: 2},
+		Breakers:       breakers,
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Image search: the dead service degrades, the live one still answers.
+	recs, degraded, err := p.FindImagesReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Error("live SIA service must still contribute images")
+	}
+	if len(degraded) != 1 || degraded[0].Op != "sia" || degraded[0].Service != flakySrv.URL+"/sia" {
+		t.Fatalf("degraded = %+v, want the flaky SIA service", degraded)
+	}
+
+	// Catalog build: the dead secondary cone degrades to a partial catalog.
+	cat, catDeg, err := p.BuildCatalogReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.NumRows() == 0 || cat.ColumnIndex("acref") < 0 {
+		t.Error("partial catalog must still carry rows and cutout refs")
+	}
+	if len(catDeg) != 1 || catDeg[0].Op != "cone" {
+		t.Fatalf("catalog degradations = %+v, want the flaky cone service", catDeg)
+	}
+
+	// Two failed attempts per endpoint tripped both circuits; the next pass
+	// short-circuits without touching the network.
+	if open := breakers.OpenCircuits(); len(open) != 2 {
+		t.Fatalf("open circuits = %v, want flaky cone+sia", open)
+	}
+	_, catDeg, err = p.BuildCatalogReport("COMA")
+	if err != nil || len(catDeg) != 1 {
+		t.Fatalf("degraded rebuild: %+v, %v", catDeg, err)
+	}
+	if !strings.Contains(catDeg[0].Err, "circuit open") {
+		t.Errorf("rebuild should hit the open circuit, got %q", catDeg[0].Err)
+	}
+
+	// A dead PRIMARY cone is fatal: without the base table there is nothing
+	// to analyze.
+	cfg.ConeServices = []string{flakySrv.URL + "/cone", goodSrv.URL + "/cone"}
+	cfg.Breakers = nil
+	p2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.BuildCatalog("COMA"); err == nil {
+		t.Error("dead primary cone service must fail the build")
 	}
 }

@@ -1,0 +1,224 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+)
+
+// BreakerState is a circuit breaker's current position.
+type BreakerState int
+
+// Breaker states: Closed passes traffic, Open rejects it, HalfOpen admits
+// one probe to test recovery.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String labels the state.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "BreakerState(?)"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker. The breaker is clockless: cooldown
+// is measured in rejected Allow calls, which keeps it deterministic under
+// the discrete-event executors (no wall-clock reads).
+type BreakerConfig struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// circuit (default 3).
+	FailureThreshold int
+	// CooldownRejects is how many Allow calls are rejected while Open
+	// before the breaker half-opens for a probe (default 5).
+	CooldownRejects int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.CooldownRejects <= 0 {
+		c.CooldownRejects = 5
+	}
+	return c
+}
+
+// Breaker is one (site, operation) circuit. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int // consecutive failures while Closed
+	rejects  int // Allow calls rejected this Open episode
+	opens    int // total Closed/HalfOpen -> Open transitions
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Allow reports whether a call may proceed. While Open it rejects
+// CooldownRejects calls, then half-opens and admits a single probe.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case HalfOpen:
+		// One probe is already in flight; hold further traffic.
+		return false
+	default: // Open
+		if b.rejects >= b.cfg.CooldownRejects {
+			b.state = HalfOpen
+			return true // the probe
+		}
+		b.rejects++
+		return false
+	}
+}
+
+// Success records a completed call, closing the circuit from a probe.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if b.state == HalfOpen {
+		b.state = Closed
+	}
+}
+
+// Failure records a failed call; enough consecutive failures (or a failed
+// probe) open the circuit.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case HalfOpen:
+		b.open()
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to Open (mu held).
+func (b *Breaker) open() {
+	b.state = Open
+	b.failures = 0
+	b.rejects = 0
+	b.opens++
+}
+
+// Record folds an operation outcome into the breaker.
+func (b *Breaker) Record(err error) {
+	if err != nil {
+		b.Failure()
+	} else {
+		b.Success()
+	}
+}
+
+// State returns the current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Opens returns how many times this circuit has opened.
+func (b *Breaker) Opens() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// Registry holds one breaker per (site, operation) pair, created on demand
+// with a shared configuration.
+type Registry struct {
+	cfg BreakerConfig
+	mu  sync.Mutex
+	m   map[[2]string]*Breaker
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry(cfg BreakerConfig) *Registry {
+	return &Registry{cfg: cfg.withDefaults(), m: map[[2]string]*Breaker{}}
+}
+
+// For returns (creating on demand) the breaker for a (site, op) pair. A nil
+// registry returns nil, and a nil *Breaker is never returned otherwise.
+func (r *Registry) For(site, op string) *Breaker {
+	if r == nil {
+		return nil
+	}
+	k := [2]string{site, op}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b, ok := r.m[k]; ok {
+		return b
+	}
+	b := NewBreaker(r.cfg)
+	r.m[k] = b
+	return b
+}
+
+// Allow is a nil-safe convenience: a nil registry always allows.
+func (r *Registry) Allow(site, op string) bool {
+	if r == nil {
+		return true
+	}
+	return r.For(site, op).Allow()
+}
+
+// Record is a nil-safe convenience folding an outcome into (site, op).
+func (r *Registry) Record(site, op string, err error) {
+	if r == nil {
+		return
+	}
+	r.For(site, op).Record(err)
+}
+
+// TotalOpens sums circuit-open transitions across every breaker.
+func (r *Registry) TotalOpens() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, b := range r.m {
+		n += b.Opens()
+	}
+	return n
+}
+
+// OpenCircuits lists the (site, op) pairs currently not Closed, sorted.
+func (r *Registry) OpenCircuits() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for k, b := range r.m {
+		if b.State() != Closed {
+			out = append(out, k[0]+"/"+k[1])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

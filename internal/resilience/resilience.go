@@ -1,0 +1,155 @@
+// Package resilience supplies the fault-handling policies the grid stack
+// runs under: retry with exponential backoff and deterministic jitter,
+// per-operation backoff budgets, and a circuit breaker per (site, operation)
+// pair. The injector in internal/faults creates the failures; this package
+// is how the system survives them — the DAGMan-retry / rescue-DAG behaviour
+// of the paper's §4, generalized into reusable policy.
+//
+// All delays are model time: Retry reports the backoff it accrued but does
+// not sleep unless the policy installs a Sleep function, keeping the
+// discrete-event executors deterministic and tests fast.
+package resilience
+
+import (
+	"errors"
+	"time"
+)
+
+// Policy is a retry policy: up to MaxAttempts tries with exponential
+// backoff, deterministic jitter, and a total backoff budget.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first attempt included).
+	// Values < 1 default to 3.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff step (default 10s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff each attempt (default 2).
+	Multiplier float64
+	// JitterFrac in (0,1] spreads each delay by ±JitterFrac/2 of itself,
+	// derived deterministically from Seed and the attempt number.
+	// 0 defaults to 0.5 (the "equal jitter" family); negative disables
+	// jitter entirely.
+	JitterFrac float64
+	// Budget bounds the cumulative backoff across all attempts; once
+	// exceeded, Retry stops even with attempts remaining (0 = unbounded).
+	// This is the per-operation deadline: a flaky call cannot consume more
+	// than Budget of model time in waits.
+	Budget time.Duration
+	// Seed drives the jitter stream; two policies with the same seed
+	// produce identical delay sequences.
+	Seed int64
+	// Retryable classifies errors; nil retries everything.
+	Retryable func(error) bool
+	// Sleep, when set, is called with each backoff delay (wall-clock
+	// integration); nil records model time only.
+	Sleep func(time.Duration)
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 10 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.JitterFrac == 0 || p.JitterFrac > 1 {
+		p.JitterFrac = 0.5
+	}
+	return p
+}
+
+// Delay returns the backoff before attempt+1 (attempt is 1-based: Delay(1)
+// precedes the second try). The jitter is a deterministic hash of
+// (Seed, attempt), so the same policy replays the same schedule.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.JitterFrac > 0 {
+		// splitmix64 over (Seed, attempt): cheap, stateless, deterministic.
+		u := uint64(p.Seed)*0x9E3779B97F4A7C15 + uint64(attempt)*0xBF58476D1CE4E5B9
+		u ^= u >> 30
+		u *= 0x94D049BB133111EB
+		u ^= u >> 31
+		frac := float64(u%1e6) / 1e6 // [0,1)
+		d *= 1 - p.JitterFrac/2 + p.JitterFrac*frac
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// retryable applies the classifier (nil = retry everything).
+func (p Policy) retryable(err error) bool {
+	if p.Retryable == nil {
+		return true
+	}
+	return p.Retryable(err)
+}
+
+// Result reports what a Retry run did.
+type Result struct {
+	Attempts int           // tries performed
+	Backoff  time.Duration // cumulative model-time backoff
+	Err      error         // final error (nil on success)
+}
+
+// ErrBudgetExhausted marks a retry loop stopped by its backoff budget.
+var ErrBudgetExhausted = errors.New("resilience: retry backoff budget exhausted")
+
+// Retry runs op under the policy. It returns after the first success, after
+// MaxAttempts failures, on a non-retryable error, or once the backoff
+// budget is spent (the final error is then joined with ErrBudgetExhausted).
+func Retry(p Policy, op func() error) Result {
+	p = p.withDefaults()
+	var res Result
+	for {
+		res.Attempts++
+		err := op()
+		if err == nil {
+			res.Err = nil
+			return res
+		}
+		res.Err = err
+		if res.Attempts >= p.MaxAttempts || !p.retryable(err) {
+			return res
+		}
+		d := p.Delay(res.Attempts)
+		if p.Budget > 0 && res.Backoff+d > p.Budget {
+			res.Err = errors.Join(ErrBudgetExhausted, err)
+			return res
+		}
+		res.Backoff += d
+		if p.Sleep != nil {
+			p.Sleep(d)
+		}
+	}
+}
+
+// DAGManPolicy adapts the policy to dagman.Options.RetryPolicy's shape: a
+// node that failed its attempt-th try is resubmitted while attempts remain
+// and the error classifies as retryable.
+func (p Policy) DAGManPolicy() func(node string, attempt int, err error) bool {
+	p = p.withDefaults()
+	return func(node string, attempt int, err error) bool {
+		return attempt < p.MaxAttempts && p.retryable(err)
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/faults"
 )
 
 // PFN is one physical replica of a logical file.
@@ -108,17 +110,37 @@ func (l *LRC) Len() int {
 	return len(l.m)
 }
 
+// Fault-point names. OpLookup is checked once per (LFN, site) pair during
+// Lookup — a faulted LRC's replicas drop out of the answer, the degraded
+// view Giggle's RLI gives when a Local Replica Catalog is unreachable.
+// OpRegister is checked on Register and fails the registration.
+const (
+	OpLookup   = "rls.lookup"
+	OpRegister = "rls.register"
+)
+
 // RLS is the full replica location service: an RLI over per-site LRCs.
 type RLS struct {
 	mu   sync.RWMutex
 	lrcs map[string]*LRC
 	// rli maps lfn -> set of sites whose LRC holds it (the index layer).
 	rli map[string]map[string]bool
+	inj *faults.Injector
 }
 
 // New returns an empty service.
 func New() *RLS {
 	return &RLS{lrcs: map[string]*LRC{}, rli: map[string]map[string]bool{}}
+}
+
+// SetInjector installs (or removes, with nil) the fault injector. Exists
+// and the RLI index stay faithful — Giggle's index layer is soft state the
+// planner can always read; only LRC contact (Lookup) and registration are
+// fault points.
+func (r *RLS) SetInjector(in *faults.Injector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inj = in
 }
 
 // Site returns (creating on demand) the LRC for a site.
@@ -149,6 +171,12 @@ func (r *RLS) Sites() []string {
 func (r *RLS) Register(lfn string, pfn PFN) error {
 	if pfn.Site == "" {
 		return fmt.Errorf("%w: empty site", ErrBadInput)
+	}
+	r.mu.RLock()
+	inj := r.inj
+	r.mu.RUnlock()
+	if err := inj.Check(faults.Op{Name: OpRegister, Site: pfn.Site, Key: lfn}); err != nil {
+		return fmt.Errorf("rls: register %s @ %s: %w", lfn, pfn.Site, err)
 	}
 	if err := r.Site(pfn.Site).Add(lfn, pfn.URL); err != nil {
 		return err
@@ -189,13 +217,17 @@ func (r *RLS) Unregister(lfn string, pfn PFN) error {
 
 // Lookup returns every replica of lfn across all sites, sorted by site then
 // URL. A missing LFN yields an empty slice, not an error, matching how
-// Pegasus probes for reusable data products.
+// Pegasus probes for reusable data products. Sites whose LRC is faulted by
+// the injector are silently omitted — the degraded answer a live RLI gives
+// while one of its catalogs is down.
 func (r *RLS) Lookup(lfn string) []PFN {
 	r.mu.RLock()
+	inj := r.inj
 	sites := make([]string, 0, len(r.rli[lfn]))
 	for s := range r.rli[lfn] {
 		sites = append(sites, s)
 	}
+	sort.Strings(sites) // deterministic fault-point order
 	lrcs := make([]*LRC, 0, len(sites))
 	for _, s := range sites {
 		if l, ok := r.lrcs[s]; ok {
@@ -206,6 +238,9 @@ func (r *RLS) Lookup(lfn string) []PFN {
 
 	var out []PFN
 	for _, l := range lrcs {
+		if inj.Check(faults.Op{Name: OpLookup, Site: l.Site(), Key: lfn}) != nil {
+			continue
+		}
 		out = append(out, l.Lookup(lfn)...)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/faults"
 )
 
 func TestRegisterLookup(t *testing.T) {
@@ -307,5 +309,56 @@ func TestReadReplicasErrorsAndComments(t *testing.T) {
 	}
 	if err := ReadReplicas(New(), strings.NewReader("a b c d")); err == nil {
 		t.Error("long line must fail")
+	}
+}
+
+func TestLookupFaultInjection(t *testing.T) {
+	r := New()
+	if err := r.Register("f.fit", PFN{Site: "isi", URL: "gridftp://isi/f.fit"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("f.fit", PFN{Site: "fnal", URL: "gridftp://fnal/f.fit"}); err != nil {
+		t.Fatal(err)
+	}
+	// While isi's LRC is down its replicas drop out of the answer; the
+	// index (Exists) stays faithful.
+	r.SetInjector(faults.New(1,
+		faults.Rule{Name: OpLookup, Site: "isi", Kind: faults.KindSiteDown, Until: 1},
+	))
+	pfns := r.Lookup("f.fit")
+	if len(pfns) != 1 || pfns[0].Site != "fnal" {
+		t.Fatalf("degraded lookup = %v, want fnal only", pfns)
+	}
+	if !r.Exists("f.fit") {
+		t.Error("index must stay faithful while an LRC is down")
+	}
+	// Window passed: the full replica set returns.
+	if pfns := r.Lookup("f.fit"); len(pfns) != 2 {
+		t.Fatalf("recovered lookup = %v", pfns)
+	}
+	r.SetInjector(nil)
+	if pfns := r.Lookup("f.fit"); len(pfns) != 2 {
+		t.Fatalf("nil-injector lookup = %v", pfns)
+	}
+}
+
+func TestRegisterFaultInjection(t *testing.T) {
+	r := New()
+	r.SetInjector(faults.New(1,
+		faults.Rule{Name: OpRegister, Site: "isi", Kind: faults.KindTransient, Until: 1},
+	))
+	err := r.Register("f.fit", PFN{Site: "isi", URL: "gridftp://isi/f.fit"})
+	if !faults.Is(err, faults.KindTransient) {
+		t.Fatalf("err = %v, want injected transient", err)
+	}
+	if r.Exists("f.fit") {
+		t.Error("failed registration must not reach the index")
+	}
+	// Retry after the window succeeds.
+	if err := r.Register("f.fit", PFN{Site: "isi", URL: "gridftp://isi/f.fit"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lookup("f.fit")) != 1 {
+		t.Error("recovered registration must be visible")
 	}
 }

@@ -9,10 +9,37 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/fits"
 	"repro/internal/votable"
 	"repro/internal/wcs"
 )
+
+// faultGate consults the injector for one request. Corruption faults let the
+// request proceed but mark the response for damage (a truncated payload the
+// client's VOTable/FITS parser rejects); every other fault kind answers 503,
+// the face an unreachable or overloaded archive shows a portal.
+func (a *Archive) faultGate(w http.ResponseWriter, op faults.Op) (corrupt, proceed bool) {
+	err := a.injector().Check(op)
+	if err == nil {
+		return false, true
+	}
+	if faults.Is(err, faults.KindCorruption) {
+		return true, true
+	}
+	http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	return false, false
+}
+
+// writeBody sends a response payload, truncating it when a corruption fault
+// is in effect so the damage is detectable downstream.
+func writeBody(w http.ResponseWriter, ctype string, data []byte, corrupt bool) {
+	if corrupt && len(data) > 1 {
+		data = data[:len(data)/2]
+	}
+	w.Header().Set("Content-Type", ctype)
+	_, _ = w.Write(data)
+}
 
 // Handler exposes the archive over HTTP with the NVO protocol endpoints:
 //
@@ -30,7 +57,11 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeVOTable(w, a.ConeSearch(pos.center, pos.radius))
+		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpCone, Site: a.name})
+		if !proceed {
+			return
+		}
+		writeVOTable(w, a.ConeSearch(pos.center, pos.radius), corrupt)
 	})
 
 	mux.HandleFunc("/sia", func(w http.ResponseWriter, req *http.Request) {
@@ -39,7 +70,11 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeVOTable(w, a.SIAQueryFields(pos, size))
+		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpSIA, Site: a.name, Key: "sia"})
+		if !proceed {
+			return
+		}
+		writeVOTable(w, a.SIAQueryFields(pos, size), corrupt)
 	})
 
 	mux.HandleFunc("/siacut", func(w http.ResponseWriter, req *http.Request) {
@@ -48,7 +83,11 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		writeVOTable(w, a.SIAQueryCutouts(pos, size))
+		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpSIA, Site: a.name, Key: "siacut"})
+		if !proceed {
+			return
+		}
+		writeVOTable(w, a.SIAQueryCutouts(pos, size), corrupt)
 	})
 
 	mux.HandleFunc("/cutout", func(w http.ResponseWriter, req *http.Request) {
@@ -57,13 +96,16 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, "missing id", http.StatusBadRequest)
 			return
 		}
+		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpCutout, Site: a.name, Key: id})
+		if !proceed {
+			return
+		}
 		_, data, err := a.CutoutFITS(id)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/fits")
-		_, _ = w.Write(data)
+		writeBody(w, "application/fits", data, corrupt)
 	})
 
 	mux.HandleFunc("/cutoutbatch", func(w http.ResponseWriter, req *http.Request) {
@@ -72,13 +114,16 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, "missing ids", http.StatusBadRequest)
 			return
 		}
+		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpCutout, Site: a.name, Key: idsParam})
+		if !proceed {
+			return
+		}
 		data, err := a.CutoutBatchFITS(strings.Split(idsParam, ","))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/fits")
-		_, _ = w.Write(data)
+		writeBody(w, "application/fits", data, corrupt)
 	})
 
 	mux.HandleFunc("/image", func(w http.ResponseWriter, req *http.Request) {
@@ -88,13 +133,16 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, "missing cluster or band", http.StatusBadRequest)
 			return
 		}
+		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpCutout, Site: a.name, Key: cluster + "/" + string(band)})
+		if !proceed {
+			return
+		}
 		data, err := a.FieldFITS(cluster, band)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		w.Header().Set("Content-Type", "application/fits")
-		_, _ = w.Write(data)
+		writeBody(w, "application/fits", data, corrupt)
 	})
 
 	return mux
@@ -137,9 +185,10 @@ func parsePosSize(req *http.Request) (wcs.SkyCoord, float64, error) {
 	return wcs.New(ra, dec), size, nil
 }
 
-func writeVOTable(w http.ResponseWriter, t *votable.Table) {
-	w.Header().Set("Content-Type", "text/xml")
-	_ = votable.WriteTable(w, t)
+func writeVOTable(w http.ResponseWriter, t *votable.Table, corrupt bool) {
+	var buf bytes.Buffer
+	_ = votable.WriteTable(&buf, t)
+	writeBody(w, "text/xml", buf.Bytes(), corrupt)
 }
 
 // --- protocol clients -------------------------------------------------------

@@ -21,9 +21,19 @@ import (
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/faults"
 	"repro/internal/skysim"
 	"repro/internal/votable"
 	"repro/internal/wcs"
+)
+
+// Fault-point names checked by the HTTP handler, one per NVO protocol
+// surface. Rules select requests by archive name (Site); cutout rules can
+// additionally match the galaxy id (Key).
+const (
+	OpCone   = "archive.cone"
+	OpSIA    = "archive.sia"
+	OpCutout = "archive.cutout"
 )
 
 // Band identifies the wavelength regime of an image collection.
@@ -45,6 +55,7 @@ type Archive struct {
 
 	mu         sync.Mutex
 	fieldCache map[string][]byte // rendered large-scale FITS, keyed name/band
+	inj        *faults.Injector
 }
 
 // NewArchive bundles clusters into an archive named name.
@@ -79,6 +90,21 @@ func NewArchive(name string, clusters ...*skysim.Cluster) *Archive {
 
 // Name returns the archive name.
 func (a *Archive) Name() string { return a.name }
+
+// SetInjector installs (or removes, with nil) the fault injector consulted
+// by the HTTP handler's endpoints.
+func (a *Archive) SetInjector(in *faults.Injector) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.inj = in
+}
+
+// injector returns the current injector under the lock.
+func (a *Archive) injector() *faults.Injector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inj
+}
 
 // Clusters returns the hosted cluster names, sorted.
 func (a *Archive) Clusters() []string {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/fits"
 	"repro/internal/skysim"
 	"repro/internal/wcs"
@@ -367,5 +368,51 @@ func TestCutoutBatchHTTP(t *testing.T) {
 	}
 	if _, err := FetchFITSBatch(srv.Client(), srv.URL+"/cutoutbatch?ids=GHOST-1"); err == nil {
 		t.Error("unknown id must fail")
+	}
+}
+
+func TestHandlerFaultInjection(t *testing.T) {
+	a := testArchive(t)
+	c, _ := a.Cluster("COMA")
+	id := c.Galaxies[0].ID
+	// Site-down on the first cone search, corruption on the first cutout.
+	a.SetInjector(faults.New(1,
+		faults.Rule{Name: OpCone, Site: "mast", Kind: faults.KindSiteDown, Until: 1},
+		faults.Rule{Name: OpCutout, Site: "mast", Key: id, Kind: faults.KindCorruption, Until: 1},
+	))
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	hc := srv.Client()
+
+	// The down archive answers 503 and the client surfaces it.
+	if _, err := ConeSearch(hc, srv.URL+"/cone", wcs.New(195, 28), 1); err == nil {
+		t.Fatal("cone search against a down archive must fail")
+	}
+	// A corrupted cutout arrives as a 200 with a damaged FITS payload the
+	// client's decoder rejects.
+	if _, err := FetchFITS(hc, srv.URL+"/cutout?id="+id); err == nil {
+		t.Fatal("corrupted cutout must fail to decode")
+	}
+	// Both windows have passed: retries succeed.
+	tab, err := ConeSearch(hc, srv.URL+"/cone", wcs.New(195, 28), 1)
+	if err != nil || tab.NumRows() == 0 {
+		t.Fatalf("recovered cone search = %v rows, %v", tab, err)
+	}
+	if _, err := FetchFITS(hc, srv.URL+"/cutout?id="+id); err != nil {
+		t.Fatalf("recovered cutout: %v", err)
+	}
+	// SIA fault points are independent of cone ones.
+	a.SetInjector(faults.New(1,
+		faults.Rule{Name: OpSIA, Site: "mast", Kind: faults.KindTimeout, Until: 1},
+	))
+	if _, err := SIAQuery(hc, srv.URL+"/siacut", wcs.New(195, 28), 0.5); err == nil {
+		t.Fatal("SIA against a timed-out archive must fail")
+	}
+	if _, err := ConeSearch(hc, srv.URL+"/cone", wcs.New(195, 28), 1); err != nil {
+		t.Fatalf("cone must be unaffected by SIA rules: %v", err)
+	}
+	a.SetInjector(nil)
+	if _, err := SIAQuery(hc, srv.URL+"/siacut", wcs.New(195, 28), 0.5); err != nil {
+		t.Fatalf("nil injector must restore service: %v", err)
 	}
 }

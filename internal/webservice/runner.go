@@ -12,12 +12,17 @@ import (
 	"repro/internal/dag"
 	"repro/internal/dagman"
 	"repro/internal/fits"
+	"repro/internal/gridftp"
 	"repro/internal/morphology"
 	"repro/internal/pegasus"
 	"repro/internal/rls"
 	"repro/internal/vdl"
 	"repro/internal/votable"
 )
+
+// breakerOpTransfer is the operation label transfer circuits use in the
+// resilience registry.
+const breakerOpTransfer = "transfer"
 
 // Execution cost model (model time, charged to the discrete-event clock).
 // The paper reports per-galaxy computations as "fairly light" (§2); a few
@@ -41,7 +46,7 @@ func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats) dagm
 	return func(n *dag.Node, attempt int) (dagman.Spec, error) {
 		switch n.Type {
 		case pegasus.NodeTransfer:
-			return s.transferSpec(n, stats), nil
+			return s.transferSpec(n, attempt, stats), nil
 		case pegasus.NodeRegister:
 			return s.registerSpec(n), nil
 		case pegasus.NodeCompute:
@@ -60,9 +65,10 @@ func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats) dagm
 	}
 }
 
-func (s *Service) transferSpec(n *dag.Node, stats *RunStats) dagman.Spec {
-	src := n.Attr(pegasus.AttrSrcURL)
+func (s *Service) transferSpec(n *dag.Node, attempt int, stats *RunStats) dagman.Spec {
+	src := s.pickTransferSource(n.Attr(pegasus.AttrLFN), n.Attr(pegasus.AttrSrcURL), attempt, stats)
 	dst := n.Attr(pegasus.AttrDstURL)
+	srcSite, _, _ := gridftp.ParseURL(src)
 	return dagman.Spec{
 		Cost: s.cfg.GridFTP.Estimate(src, dst),
 		Run: func() error {
@@ -71,6 +77,7 @@ func (s *Service) transferSpec(n *dag.Node, stats *RunStats) dagman.Spec {
 			// pollute each other's numbers. The runner executes in this
 			// request's single-threaded DAGMan loop.
 			res, err := s.cfg.GridFTP.Transfer(src, dst)
+			s.cfg.Breakers.Record(srcSite, breakerOpTransfer, err)
 			if err != nil {
 				return err
 			}
@@ -79,6 +86,40 @@ func (s *Service) transferSpec(n *dag.Node, stats *RunStats) dagman.Spec {
 			return nil
 		},
 	}
+}
+
+// pickTransferSource chooses the physical source for one transfer attempt.
+// The planned URL is first choice; retries rotate through the LFN's other
+// registered replicas, and any candidate whose (site, transfer) circuit is
+// open is skipped — the failover path Pegasus's replica selection enables.
+// When every circuit is open the planned source is used anyway: failing
+// concretely beats refusing to try.
+func (s *Service) pickTransferSource(lfn, planned string, attempt int, stats *RunStats) string {
+	if attempt <= 1 && s.cfg.Breakers == nil {
+		return planned
+	}
+	urls := []string{planned}
+	for _, p := range s.cfg.RLS.Lookup(lfn) { // sorted: deterministic rotation
+		if p.URL != planned {
+			urls = append(urls, p.URL)
+		}
+	}
+	start := (attempt - 1) % len(urls)
+	for i := 0; i < len(urls); i++ {
+		u := urls[(start+i)%len(urls)]
+		site, _, err := gridftp.ParseURL(u)
+		if err != nil {
+			continue
+		}
+		if !s.cfg.Breakers.Allow(site, breakerOpTransfer) {
+			continue
+		}
+		if u != planned {
+			stats.Failovers++
+		}
+		return u
+	}
+	return planned
 }
 
 func (s *Service) registerSpec(n *dag.Node) dagman.Spec {

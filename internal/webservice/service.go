@@ -38,12 +38,14 @@ import (
 
 	"repro/internal/chimera"
 	"repro/internal/condor"
+	"repro/internal/faults"
 	"repro/internal/dagman"
 	"repro/internal/fits"
 	"repro/internal/gridftp"
 	"repro/internal/morphology"
 	"repro/internal/myproxy"
 	"repro/internal/pegasus"
+	"repro/internal/resilience"
 	"repro/internal/rls"
 	"repro/internal/tcat"
 	"repro/internal/vdl"
@@ -76,6 +78,8 @@ type RunStats struct {
 	FilesStaged   int           // GridFTP transfers executed
 	BytesStaged   int64         // GridFTP bytes moved
 	InvalidRows   int           // galaxies flagged invalid by the validity flag
+	Retries       int           // DAGMan node re-submissions after failures
+	Failovers     int           // transfers redirected to an alternate replica
 	Makespan      time.Duration // model execution time of the concrete DAG
 	ReusedOutput  bool          // whole result served from the RLS
 }
@@ -138,6 +142,20 @@ type Config struct {
 	// images at once", §4.2) when the acrefs support it, instead of one
 	// HTTP request per galaxy.
 	BatchFetch bool
+	// Breakers, when set, tracks per-(site, operation) circuit state:
+	// transfer nodes skip replicas at sites whose circuit is open and record
+	// every outcome. Nil disables circuit breaking at zero cost.
+	Breakers *resilience.Registry
+	// RetryPolicy, when set, replaces DAGMan's fixed MaxRetries count with
+	// the policy's budget- and error-aware decision.
+	RetryPolicy *resilience.Policy
+	// MirrorSite, when non-empty, replicates every cached image to a second
+	// site and registers both PFNs in the RLS, giving transfer nodes a
+	// replica to fail over to when the primary cache site is down.
+	MirrorSite string
+	// Faults, when set, is installed on every Condor simulator the service
+	// creates, making job execution a fault point (op "condor.exec").
+	Faults *faults.Injector
 }
 
 // batchFetchSize bounds ids per batch request (URL-length safety).
@@ -334,19 +352,32 @@ func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
 	// DAG when configured.
 	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats)
 	opts := dagman.Options{MaxRetries: s.cfg.MaxRetries}
+	if s.cfg.RetryPolicy != nil {
+		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
+	}
+	total := plan.Concrete.Len()
+	done := 0
 	if onProgress != nil {
-		total := plan.Concrete.Len()
-		done := 0
 		onProgress(0, total)
-		opts.Monitor = func(e dagman.Event) {
-			if e.Kind == dagman.EventCompleted {
-				done++
+	}
+	opts.Monitor = func(e dagman.Event) {
+		switch e.Kind {
+		case dagman.EventRetried:
+			stats.Retries++
+		case dagman.EventCompleted:
+			done++
+			if onProgress != nil {
 				onProgress(done, total)
 			}
 		}
 	}
 	newSim := func() (*condor.Simulator, error) {
-		return condor.NewSimulator(s.cfg.Pools...)
+		sim, err := condor.NewSimulator(s.cfg.Pools...)
+		if err != nil {
+			return nil, err
+		}
+		sim.SetInjector(s.cfg.Faults)
+		return sim, nil
 	}
 	rep, err := dagman.ExecuteWithRescue(plan.Concrete, runner, newSim, opts, s.cfg.RescueRounds)
 	if err != nil {
@@ -483,10 +514,24 @@ func (s *Service) storeImage(lfn string, data []byte) error {
 	if err := s.cfg.GridFTP.Store(s.cfg.CacheSite).Put(lfn, data); err != nil {
 		return err
 	}
-	return s.cfg.RLS.Register(lfn, rls.PFN{
+	if err := s.cfg.RLS.Register(lfn, rls.PFN{
 		Site: s.cfg.CacheSite,
 		URL:  gridftp.URL(s.cfg.CacheSite, lfn),
-	})
+	}); err != nil {
+		return err
+	}
+	if m := s.cfg.MirrorSite; m != "" && m != s.cfg.CacheSite {
+		if err := s.cfg.GridFTP.Store(m).Put(lfn, data); err != nil {
+			return err
+		}
+		if err := s.cfg.RLS.Register(lfn, rls.PFN{
+			Site: m,
+			URL:  gridftp.URL(m, lfn),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // buildVDL renders the derivation file for one request: the galMorph and

@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"repro/internal/condor"
+	"repro/internal/faults"
 	"repro/internal/gridftp"
 	"repro/internal/myproxy"
+	"repro/internal/resilience"
 	"repro/internal/rls"
 	"repro/internal/services"
 	"repro/internal/skysim"
@@ -676,5 +678,73 @@ func TestBatchFetchFallsBackOnOddAcrefs(t *testing.T) {
 	}
 	if stats.ImagesFetched != 4 {
 		t.Errorf("fetched = %d, want 4", stats.ImagesFetched)
+	}
+}
+
+func TestReplicaFailoverUnderSiteDownCache(t *testing.T) {
+	breakers := resilience.NewRegistry(resilience.BreakerConfig{
+		FailureThreshold: 2, CooldownRejects: 1 << 20,
+	})
+	mirrored := func(cfg *Config) {
+		cfg.MirrorSite = "mirror"
+		cfg.Breakers = breakers
+	}
+	h := newHarness(t, 10, mirrored)
+	// Every transfer sourced at the cache site fails: the site is down for
+	// the whole run. Progress requires failing over to the mirror replicas.
+	h.ftp.SetInjector(faults.New(7,
+		faults.Rule{Name: gridftp.OpTransfer, Site: "isi", Kind: faults.KindSiteDown},
+	))
+	out, stats, err := h.svc.Compute(h.inputTable(t), "COMA")
+	if err != nil {
+		t.Fatalf("compute under isi-down: %v", err)
+	}
+	if stats.Failovers == 0 {
+		t.Error("expected at least one replica failover")
+	}
+	if breakers.TotalOpens() == 0 {
+		t.Error("expected the isi/transfer circuit to open")
+	}
+	faulted, err := h.ftp.Store("isi").Get(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fault-free run with the identical configuration produces the same
+	// output bytes: failover is invisible in the science result.
+	h2 := newHarness(t, 10, func(cfg *Config) {
+		cfg.MirrorSite = "mirror"
+		cfg.Breakers = resilience.NewRegistry(resilience.BreakerConfig{
+			FailureThreshold: 2, CooldownRejects: 1 << 20,
+		})
+	})
+	out2, stats2, err := h2.svc.Compute(h2.inputTable(t), "COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Failovers != 0 {
+		t.Errorf("fault-free run performed %d failovers", stats2.Failovers)
+	}
+	clean, err := h2.ftp.Store("isi").Get(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(faulted, clean) {
+		t.Error("failover run's output differs from the fault-free run")
+	}
+}
+
+func TestRetryPolicyDrivesDAGManRetries(t *testing.T) {
+	h := newHarness(t, 8, func(cfg *Config) {
+		cfg.FailureRate = 0.3
+		cfg.MaxRetries = 0 // the policy, not the count, must drive retries
+		cfg.RetryPolicy = &resilience.Policy{MaxAttempts: 6}
+	})
+	_, stats, err := h.svc.Compute(h.inputTable(t), "COMA")
+	if err != nil {
+		t.Fatalf("compute with retry policy: %v", err)
+	}
+	if stats.Retries == 0 {
+		t.Error("expected injected transients to be retried under the policy")
 	}
 }
