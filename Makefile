@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet chaos verify
+.PHONY: build test vet chaos bench verify
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ test:
 # schedules, byte-identical science output required.
 chaos:
 	$(GO) test -race -run 'TestChaos' -v .
+
+# Every benchmark, including the parallel-execution and warm-cache suites;
+# BENCH=<regex> narrows the run (e.g. make bench BENCH=ParallelLeafJobs).
+BENCH ?= .
+bench:
+	$(GO) test -run XXX -bench '$(BENCH)' -benchmem .
 
 # Full verification gate: vet, build, the race-enabled suite, and the
 # chaos campaign under the race detector.

@@ -453,6 +453,10 @@ func BenchmarkAblationFaults(b *testing.B) {
 type dagNode = dag.Node
 
 func newBenchTestbed(b *testing.B, galaxies int, failureRate float64) *core.Testbed {
+	return newBenchTestbedWorkers(b, galaxies, failureRate, 0)
+}
+
+func newBenchTestbedWorkers(b *testing.B, galaxies int, failureRate float64, workers int) *core.Testbed {
 	b.Helper()
 	tb, err := core.NewTestbed(core.Config{
 		ClusterSpecs: []skysim.Spec{{
@@ -461,11 +465,96 @@ func newBenchTestbed(b *testing.B, galaxies int, failureRate float64) *core.Test
 		}},
 		Seed:        5,
 		FailureRate: failureRate,
+		Workers:     workers,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return tb
+}
+
+// --- P1: parallel leaf-job execution -------------------------------------------
+
+// BenchmarkParallelLeafJobs measures one cluster's compute request as the
+// side-effect worker pool widens. The discrete-event clock and the science
+// output are identical at every width (TestParallelWorkersProduceByteIdentical-
+// Tables); only wall-clock changes, and only when real cores exist —
+// single-CPU machines serialize the workers.
+func BenchmarkParallelLeafJobs(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				tb := newBenchTestbedWorkers(b, 60, 0, w)
+				cat, err := tb.Portal.BuildCatalog("BENCH")
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, _, err := tb.Compute.Compute(cat, "BENCH"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- P2: virtual-data memoization ----------------------------------------------
+
+// BenchmarkWarmCacheRequest contrasts a cold compute request with a repeat
+// request whose derived result files have been reclaimed: the galMorph nodes
+// all re-run, but every measurement is served from the content-keyed
+// derived-data cache instead of being recomputed.
+func BenchmarkWarmCacheRequest(b *testing.B) {
+	const galaxies = 40
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tb := newBenchTestbed(b, galaxies, 0)
+			cat, err := tb.Portal.BuildCatalog("BENCH")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, _, err := tb.Compute.Compute(cat, "BENCH"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm_memoized", func(b *testing.B) {
+		tb := newBenchTestbed(b, galaxies, 0)
+		cat, err := tb.Portal.BuildCatalog("BENCH")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := tb.Compute.Compute(cat, "BENCH"); err != nil {
+			b.Fatal(err)
+		}
+		evict := func() {
+			for i := 0; i < cat.NumRows(); i++ {
+				lfn := cat.Cell(i, "id") + ".txt"
+				for _, pfn := range tb.RLS.Lookup(lfn) {
+					_ = tb.RLS.Unregister(lfn, pfn)
+					if site, path, err := gridftp.ParseURL(pfn.URL); err == nil {
+						_ = tb.FTP.Store(site).Delete(path)
+					}
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			evict()
+			b.StartTimer()
+			_, stats, err := tb.Compute.Compute(cat, fmt.Sprintf("BENCH-W%d", i))
+			if err != nil || stats.MemoHits != galaxies || stats.MemoMisses != 0 {
+				b.Fatalf("stats=%+v err=%v", stats, err)
+			}
+		}
+	})
 }
 
 // --- A5: pool-scaling ablation ------------------------------------------------

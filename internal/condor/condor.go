@@ -9,7 +9,9 @@
 // The caller (internal/dagman) submits Tasks and repeatedly calls Step to
 // advance the virtual clock to the next completion. A Task's Run closure
 // carries its real side effects (computing morphology, moving files,
-// registering replicas) and executes at completion time in model order.
+// registering replicas); by default it executes at completion time in model
+// order, and with SetWorkers(n > 1) side effects fan out to a bounded worker
+// pool while the model clock stays byte-identical to the serial schedule.
 package condor
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/workpool"
 )
 
 // Pool describes one Condor pool.
@@ -74,6 +77,11 @@ type event struct {
 	task  Task
 	site  string
 	start time.Duration
+	// async carries the task's in-flight side effects in parallel mode: the
+	// Run closure is launched on the worker pool the moment the model starts
+	// the task, and Step waits on this handle when the clock reaches the
+	// completion instant. Nil in serial mode.
+	async *workpool.Future
 }
 
 type eventQueue []event
@@ -100,7 +108,9 @@ func (q *eventQueue) Pop() any {
 const OpExec = "condor.exec"
 
 // Simulator is the discrete-event scheduler. It is not safe for concurrent
-// use; drive it from one goroutine (as DAGMan does).
+// use; drive it from one goroutine (as DAGMan does). With SetWorkers(n > 1)
+// the side effects of running tasks execute on a bounded worker pool — see
+// SetWorkers for the determinism contract.
 type Simulator struct {
 	pools    map[string]*poolState
 	ordered  []string // pool names, sorted, for deterministic matchmaking
@@ -111,6 +121,8 @@ type Simulator struct {
 	seq      int
 	stats    Stats
 	inj      *faults.Injector
+	workers  int
+	pool     *workpool.Pool
 }
 
 // NewSimulator builds a simulator over the given pools.
@@ -145,6 +157,44 @@ func NewSimulator(pools ...Pool) (*Simulator, error) {
 // a flaky node — without executing its Run side effects, exactly what a
 // dead worker looks like to DAGMan.
 func (s *Simulator) SetInjector(in *faults.Injector) { s.inj = in }
+
+// SetWorkers bounds the worker pool that executes task side effects. The
+// default (n <= 1) is fully serial: each Run executes inline at its
+// completion instant, in model order — the classic single-threaded DAGMan
+// event loop, byte-identical to prior behaviour.
+//
+// With n > 1 the simulator launches a task's Run the moment the matchmaker
+// places it on a slot (every task simultaneously in flight is independent:
+// DAGMan releases a node only after all its parents have completed), lets up
+// to n side-effect bodies run concurrently, and joins each task's result when
+// the model clock reaches its completion instant. The discrete-event clock,
+// matchmaking, completion order and per-site accounting stay byte-identical
+// to the serial schedule; only wall-clock time and the interleaving of side
+// effects change, so Run closures must be safe to run concurrently with each
+// other. Fault-injection checks happen at placement time, in deterministic
+// dispatch order.
+//
+// Call SetWorkers before submitting tasks; changing it mid-run leaves
+// already-placed tasks on their original execution mode.
+func (s *Simulator) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+	if n > 1 {
+		s.pool = workpool.NewPool(n)
+	} else {
+		s.pool = nil
+	}
+}
+
+// Workers returns the side-effect concurrency bound (minimum 1).
+func (s *Simulator) Workers() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
 
 // Now returns the current model time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -216,15 +266,33 @@ func (s *Simulator) dispatch() {
 		p.busy++
 		dur := time.Duration(float64(t.Cost) / p.Speed)
 		s.seq++
-		heap.Push(&s.running, event{
+		e := event{
 			at:    s.now + dur,
 			seq:   s.seq,
 			task:  t,
 			site:  site,
 			start: s.now,
-		})
+		}
+		if s.pool != nil {
+			e.async = s.launch(t, site)
+		}
+		heap.Push(&s.running, e)
 	}
 	s.queue = remaining
+}
+
+// launch starts a placed task's side effects on the worker pool (parallel
+// mode). The fault check happens here, in deterministic placement order; an
+// injected fault skips the Run body entirely — the job landed on a flaky
+// node — and surfaces at the completion instant.
+func (s *Simulator) launch(t Task, site string) *workpool.Future {
+	if err := s.inj.Check(faults.Op{Name: OpExec, Site: site, Key: t.ID}); err != nil {
+		return workpool.Resolved(err)
+	}
+	if t.Run == nil {
+		return workpool.Resolved(nil)
+	}
+	return s.pool.Submit(t.Run)
 }
 
 // match picks a pool with a free slot for the task: its pinned site, or the
@@ -266,9 +334,16 @@ func (s *Simulator) Step() (completions []Completion, ok bool) {
 		s.stats.BusyTime[e.site] += e.at - e.start
 		delete(s.inFlight, e.task.ID)
 
-		err := s.inj.Check(faults.Op{Name: OpExec, Site: e.site, Key: e.task.ID})
-		if err == nil && e.task.Run != nil {
-			err = e.task.Run()
+		var err error
+		if e.async != nil {
+			// Parallel mode: the side effects (and the fault check) ran when
+			// the task was placed; join the result at its completion instant.
+			err = e.async.Wait()
+		} else {
+			err = s.inj.Check(faults.Op{Name: OpExec, Site: e.site, Key: e.task.ID})
+			if err == nil && e.task.Run != nil {
+				err = e.task.Run()
+			}
 		}
 		if err != nil {
 			s.stats.Failed++

@@ -1,0 +1,202 @@
+package condor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// runSchedule drains a simulator loaded with the given tasks and returns the
+// completion stream plus final stats.
+func runSchedule(t *testing.T, workers int, inj *faults.Injector, tasks []Task) ([]Completion, Stats) {
+	t.Helper()
+	s := sim(t)
+	s.SetInjector(inj)
+	s.SetWorkers(workers)
+	for _, task := range tasks {
+		if err := s.Submit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s.Drain(), s.Stats()
+}
+
+// mixedTasks builds a task set with unequal costs (so completions land on
+// many distinct instants) whose side effects record execution and contend on
+// a shared counter.
+func mixedTasks(n int, counter *int64, order *[]string, mu *sync.Mutex) []Task {
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("t%02d", i)
+		cost := time.Duration(1+i%7) * time.Second
+		tasks[i] = Task{ID: id, Cost: cost, Run: func() error {
+			atomic.AddInt64(counter, 1)
+			mu.Lock()
+			*order = append(*order, id)
+			mu.Unlock()
+			return nil
+		}}
+	}
+	return tasks
+}
+
+// TestParallelScheduleMatchesSerial requires the parallel worker pool to
+// leave the model schedule byte-identical: same completion stream (task,
+// site, start, end, order), same stats, for any worker count.
+func TestParallelScheduleMatchesSerial(t *testing.T) {
+	var serialCount int64
+	var serialOrder []string
+	var mu sync.Mutex
+	serial, serialStats := runSchedule(t, 1, nil, mixedTasks(24, &serialCount, &serialOrder, &mu))
+
+	for _, workers := range []int{2, 4, 8} {
+		var count int64
+		var order []string
+		par, parStats := runSchedule(t, workers, nil, mixedTasks(24, &count, &order, &mu))
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d completions, want %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i] != serial[i] {
+				t.Errorf("workers=%d: completion %d = %+v, want %+v", workers, i, par[i], serial[i])
+			}
+		}
+		if count != serialCount {
+			t.Errorf("workers=%d: %d side effects, want %d", workers, count, serialCount)
+		}
+		if parStats.Submitted != serialStats.Submitted || parStats.Completed != serialStats.Completed {
+			t.Errorf("workers=%d: stats %+v, want %+v", workers, parStats, serialStats)
+		}
+		for site, busy := range serialStats.BusyTime {
+			if parStats.BusyTime[site] != busy {
+				t.Errorf("workers=%d: busy[%s] = %v, want %v", workers, site, parStats.BusyTime[site], busy)
+			}
+		}
+	}
+}
+
+// TestParallelSideEffectsOverlap proves side effects actually run
+// concurrently in parallel mode: two tasks block until both have started,
+// which deadlocks under serial execution but completes with workers >= 2.
+func TestParallelSideEffectsOverlap(t *testing.T) {
+	s := sim(t)
+	s.SetWorkers(2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	meet := func() error {
+		wg.Done()
+		wg.Wait() // both bodies must be running at once to pass this point
+		return nil
+	}
+	if err := s.Submit(Task{ID: "a", Cost: time.Second, Run: meet}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Task{ID: "b", Cost: 2 * time.Second, Run: meet}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []Completion, 1)
+	go func() { done <- s.Drain() }()
+	select {
+	case cs := <-done:
+		if len(cs) != 2 {
+			t.Fatalf("completions = %d, want 2", len(cs))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallel side effects never overlapped (deadlock)")
+	}
+}
+
+// TestParallelFaultInjectionSkipsRun verifies that an injected execution
+// fault in parallel mode fails the task without running its side effects,
+// exactly as in serial mode.
+func TestParallelFaultInjectionSkipsRun(t *testing.T) {
+	inj := faults.New(1, faults.Rule{Name: OpExec, Key: "bad", Kind: faults.KindTransient})
+	var ran int64
+	tasks := []Task{
+		{ID: "good", Cost: time.Second, Run: func() error { atomic.AddInt64(&ran, 1); return nil }},
+		{ID: "bad", Cost: time.Second, Run: func() error { atomic.AddInt64(&ran, 1); return nil }},
+	}
+	cs, stats := runSchedule(t, 4, inj, tasks)
+	if len(cs) != 2 {
+		t.Fatalf("completions = %d", len(cs))
+	}
+	for _, c := range cs {
+		if c.TaskID == "bad" && c.Err == nil {
+			t.Error("faulted task completed without error")
+		}
+		if c.TaskID == "good" && c.Err != nil {
+			t.Errorf("clean task failed: %v", c.Err)
+		}
+	}
+	if ran != 1 {
+		t.Errorf("side effects ran %d times, want 1 (fault must skip Run)", ran)
+	}
+	if stats.Failed != 1 || stats.Completed != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestParallelQueuedTasksRunInLaterWave checks that tasks waiting for a slot
+// are launched when capacity frees and still produce the serial schedule.
+func TestParallelQueuedTasksRunInLaterWave(t *testing.T) {
+	pools := []Pool{{Name: "solo", Slots: 1}}
+	build := func() []Task {
+		var tasks []Task
+		for i := 0; i < 5; i++ {
+			tasks = append(tasks, Task{ID: fmt.Sprintf("q%d", i), Site: "solo", Cost: time.Second})
+		}
+		return tasks
+	}
+	ser, err := NewSimulator(pools...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSimulator(pools...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetWorkers(4)
+	for _, task := range build() {
+		if err := ser.Submit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, task := range build() {
+		if err := par.Submit(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := ser.Drain(), par.Drain()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("completions %d/%d, want 5/5", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("completion %d: serial %+v != parallel %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSetWorkersClampsAndReports covers the accessor contract.
+func TestSetWorkersClampsAndReports(t *testing.T) {
+	s := sim(t)
+	if s.Workers() != 1 {
+		t.Errorf("default workers = %d", s.Workers())
+	}
+	s.SetWorkers(0)
+	if s.Workers() != 1 {
+		t.Errorf("clamped workers = %d", s.Workers())
+	}
+	s.SetWorkers(8)
+	if s.Workers() != 8 {
+		t.Errorf("workers = %d", s.Workers())
+	}
+	s.SetWorkers(1)
+	if s.pool != nil {
+		t.Error("serial mode must drop the pool")
+	}
+}

@@ -58,6 +58,14 @@ type Config struct {
 	// BatchFetch makes the compute service collect galaxy images through
 	// the batched cutout interface instead of one request per galaxy.
 	BatchFetch bool
+	// Workers bounds how many leaf-job side effects the compute service's
+	// Condor simulator executes concurrently (and how many image fetches it
+	// issues at once). 0 or 1 runs serially; the simulated clock, schedule,
+	// and science output are identical either way.
+	Workers int
+	// MaxParallelQueries bounds the portal's concurrent archive calls.
+	// 0 takes the portal default; 1 forces serial queries.
+	MaxParallelQueries int
 	// Faults, when set, is installed on every fault point of the testbed:
 	// GridFTP transfers, both archives' HTTP endpoints, RLS lookups and
 	// registrations, and Condor job execution inside the compute service.
@@ -197,6 +205,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		BatchFetch:   cfg.BatchFetch,
 		MirrorSite:   cfg.MirrorSite,
 		Faults:       cfg.Faults,
+		Workers:      cfg.Workers,
 	}
 	if cfg.Resilience {
 		wsCfg.Breakers = tb.Breakers
@@ -267,6 +276,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			return nil, err
 		}
 		pCfg.CacheImageSearch = cfg.CacheImageSearch
+		pCfg.MaxParallelQueries = cfg.MaxParallelQueries
 		if cfg.Resilience {
 			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}
 			pCfg.Breakers = tb.Breakers
@@ -286,10 +296,11 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 				"http://" + HostMAST + "/sia",
 				"http://" + HostHEASARC + "/sia",
 			},
-			CutoutService:    "http://" + HostMAST + "/siacut",
-			ComputeService:   "http://" + HostCompute,
-			HTTPClient:       tb.Client,
-			CacheImageSearch: cfg.CacheImageSearch,
+			CutoutService:      "http://" + HostMAST + "/siacut",
+			ComputeService:     "http://" + HostCompute,
+			HTTPClient:         tb.Client,
+			CacheImageSearch:   cfg.CacheImageSearch,
+			MaxParallelQueries: cfg.MaxParallelQueries,
 		}
 		if cfg.Resilience {
 			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}

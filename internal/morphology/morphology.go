@@ -23,10 +23,31 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/fits"
 )
+
+// scratch holds the reusable per-measurement buffers. Measure runs inside
+// parallel leaf jobs when the compute service is configured with workers, so
+// the buffers live in a sync.Pool rather than package-level slices; each
+// in-flight measurement owns one scratch exclusively.
+type scratch struct {
+	sub  []float64 // background-subtracted working copy
+	px   []gcPixel // growth-curve pixels
+	vals []float64 // background border samples
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// growFloats returns s resized to n, reallocating only when capacity lacks.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
 
 // Config carries the per-galaxy inputs of the galMorph transformation.
 type Config struct {
@@ -104,10 +125,14 @@ func Measure(im *fits.Image, cfg Config) (Params, error) {
 		}
 	}
 
-	bg, sigma := EstimateBackground(im)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	bg, sigma := estimateBackground(im, sc)
 
 	// Background-subtracted working copy.
-	sub := make([]float64, len(im.Data))
+	sub := growFloats(sc.sub, len(im.Data))
+	sc.sub = sub
 	for i, v := range im.Data {
 		sub[i] = v - bg
 	}
@@ -117,7 +142,7 @@ func Measure(im *fits.Image, cfg Config) (Params, error) {
 		return invalid(ErrNoSignal), ErrNoSignal
 	}
 
-	r20, r80, total, rap := growthCurve(sub, im.Nx, im.Ny, cx, cy)
+	r20, r80, total, rap := growthCurve(sub, im.Nx, im.Ny, cx, cy, sc)
 	if total <= 0 || r80 <= 0 {
 		return invalid(ErrNoSignal), ErrNoSignal
 	}
@@ -191,6 +216,13 @@ func invalid(err error) Params {
 // the border is sky). Exposed for tests and for the image simulator's
 // calibration checks.
 func EstimateBackground(im *fits.Image) (level, sigma float64) {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	return estimateBackground(im, sc)
+}
+
+// estimateBackground is EstimateBackground over caller-supplied scratch.
+func estimateBackground(im *fits.Image, sc *scratch) (level, sigma float64) {
 	border := im.Nx / 10
 	if b2 := im.Ny / 10; b2 < border {
 		border = b2
@@ -198,7 +230,11 @@ func EstimateBackground(im *fits.Image) (level, sigma float64) {
 	if border < 2 {
 		border = 2
 	}
-	var vals []float64
+	inner := 0
+	if w, h := im.Nx-2*border, im.Ny-2*border; w > 0 && h > 0 {
+		inner = w * h
+	}
+	vals := growFloats(sc.vals, len(im.Data)-inner)[:0]
 	for y := 0; y < im.Ny; y++ {
 		for x := 0; x < im.Nx; x++ {
 			if x >= border && x < im.Nx-border && y >= border && y < im.Ny-border {
@@ -207,16 +243,18 @@ func EstimateBackground(im *fits.Image) (level, sigma float64) {
 			vals = append(vals, im.Data[y*im.Nx+x])
 		}
 	}
+	sc.vals = vals
 	return sigmaClip(vals, 3, 5)
 }
 
 // sigmaClip iteratively rejects outliers beyond k standard deviations and
-// returns the surviving mean and standard deviation.
+// returns the surviving mean and standard deviation. It reorders vals in
+// place (the caller's scratch buffer) instead of copying.
 func sigmaClip(vals []float64, k float64, iters int) (mean, sd float64) {
 	if len(vals) == 0 {
 		return 0, 0
 	}
-	work := append([]float64(nil), vals...)
+	work := vals
 	for it := 0; it < iters; it++ {
 		mean, sd = meanStd(work)
 		if sd == 0 {
@@ -310,27 +348,51 @@ func weightedCenterAround(sub []float64, nx, ny int, threshold, cx, cy, r float6
 	return sx / sw, sy / sw, true
 }
 
+// gcPixel is one growth-curve sample: squared radius, value, and the flat
+// pixel index as a deterministic sort tie-break.
+type gcPixel struct {
+	r2  float64
+	v   float64
+	idx int32
+}
+
 // growthCurve sorts pixels by radius about (cx, cy) and finds the radii
 // enclosing 20% and 80% of the total flux, the total flux, and the analysis
-// aperture (1.5·r80, clipped to the image).
-func growthCurve(sub []float64, nx, ny int, cx, cy float64) (r20, r80, total, rap float64) {
-	type px struct {
-		r, v float64
-	}
+// aperture (1.5·r80, clipped to the image). Pixels sort on squared radius —
+// monotone in radius, no per-pixel Hypot — with the flat index as tie-break,
+// so equal-radius pixels accumulate in a fixed raster order regardless of
+// the sorting algorithm.
+func growthCurve(sub []float64, nx, ny int, cx, cy float64, sc *scratch) (r20, r80, total, rap float64) {
 	maxR := maxUsableRadius(nx, ny, cx, cy)
-	pixels := make([]px, 0, nx*ny)
-	for y := 0; y < ny; y++ {
-		for x := 0; x < nx; x++ {
+	maxR2 := maxR * maxR
+	xlo, xhi, ylo, yhi := boundingBox(nx, ny, cx, cy, maxR)
+	if cap(sc.px) < nx*ny {
+		sc.px = make([]gcPixel, 0, nx*ny)
+	}
+	pixels := sc.px[:0]
+	for y := ylo; y <= yhi; y++ {
+		dy := float64(y) - cy
+		dy2 := dy * dy
+		row := y * nx
+		for x := xlo; x <= xhi; x++ {
 			dx := float64(x) - cx
-			dy := float64(y) - cy
-			r := math.Hypot(dx, dy)
-			if r > maxR {
+			r2 := dx*dx + dy2
+			if r2 > maxR2 {
 				continue
 			}
-			pixels = append(pixels, px{r, sub[y*nx+x]})
+			pixels = append(pixels, gcPixel{r2: r2, v: sub[row+x], idx: int32(row + x)})
 		}
 	}
-	sort.Slice(pixels, func(i, j int) bool { return pixels[i].r < pixels[j].r })
+	sc.px = pixels
+	slices.SortFunc(pixels, func(a, b gcPixel) int {
+		switch {
+		case a.r2 < b.r2:
+			return -1
+		case a.r2 > b.r2:
+			return 1
+		}
+		return int(a.idx) - int(b.idx)
+	})
 
 	// Signed sum: sky noise cancels instead of biasing the total upward,
 	// which is what lets the SNR detection test reject blank cutouts.
@@ -344,16 +406,16 @@ func growthCurve(sub []float64, nx, ny int, cx, cy float64) (r20, r80, total, ra
 	for _, p := range pixels {
 		cum += p.v
 		if r20 == 0 && cum >= 0.2*total {
-			r20 = p.r
+			r20 = math.Sqrt(p.r2)
 		}
 		if r80 == 0 && cum >= 0.8*total {
-			r80 = p.r
+			r80 = math.Sqrt(p.r2)
 			break
 		}
 	}
 	if r80 == 0 {
 		// Noise dips kept the cumulative sum below 80% until the very edge.
-		r80 = pixels[len(pixels)-1].r
+		r80 = math.Sqrt(pixels[len(pixels)-1].r2)
 	}
 	rap = 1.5 * r80
 	if rap > maxR {
@@ -363,6 +425,30 @@ func growthCurve(sub []float64, nx, ny int, cx, cy float64) (r20, r80, total, ra
 		rap = 3
 	}
 	return r20, r80, total, rap
+}
+
+// boundingBox clips the axis-aligned box enclosing the circle (cx, cy, r)
+// to the image, so aperture loops skip rows and columns that cannot pass
+// the radius test. Pixels inside the box still run the exact test, so the
+// selected set — and the accumulation order — is unchanged.
+func boundingBox(nx, ny int, cx, cy, r float64) (xlo, xhi, ylo, yhi int) {
+	xlo = int(math.Ceil(cx - r))
+	if xlo < 0 {
+		xlo = 0
+	}
+	xhi = int(math.Floor(cx + r))
+	if xhi > nx-1 {
+		xhi = nx - 1
+	}
+	ylo = int(math.Ceil(cy - r))
+	if ylo < 0 {
+		ylo = 0
+	}
+	yhi = int(math.Floor(cy + r))
+	if yhi > ny-1 {
+		yhi = ny - 1
+	}
+	return xlo, xhi, ylo, yhi
 }
 
 // maxUsableRadius is the largest circle about (cx, cy) fully inside the image.
@@ -386,11 +472,13 @@ func maxUsableRadius(nx, ny int, cx, cy float64) float64 {
 func pixelsWithin(nx, ny int, cx, cy, r float64) int {
 	n := 0
 	r2 := r * r
-	for y := 0; y < ny; y++ {
-		for x := 0; x < nx; x++ {
+	xlo, xhi, ylo, yhi := boundingBox(nx, ny, cx, cy, r)
+	for y := ylo; y <= yhi; y++ {
+		dy := float64(y) - cy
+		dy2 := dy * dy
+		for x := xlo; x <= xhi; x++ {
 			dx := float64(x) - cx
-			dy := float64(y) - cy
-			if dx*dx+dy*dy <= r2 {
+			if dx*dx+dy2 <= r2 {
 				n++
 			}
 		}
@@ -424,12 +512,15 @@ func asymmetry(sub []float64, nx, ny int, cx, cy, rap, sigma float64) float64 {
 		var sumAbs float64
 		n := 0
 		r2 := rap * rap
-		for y := 0; y < ny; y++ {
-			for x := 0; x < nx; x++ {
+		xlo, xhi, ylo, yhi := boundingBox(nx, ny, cx, cy, rap)
+		for y := ylo; y <= yhi; y++ {
+			dyp := float64(y) - cy
+			dyp2 := dyp * dyp
+			row := y * nx
+			for x := xlo; x <= xhi; x++ {
 				dxp := float64(x) - cx
-				dyp := float64(y) - cy
-				if dxp*dxp+dyp*dyp <= r2 {
-					sumAbs += math.Abs(sub[y*nx+x])
+				if dxp*dxp+dyp2 <= r2 {
+					sumAbs += math.Abs(sub[row+x])
 					n++
 				}
 			}
@@ -446,24 +537,64 @@ func asymmetry(sub []float64, nx, ny int, cx, cy, rap, sigma float64) float64 {
 }
 
 // asymmetryAt evaluates the asymmetry statistic for one rotation center.
+//
+// The 180° rotation maps (x, y) to (2cx − x, 2cy − y). Because x and y walk
+// integer pixels, the fractional parts of the rotated coordinates are the
+// constants frac(2cx) and frac(2cy): the four bilinear weights are fixed for
+// the whole aperture, and the rotated sample's integer cell just walks
+// backwards (floor(2cx) − x). That turns the inner loop's general bilinear
+// lookup — float floor, bounds checks, weight products per pixel — into four
+// indexed loads against precomputed weights.
 func asymmetryAt(sub []float64, nx, ny int, cx, cy, rap float64) float64 {
 	var num, den float64
 	r2 := rap * rap
-	for y := 0; y < ny; y++ {
-		for x := 0; x < nx; x++ {
+	tx := 2 * cx // exact: scaling by 2 does not round
+	ty := 2 * cy
+
+	// Integer x with the rotated coordinate in [0, nx-1]: rx = tx − x ≥ 0
+	// ⟺ x ≤ floor(tx); rx ≤ nx−1 ⟺ x ≥ ceil(tx−(nx−1)). Likewise for y.
+	rxMin := int(math.Ceil(tx - float64(nx-1)))
+	rxMax := int(math.Floor(tx))
+	ryMin := int(math.Ceil(ty - float64(ny-1)))
+	ryMax := int(math.Floor(ty))
+
+	// Constant bilinear weights: fx = frac(2cx), fy = frac(2cy).
+	fx := tx - float64(rxMax)
+	fy := ty - float64(ryMax)
+	gx := 1 - fx
+	gy := 1 - fy
+
+	xlo, xhi, ylo, yhi := boundingBox(nx, ny, cx, cy, rap)
+	for y := ylo; y <= yhi; y++ {
+		dy := float64(y) - cy
+		dy2 := dy * dy
+		row := y * nx
+		if y < ryMin || y > ryMax {
+			continue // rotated row falls outside the image
+		}
+		ry0 := ryMax - y // floor(ty − y), since y is an integer
+		ry1 := ry0 + 1
+		if ry1 >= ny {
+			ry1 = ny - 1 // fy is 0 here; the clamped sample has zero weight
+		}
+		rrow0 := ry0 * nx
+		rrow1 := ry1 * nx
+		for x := xlo; x <= xhi; x++ {
 			dx := float64(x) - cx
-			dy := float64(y) - cy
-			if dx*dx+dy*dy > r2 {
+			if dx*dx+dy2 > r2 {
 				continue
 			}
-			v := sub[y*nx+x]
-			// 180° rotation about (cx, cy): (x,y) -> (2cx - x, 2cy - y).
-			rx := 2*cx - float64(x)
-			ry := 2*cy - float64(y)
-			rv, ok := bilinear(sub, nx, ny, rx, ry)
-			if !ok {
-				continue
+			if x < rxMin || x > rxMax {
+				continue // rotated column falls outside the image
 			}
+			v := sub[row+x]
+			rx0 := rxMax - x
+			rx1 := rx0 + 1
+			if rx1 >= nx {
+				rx1 = nx - 1
+			}
+			rv := sub[rrow0+rx0]*gx*gy + sub[rrow0+rx1]*fx*gy +
+				sub[rrow1+rx0]*gx*fy + sub[rrow1+rx1]*fx*fy
 			num += math.Abs(v - rv)
 			den += math.Abs(v)
 		}

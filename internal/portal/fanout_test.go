@@ -1,0 +1,147 @@
+package portal
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/services"
+	"repro/internal/skysim"
+	"repro/internal/votable"
+	"repro/internal/wcs"
+)
+
+// trackingHandler wraps an archive handler and records the peak number of
+// requests in flight at once.
+type trackingHandler struct {
+	inner http.Handler
+	cur   int32
+	peak  int32
+	mu    sync.Mutex
+}
+
+func (h *trackingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c := atomic.AddInt32(&h.cur, 1)
+	h.mu.Lock()
+	if c > h.peak {
+		h.peak = c
+	}
+	h.mu.Unlock()
+	time.Sleep(20 * time.Millisecond) // widen the overlap window
+	h.inner.ServeHTTP(w, r)
+	atomic.AddInt32(&h.cur, -1)
+}
+
+// fanOutServers stands up three mirrors of one deterministic archive behind
+// a single tracking handler, so any number of portals can query the same
+// endpoints while sharing one peak-concurrency counter.
+func fanOutServers(t *testing.T) ([]string, *skysim.Cluster, *trackingHandler) {
+	t.Helper()
+	cl := skysim.Generate(skysim.Spec{
+		Name: "COMA", Center: wcs.New(195, 28), Redshift: 0.023,
+		NumGalaxies: 10, Seed: 21,
+	})
+	arch := services.NewArchive("mast", cl)
+	th := &trackingHandler{inner: arch.Handler()}
+	var urls []string
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(th)
+		t.Cleanup(srv.Close)
+		urls = append(urls, srv.URL)
+	}
+	return urls, cl, th
+}
+
+func fanOutPortal(t *testing.T, urls []string, cl *skysim.Cluster, parallel int) *Portal {
+	t.Helper()
+	p, err := New(Config{
+		Clusters: []ClusterEntry{{
+			Name: "COMA", Center: cl.Center, Redshift: cl.Redshift,
+			SearchRadiusDeg: 8*cl.CoreRadiusDeg + 0.01,
+		}},
+		ConeServices:       []string{urls[0] + "/cone", urls[1] + "/cone", urls[2] + "/cone"},
+		SIAServices:        []string{urls[0] + "/sia", urls[1] + "/sia", urls[2] + "/sia"},
+		CutoutService:      urls[0] + "/siacut",
+		ComputeService:     "http://unused.invalid",
+		HTTPClient:         &http.Client{},
+		MaxParallelQueries: parallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestArchiveQueriesOverlap verifies the fan-out actually issues archive
+// calls concurrently when MaxParallelQueries allows it.
+func TestArchiveQueriesOverlap(t *testing.T) {
+	urls, cl, th := fanOutServers(t)
+	p := fanOutPortal(t, urls, cl, 4)
+	if _, _, err := p.BuildCatalogReport("COMA"); err != nil {
+		t.Fatal(err)
+	}
+	if th.peak < 2 {
+		t.Errorf("peak concurrent archive requests = %d, want >= 2", th.peak)
+	}
+
+	urls2, cl2, th2 := fanOutServers(t)
+	pSerial := fanOutPortal(t, urls2, cl2, 1)
+	if _, _, err := pSerial.BuildCatalogReport("COMA"); err != nil {
+		t.Fatal(err)
+	}
+	if th2.peak != 1 {
+		t.Errorf("serial portal issued %d concurrent requests, want 1", th2.peak)
+	}
+}
+
+// TestParallelCatalogMatchesSerial requires the concurrent fan-out to merge
+// in configuration order: the built catalog must be byte-identical to the
+// serial build's.
+func TestParallelCatalogMatchesSerial(t *testing.T) {
+	render := func(tab *votable.Table) []byte {
+		var buf bytes.Buffer
+		if err := votable.WriteTable(&buf, tab); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	urls, cl, _ := fanOutServers(t)
+	pSerial := fanOutPortal(t, urls, cl, 1)
+	serialTab, serialDeg, err := pSerial.BuildCatalogReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialImgs, _, err := pSerial.FindImagesReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pPar := fanOutPortal(t, urls, cl, 8)
+	parTab, parDeg, err := pPar.BuildCatalogReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parImgs, _, err := pPar.FindImagesReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(render(serialTab), render(parTab)) {
+		t.Error("parallel catalog differs from serial catalog")
+	}
+	if len(serialDeg) != 0 || len(parDeg) != 0 {
+		t.Errorf("unexpected degradations: serial %v, parallel %v", serialDeg, parDeg)
+	}
+	if len(serialImgs) != len(parImgs) {
+		t.Fatalf("image counts: serial %d, parallel %d", len(serialImgs), len(parImgs))
+	}
+	for i := range serialImgs {
+		if serialImgs[i] != parImgs[i] {
+			t.Errorf("image %d: serial %+v != parallel %+v", i, serialImgs[i], parImgs[i])
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/services"
 	"repro/internal/votable"
 	"repro/internal/wcs"
+	"repro/internal/workpool"
 )
 
 // ClusterEntry is one row of the portal's internal cluster catalog.
@@ -68,6 +69,14 @@ type Config struct {
 	// (endpoint, operation) circuit is open and records every outcome; nil
 	// disables circuit breaking.
 	Breakers *resilience.Registry
+	// MaxParallelQueries bounds how many archive calls (cone searches, SIA
+	// image searches, the cutout query) one portal operation issues
+	// concurrently. The archives are independent services, so the fan-out
+	// hides their latencies behind each other; results are always merged in
+	// configuration order, so tables, degradation records and science output
+	// are identical to a serial build. Default 4; 1 restores the fully
+	// sequential portal.
+	MaxParallelQueries int
 }
 
 // Degradation records one archive the portal proceeded without: a secondary
@@ -131,6 +140,9 @@ func New(cfg Config) (*Portal, error) {
 	if cfg.PollTimeout <= 0 {
 		cfg.PollTimeout = 60 * time.Second
 	}
+	if cfg.MaxParallelQueries <= 0 {
+		cfg.MaxParallelQueries = 4
+	}
 	return &Portal{cfg: cfg, imageCache: map[string][]services.SIARecord{}}, nil
 }
 
@@ -181,20 +193,27 @@ func (p *Portal) FindImagesReport(cluster string) ([]services.SIARecord, []Degra
 			return append([]services.SIARecord(nil), cached...), nil, nil
 		}
 	}
-	var all []services.SIARecord
-	var degraded []Degradation
-	for _, base := range p.cfg.SIAServices {
-		var recs []services.SIARecord
-		err := p.callService(base, "sia", func() error {
+	// Query every image archive concurrently (they are independent
+	// services), then merge in configuration order so the combined record
+	// list and the degradation report are identical to a serial search.
+	results := make([][]services.SIARecord, len(p.cfg.SIAServices))
+	errs := make([]error, len(p.cfg.SIAServices))
+	workpool.Run(p.cfg.MaxParallelQueries, len(p.cfg.SIAServices), func(i int) {
+		base := p.cfg.SIAServices[i]
+		errs[i] = p.callService(base, "sia", func() error {
 			var e error
-			recs, e = services.SIAQuery(p.cfg.HTTPClient, base, entry.Center, 2*entry.SearchRadiusDeg)
+			results[i], e = services.SIAQuery(p.cfg.HTTPClient, base, entry.Center, 2*entry.SearchRadiusDeg)
 			return e
 		})
-		if err != nil {
-			degraded = append(degraded, Degradation{Service: base, Op: "sia", Err: err.Error()})
+	})
+	var all []services.SIARecord
+	var degraded []Degradation
+	for i, base := range p.cfg.SIAServices {
+		if errs[i] != nil {
+			degraded = append(degraded, Degradation{Service: base, Op: "sia", Err: errs[i].Error()})
 			continue
 		}
-		all = append(all, recs...)
+		all = append(all, results[i]...)
 	}
 	if p.cfg.CacheImageSearch && len(degraded) == 0 {
 		p.mu.Lock()
@@ -225,15 +244,38 @@ func (p *Portal) BuildCatalogReport(cluster string) (*votable.Table, []Degradati
 	if err != nil {
 		return nil, nil, err
 	}
-	var base *votable.Table
+	// Every archive query of the build — the primary cone search, the
+	// secondary cone searches, and the cutout SIA query — targets an
+	// independent service, so all of them fan out together; the joins below
+	// run in configuration order, which keeps the catalog columns and the
+	// degradation report byte-identical to a serial build.
+	nCone := len(p.cfg.ConeServices)
+	tables := make([]*votable.Table, nCone)
+	errs := make([]error, nCone+1)
+	var cuts []services.SIARecord
+	workpool.Run(p.cfg.MaxParallelQueries, nCone+1, func(i int) {
+		if i < nCone {
+			svc := p.cfg.ConeServices[i]
+			errs[i] = p.callService(svc, "cone", func() error {
+				var e error
+				tables[i], e = services.ConeSearch(p.cfg.HTTPClient, svc, entry.Center, entry.SearchRadiusDeg)
+				return e
+			})
+			return
+		}
+		errs[nCone] = p.callService(p.cfg.CutoutService, "sia", func() error {
+			var e error
+			cuts, e = services.SIAQuery(p.cfg.HTTPClient, p.cfg.CutoutService, entry.Center, 2*entry.SearchRadiusDeg)
+			return e
+		})
+	})
+
+	// The primary cone search is load-bearing; its failure fails the build.
 	primary := p.cfg.ConeServices[0]
-	if err := p.callService(primary, "cone", func() error {
-		var e error
-		base, e = services.ConeSearch(p.cfg.HTTPClient, primary, entry.Center, entry.SearchRadiusDeg)
-		return e
-	}); err != nil {
-		return nil, nil, fmt.Errorf("portal: cone %s: %w", primary, err)
+	if errs[0] != nil {
+		return nil, nil, fmt.Errorf("portal: cone %s: %w", primary, errs[0])
 	}
+	base := tables[0]
 	if base.NumRows() == 0 {
 		return nil, nil, fmt.Errorf("%w: %s", ErrNoCatalog, cluster)
 	}
@@ -243,17 +285,12 @@ func (p *Portal) BuildCatalogReport(cluster string) (*votable.Table, []Degradati
 	// data" requirement): left join keeps galaxies missing from the
 	// secondary catalogs.
 	var degraded []Degradation
-	for _, svc := range p.cfg.ConeServices[1:] {
-		var extra *votable.Table
-		if err := p.callService(svc, "cone", func() error {
-			var e error
-			extra, e = services.ConeSearch(p.cfg.HTTPClient, svc, entry.Center, entry.SearchRadiusDeg)
-			return e
-		}); err != nil {
+	for i, svc := range p.cfg.ConeServices[1:] {
+		if err := errs[i+1]; err != nil {
 			degraded = append(degraded, Degradation{Service: svc, Op: "cone", Err: err.Error()})
 			continue
 		}
-		joined, err := votable.LeftJoin(base, extra, "id", "id")
+		joined, err := votable.LeftJoin(base, tables[i+1], "id", "id")
 		if err != nil {
 			return nil, nil, err
 		}
@@ -263,13 +300,9 @@ func (p *Portal) BuildCatalogReport(cluster string) (*votable.Table, []Degradati
 
 	// Attach cutout references. The SIA cutout protocol returns one row
 	// per galaxy; merge its acref by galaxy id (the title column carries
-	// the id in our cutout service).
-	var cuts []services.SIARecord
-	if err := p.callService(p.cfg.CutoutService, "sia", func() error {
-		var e error
-		cuts, e = services.SIAQuery(p.cfg.HTTPClient, p.cfg.CutoutService, entry.Center, 2*entry.SearchRadiusDeg)
-		return e
-	}); err != nil {
+	// the id in our cutout service). Like the primary cone, the cutout
+	// service is load-bearing.
+	if err := errs[nCone]; err != nil {
 		return nil, nil, fmt.Errorf("portal: cutout SIA: %w", err)
 	}
 	acrefOf := make(map[string]string, len(cuts))

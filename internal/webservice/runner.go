@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/chimera"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/morphology"
 	"repro/internal/pegasus"
 	"repro/internal/rls"
+	"repro/internal/vdcache"
 	"repro/internal/vdl"
 	"repro/internal/votable"
 )
@@ -41,18 +43,20 @@ var errInjected = errors.New("webservice: injected transient failure")
 // runner builds the dagman Runner that gives concrete-workflow nodes their
 // behaviour: transfers move bytes through GridFTP, registrations publish
 // replicas, galMorph jobs measure morphology, and the concat job assembles
-// the output VOTable.
-func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats) dagman.Runner {
+// the output VOTable. mu serializes access to stats and rng from inside Run
+// closures, which execute concurrently on the worker pool when the service
+// is configured with Workers > 1.
+func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *sync.Mutex) dagman.Runner {
 	return func(n *dag.Node, attempt int) (dagman.Spec, error) {
 		switch n.Type {
 		case pegasus.NodeTransfer:
-			return s.transferSpec(n, attempt, stats), nil
+			return s.transferSpec(n, attempt, stats, mu), nil
 		case pegasus.NodeRegister:
 			return s.registerSpec(n), nil
 		case pegasus.NodeCompute:
 			switch n.Attr(chimera.AttrTransformation) {
 			case "galMorph":
-				return s.galMorphSpec(n, cat, rng, stats), nil
+				return s.galMorphSpec(n, cat, rng, stats, mu), nil
 			case "concatVOT":
 				return s.concatSpec(n, cat), nil
 			default:
@@ -65,7 +69,7 @@ func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats) dagm
 	}
 }
 
-func (s *Service) transferSpec(n *dag.Node, attempt int, stats *RunStats) dagman.Spec {
+func (s *Service) transferSpec(n *dag.Node, attempt int, stats *RunStats, mu *sync.Mutex) dagman.Spec {
 	src := s.pickTransferSource(n.Attr(pegasus.AttrLFN), n.Attr(pegasus.AttrSrcURL), attempt, stats)
 	dst := n.Attr(pegasus.AttrDstURL)
 	srcSite, _, _ := gridftp.ParseURL(src)
@@ -74,15 +78,18 @@ func (s *Service) transferSpec(n *dag.Node, attempt int, stats *RunStats) dagman
 		Run: func() error {
 			// Per-request accounting happens here rather than by diffing
 			// the global GridFTP counters, so concurrent requests do not
-			// pollute each other's numbers. The runner executes in this
-			// request's single-threaded DAGMan loop.
+			// pollute each other's numbers. Run bodies execute concurrently
+			// when the service runs with Workers > 1, hence the mutex around
+			// the shared per-request counters.
 			res, err := s.cfg.GridFTP.Transfer(src, dst)
 			s.cfg.Breakers.Record(srcSite, breakerOpTransfer, err)
 			if err != nil {
 				return err
 			}
+			mu.Lock()
 			stats.FilesStaged++
 			stats.BytesStaged += res.Bytes
+			mu.Unlock()
 			return nil
 		},
 	}
@@ -134,8 +141,31 @@ func (s *Service) registerSpec(n *dag.Node) dagman.Spec {
 	}
 }
 
+// memoEntry is one cached galMorph derivation: the measurement (or the
+// failure reason, which never embeds the galaxy identity — fits and
+// morphology errors describe the data, not the LFN — so entries transfer
+// across galaxies with identical image content).
+type memoEntry struct {
+	params morphology.Params
+	errStr string
+}
+
+// morphFingerprint renders the measurement parameters that, together with
+// the image content, determine a galMorph result.
+func morphFingerprint(cfg morphology.Config) string {
+	return fmt.Sprintf("galMorph|z=%g|scale=%g|zp=%g|H0=%g|om=%g|flat=%t",
+		cfg.Redshift, cfg.PixScaleDeg, cfg.ZeroPoint,
+		cfg.Cosmology.H0, cfg.Cosmology.OmegaM, cfg.Cosmology.Flat)
+}
+
 // galMorphSpec runs one galaxy's morphology measurement at its mapped site.
-func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, stats *RunStats) dagman.Spec {
+// Measurements are memoized in the service's virtual-data cache under
+// (image content hash, measurement parameters): Measure is deterministic, so
+// a warm hit reproduces the cold result byte-for-byte while skipping the
+// decode and measurement entirely. The output file is still written and
+// registered through the normal register nodes, publishing the cached
+// product through the RLS as a replica of the derivation's output LFN.
+func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *sync.Mutex) dagman.Spec {
 	site := n.Attr(pegasus.AttrSite)
 	inputs := chimera.SplitLFNs(n.Attr(chimera.AttrInputs))
 	outputs := chimera.SplitLFNs(n.Attr(chimera.AttrOutputs))
@@ -151,7 +181,10 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 	return dagman.Spec{
 		Cost: cost,
 		Run: func() error {
-			if s.cfg.FailureRate > 0 && rng.Float64() < s.cfg.FailureRate {
+			mu.Lock()
+			injected := s.cfg.FailureRate > 0 && rng.Float64() < s.cfg.FailureRate
+			mu.Unlock()
+			if injected {
 				return errInjected
 			}
 			if len(inputs) != 1 || len(outputs) != 1 {
@@ -167,30 +200,56 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 				return err
 			}
 			galaxyID := strings.TrimSuffix(inputs[0], ".fit")
+			mcfg := morphConfigFromDV(dv)
+
+			var p morphology.Params
+			key := vdcache.Key(raw, []byte(morphFingerprint(mcfg)))
+			if entry, hit := s.memo.Get(key); hit {
+				p = entry.params
+				err = nil
+				if entry.errStr != "" {
+					err = errors.New(entry.errStr)
+				}
+				mu.Lock()
+				stats.MemoHits++
+				mu.Unlock()
+			} else {
+				var im *fits.Image
+				im, err = fits.Decode(bytes.NewReader(raw))
+				if err == nil {
+					p, err = morphology.Measure(im, mcfg)
+				}
+				entry := memoEntry{params: p}
+				if err != nil {
+					entry.errStr = err.Error()
+				}
+				s.memo.Put(key, entry)
+				mu.Lock()
+				stats.MemoMisses++
+				mu.Unlock()
+			}
 
 			res := GalMorphResult{ID: galaxyID}
-			im, err := fits.Decode(bytes.NewReader(raw))
-			if err == nil {
-				var p morphology.Params
-				p, err = morphology.Measure(im, morphConfigFromDV(dv))
-				if err == nil && p.Valid {
-					res.Valid = true
-					res.SurfaceBrightness = p.SurfaceBrightness
-					res.Concentration = p.Concentration
-					res.Asymmetry = p.Asymmetry
-				}
+			if err == nil && p.Valid {
+				res.Valid = true
+				res.SurfaceBrightness = p.SurfaceBrightness
+				res.Concentration = p.Concentration
+				res.Asymmetry = p.Asymmetry
 			}
 			if err != nil {
 				// The paper's fault-tolerance design (§4.3.1 item 4): flag
 				// the galaxy invalid instead of failing the workflow —
 				// unless the strict-faults ablation asks for the rejected
-				// alternative.
+				// alternative (in which case the memo is disabled and err
+				// is always the live measurement error).
 				if s.cfg.StrictFaults {
 					return err
 				}
 				res.Valid = false
 				res.Reason = err.Error()
+				mu.Lock()
 				stats.InvalidRows++
+				mu.Unlock()
 			}
 			return store.Put(outputs[0], encodeResult(res))
 		},

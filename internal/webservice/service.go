@@ -48,8 +48,10 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/rls"
 	"repro/internal/tcat"
+	"repro/internal/vdcache"
 	"repro/internal/vdl"
 	"repro/internal/votable"
+	"repro/internal/workpool"
 )
 
 // State is a request's lifecycle state.
@@ -80,6 +82,8 @@ type RunStats struct {
 	InvalidRows   int           // galaxies flagged invalid by the validity flag
 	Retries       int           // DAGMan node re-submissions after failures
 	Failovers     int           // transfers redirected to an alternate replica
+	MemoHits      int           // galMorph results served from the virtual-data cache
+	MemoMisses    int           // galMorph results measured and cached
 	Makespan      time.Duration // model execution time of the concrete DAG
 	ReusedOutput  bool          // whole result served from the RLS
 }
@@ -156,6 +160,12 @@ type Config struct {
 	// Faults, when set, is installed on every Condor simulator the service
 	// creates, making job execution a fault point (op "condor.exec").
 	Faults *faults.Injector
+	// Workers bounds the side-effect concurrency of one request: the Condor
+	// simulator's leaf-job Run bodies and the image-staging fetches fan out
+	// to at most this many goroutines. <= 1 (the default) is fully serial;
+	// any setting leaves the model clock, the schedule, and the result
+	// VOTable byte-identical — only wall-clock time changes.
+	Workers int
 }
 
 // batchFetchSize bounds ids per batch request (URL-length safety).
@@ -165,9 +175,23 @@ const batchFetchSize = 64
 type Service struct {
 	cfg Config
 
+	// memo is the virtual-data cache of per-galaxy morphology measurements,
+	// keyed by (image content, measurement parameters) and shared across
+	// requests. Nil (always-miss) under StrictFaults, which demands faithful
+	// re-execution of failing measurements.
+	memo *vdcache.Cache[memoEntry]
+
 	mu       sync.Mutex
 	requests map[string]*Status
 	nextID   int
+}
+
+// workers returns the configured side-effect concurrency bound (minimum 1).
+func (s *Service) workers() int {
+	if s.cfg.Workers < 1 {
+		return 1
+	}
+	return s.cfg.Workers
 }
 
 // Errors returned by the service.
@@ -191,10 +215,14 @@ func New(cfg Config) (*Service, error) {
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 2
 	}
-	return &Service{
+	svc := &Service{
 		cfg:      cfg,
 		requests: map[string]*Status{},
-	}, nil
+	}
+	if !cfg.StrictFaults {
+		svc.memo = vdcache.New[memoEntry]()
+	}
+	return svc, nil
 }
 
 // Submit registers a new request and starts the computation in the
@@ -349,8 +377,11 @@ func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
 	stats.RegisterNodes = pstats.RegisterNodes
 
 	// ... and DAGMan executes on the Condor pools, resubmitting the rescue
-	// DAG when configured.
-	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats)
+	// DAG when configured. runMu serializes what the Run side effects share
+	// — the per-request stats and the failure-injection rng — because with
+	// Workers > 1 those bodies execute concurrently on the worker pool.
+	var runMu sync.Mutex
+	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
 	opts := dagman.Options{MaxRetries: s.cfg.MaxRetries}
 	if s.cfg.RetryPolicy != nil {
 		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
@@ -377,6 +408,7 @@ func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
 			return nil, err
 		}
 		sim.SetInjector(s.cfg.Faults)
+		sim.SetWorkers(s.workers())
 		return sim, nil
 	}
 	rep, err := dagman.ExecuteWithRescue(plan.Concrete, runner, newSim, opts, s.cfg.RescueRounds)
@@ -404,7 +436,10 @@ func (s *Service) ResultTable(lfn string) (*votable.Table, error) {
 
 // cacheImages downloads every galaxy image not yet present in the cache and
 // registers it in the RLS, one SIA request per galaxy (the paper's
-// bottleneck) or via the batched cutout interface when configured.
+// bottleneck) or via the batched cutout interface when configured. With
+// Workers > 1 the HTTP fetches fan out to the worker pool; responses are
+// ingested — accounted, split, stored, registered — strictly in request
+// order, so stats and replica registrations stay deterministic.
 func (s *Service) cacheImages(tab *votable.Table, stats *RunStats) error {
 	type missing struct{ id, acref string }
 	var todo []missing
@@ -433,27 +468,56 @@ func (s *Service) cacheImages(tab *votable.Table, stats *RunStats) error {
 			}
 			groups[base] = append(groups[base], m.id)
 		}
-		for base, ids := range groups {
+		// Flatten into a deterministic job list (sorted bases), fan the
+		// fetches out, ingest in job order.
+		bases := make([]string, 0, len(groups))
+		for base := range groups {
+			bases = append(bases, base)
+		}
+		sort.Strings(bases)
+		type batchJob struct {
+			base string
+			ids  []string
+		}
+		var jobs []batchJob
+		for _, base := range bases {
+			ids := groups[base]
 			for lo := 0; lo < len(ids); lo += batchFetchSize {
 				hi := lo + batchFetchSize
 				if hi > len(ids) {
 					hi = len(ids)
 				}
-				if err := s.cacheBatch(base, ids[lo:hi], stats); err != nil {
-					return err
-				}
+				jobs = append(jobs, batchJob{base: base, ids: ids[lo:hi]})
+			}
+		}
+		datas := make([][]byte, len(jobs))
+		errs := make([]error, len(jobs))
+		workpool.Run(s.workers(), len(jobs), func(i int) {
+			u := jobs[i].base + "/cutoutbatch?ids=" + strings.Join(jobs[i].ids, ",")
+			datas[i], errs[i] = s.fetchURL(u)
+		})
+		for i, job := range jobs {
+			if errs[i] != nil {
+				return errs[i]
+			}
+			if err := s.ingestBatch(job.base, job.ids, datas[i], stats); err != nil {
+				return err
 			}
 		}
 		todo = singles
 	}
 
-	for _, m := range todo {
-		data, err := s.fetchURL(m.acref)
-		if err != nil {
-			return err
+	datas := make([][]byte, len(todo))
+	errs := make([]error, len(todo))
+	workpool.Run(s.workers(), len(todo), func(i int) {
+		datas[i], errs[i] = s.fetchURL(todo[i].acref)
+	})
+	for i, m := range todo {
+		if errs[i] != nil {
+			return errs[i]
 		}
-		chargeSIA(stats, len(data))
-		if err := s.storeImage(m.id+".fit", data); err != nil {
+		chargeSIA(stats, len(datas[i]))
+		if err := s.storeImage(m.id+".fit", datas[i]); err != nil {
 			return err
 		}
 		stats.ImagesFetched++
@@ -469,21 +533,16 @@ func chargeSIA(stats *RunStats, nbytes int) {
 		time.Duration(float64(nbytes)/siaBandwidthBps*float64(time.Second))
 }
 
-// cacheBatch pulls one /cutoutbatch response and stores every image.
-func (s *Service) cacheBatch(base string, ids []string, stats *RunStats) error {
-	u := base + "/cutoutbatch?ids=" + strings.Join(ids, ",")
-	data, err := s.fetchURL(u)
-	if err != nil {
-		return err
-	}
+// ingestBatch accounts, splits and stores one fetched /cutoutbatch response.
+func (s *Service) ingestBatch(base string, ids []string, data []byte, stats *RunStats) error {
 	chargeSIA(stats, len(data))
 	segments, err := fits.SplitStream(data)
 	if err != nil {
-		return fmt.Errorf("webservice: batch %s: %w", u, err)
+		return fmt.Errorf("webservice: batch %s: %w", base, err)
 	}
 	if len(segments) != len(ids) {
 		return fmt.Errorf("webservice: batch %s returned %d images for %d ids",
-			u, len(segments), len(ids))
+			base, len(segments), len(ids))
 	}
 	for i, seg := range segments {
 		if err := s.storeImage(ids[i]+".fit", seg); err != nil {

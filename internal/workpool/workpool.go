@@ -1,0 +1,117 @@
+// Package workpool is the bounded worker pool behind every concurrent fan-out
+// in the grid stack: the Condor simulator's parallel leaf-job side effects,
+// the portal's concurrent archive queries, and the compute service's image
+// staging. It offers two shapes:
+//
+//   - Run: an indexed parallel for-loop over a fixed task count, for callers
+//     that fan out, wait for everything, and merge results in index order —
+//     the deterministic-merge pattern the portal and image cache use.
+//   - Pool/Future: streaming submission with per-task completion handles, for
+//     the discrete-event simulator, which launches a task's side effects the
+//     moment the model starts it and collects the result when the model clock
+//     reaches its completion instant.
+//
+// Both shapes bound concurrency with a semaphore, so a worker count of W
+// never runs more than W task bodies at once no matter how many tasks are
+// submitted. A worker count ≤ 1 degenerates to inline, submission-order
+// execution — byte-identical to the pre-concurrency serial code paths.
+package workpool
+
+import "sync"
+
+// Run invokes fn(i) for every i in [0, n) using at most workers concurrent
+// goroutines, and returns when all calls have finished. With workers <= 1 (or
+// n <= 1) the calls run inline in index order, making the serial mode an
+// exact replay of a plain loop. fn must write its results into caller-owned,
+// index-addressed slots; Run itself imposes no ordering on completion, so the
+// caller's merge order — not scheduling — determines the output order.
+func Run(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Pool is a bounded streaming worker pool: Submit launches a task body on a
+// free worker slot (or inline when Workers <= 1) and returns a Future that
+// resolves when the body finishes.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewPool builds a pool with the given worker bound. workers <= 1 yields an
+// inline pool: Submit runs the body synchronously before returning, which is
+// the deterministic serial mode.
+func NewPool(workers int) *Pool {
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.sem = make(chan struct{}, workers)
+	}
+	return p
+}
+
+// Workers returns the concurrency bound (minimum 1).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Future is the completion handle of one submitted task.
+type Future struct {
+	done chan struct{}
+	err  error
+}
+
+// Resolved returns an already-completed Future carrying err. Callers use it
+// to put a precomputed outcome (an injected fault decided before the task
+// body would run, a nil-bodied task) behind the same handle as live work.
+func Resolved(err error) *Future { return &Future{err: err} }
+
+// Wait blocks until the task body has finished and returns its error.
+func (f *Future) Wait() error {
+	if f.done != nil {
+		<-f.done
+	}
+	return f.err
+}
+
+// Submit schedules fn on the pool. On an inline pool (nil, or Workers <= 1)
+// fn runs before Submit returns, so submission order equals execution order —
+// the property the simulator's serial mode relies on. On a concurrent pool
+// fn runs on a worker goroutine as soon as a slot frees up.
+func (p *Pool) Submit(fn func() error) *Future {
+	if p == nil || p.sem == nil {
+		return &Future{err: fn()}
+	}
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.err = fn()
+		close(f.done)
+	}()
+	return f
+}

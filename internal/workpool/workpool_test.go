@@ -1,0 +1,111 @@
+package workpool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		const n = 100
+		hits := make([]int32, n)
+		Run(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunSerialPreservesOrder(t *testing.T) {
+	var order []int
+	Run(1, 10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order %v", order)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	var mu sync.Mutex
+	Run(workers, 50, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("peak concurrency %d > bound %d", peak, workers)
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	Run(4, 0, func(int) { t.Fatal("must not run") })
+}
+
+func TestPoolInlineRunsSynchronously(t *testing.T) {
+	p := NewPool(1)
+	ran := false
+	f := p.Submit(func() error { ran = true; return nil })
+	if !ran {
+		t.Fatal("inline pool must run the body before Submit returns")
+	}
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilPoolIsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	want := errors.New("x")
+	if err := p.Submit(func() error { return want }).Wait(); err != want {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolConcurrentResolvesAllFutures(t *testing.T) {
+	p := NewPool(4)
+	const n = 64
+	futs := make([]*Future, n)
+	errWant := errors.New("boom")
+	for i := 0; i < n; i++ {
+		i := i
+		futs[i] = p.Submit(func() error {
+			if i%7 == 0 {
+				return errWant
+			}
+			return nil
+		})
+	}
+	for i, f := range futs {
+		err := f.Wait()
+		if i%7 == 0 && err != errWant {
+			t.Fatalf("future %d: err = %v, want %v", i, err, errWant)
+		}
+		if i%7 != 0 && err != nil {
+			t.Fatalf("future %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestPoolWaitIsIdempotent(t *testing.T) {
+	p := NewPool(2)
+	f := p.Submit(func() error { return nil })
+	for i := 0; i < 3; i++ {
+		if err := f.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

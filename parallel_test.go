@@ -1,0 +1,262 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/gridftp"
+	"repro/internal/skysim"
+	"repro/internal/wcs"
+)
+
+// parallelTestbed wires a resilient testbed with the given side-effect
+// concurrency. Everything except Workers and the injector is held fixed so
+// serial and parallel runs are comparable byte for byte.
+func parallelTestbed(t *testing.T, clusters, workers int, inj *faults.Injector) *core.Testbed {
+	t.Helper()
+	tb, err := core.NewTestbed(core.Config{
+		ClusterSpecs: chaosSpecs(clusters),
+		Seed:         7,
+		Resilience:   true,
+		MirrorSite:   "mirror",
+		Faults:       inj,
+		Workers:      workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// TestParallelWorkersProduceByteIdenticalTables is the determinism contract
+// of the worker pool: the same seed must yield byte-identical result
+// VOTables — and identical model makespans, since only side effects
+// parallelize, never the discrete-event clock — at any worker count.
+func TestParallelWorkersProduceByteIdenticalTables(t *testing.T) {
+	serial, err := core.RunCampaign(parallelTestbed(t, 4, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTables(t, serial)
+
+	for _, w := range []int{2, 8} {
+		rep, err := core.RunCampaign(parallelTestbed(t, 4, w, nil))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := renderTables(t, rep)
+		for name, wb := range want {
+			if !bytes.Equal(got[name], wb) {
+				t.Errorf("workers=%d: %s result table differs from serial run", w, name)
+			}
+		}
+		for i := range serial.Clusters {
+			s, p := serial.Clusters[i], rep.Clusters[i]
+			if s.Makespan != p.Makespan {
+				t.Errorf("workers=%d: %s model makespan %v != serial %v",
+					w, s.Cluster, p.Makespan, s.Makespan)
+			}
+			if s.FilesStaged != p.FilesStaged || s.BytesStaged != p.BytesStaged {
+				t.Errorf("workers=%d: %s staging accounting (%d files, %d bytes) != serial (%d, %d)",
+					w, s.Cluster, p.FilesStaged, p.BytesStaged, s.FilesStaged, s.BytesStaged)
+			}
+		}
+	}
+}
+
+// TestParallelWorkersByteIdenticalUnderFaults injects the recoverable chaos
+// schedule into a parallel run and requires the science output to still
+// match the fault-free serial run byte for byte: faults shuffle retries and
+// failovers, never results.
+func TestParallelWorkersByteIdenticalUnderFaults(t *testing.T) {
+	clean, err := core.RunCampaign(parallelTestbed(t, 2, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTables(t, clean)
+
+	inj := recoverableSchedule()
+	faulted, err := core.RunCampaign(parallelTestbed(t, 2, 8, inj))
+	if err != nil {
+		t.Fatalf("recoverable faults must not fail the parallel campaign: %v", err)
+	}
+	if inj.Injected() == 0 {
+		t.Fatal("schedule injected no faults; the parallel chaos run tested nothing")
+	}
+	got := renderTables(t, faulted)
+	for name, wb := range want {
+		if !bytes.Equal(got[name], wb) {
+			t.Errorf("%s: faulted parallel table differs from fault-free serial table", name)
+		}
+	}
+}
+
+// TestWarmMemoRequestSkipsRecompute exercises the virtual-data memoization.
+// A plain repeat request is already served by RLS-level reduction (the
+// per-galaxy result LFNs stay registered, so Pegasus prunes every galMorph
+// node). The memo covers the regeneration case: the derived .txt files are
+// reclaimed from storage, so a repeat request must re-run every galMorph
+// node — but each measurement comes out of the content-keyed cache instead
+// of being recomputed, and the fresh result files are re-registered through
+// the normal register nodes.
+func TestWarmMemoRequestSkipsRecompute(t *testing.T) {
+	tb, err := core.NewTestbed(core.Config{
+		ClusterSpecs: []skysim.Spec{{
+			Name: "MEMO", Center: wcs.New(150, 2), Redshift: 0.04,
+			NumGalaxies: 20, Seed: 77,
+		}},
+		Seed:    5,
+		Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := tb.Portal.BuildCatalog("MEMO")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldLFN, coldStats, err := tb.Compute.Compute(cat, "MEMO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldStats.MemoHits != 0 || coldStats.MemoMisses == 0 {
+		t.Fatalf("cold run: MemoHits=%d MemoMisses=%d, want 0 hits and >0 misses",
+			coldStats.MemoHits, coldStats.MemoMisses)
+	}
+
+	// Reclaim the derived result files: unregister every replica and delete
+	// the underlying bytes, as a storage sweep would.
+	for i := 0; i < cat.NumRows(); i++ {
+		lfn := cat.Cell(i, "id") + ".txt"
+		for _, pfn := range tb.RLS.Lookup(lfn) {
+			if err := tb.RLS.Unregister(lfn, pfn); err != nil {
+				t.Fatal(err)
+			}
+			site, path, err := gridftp.ParseURL(pfn.URL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.FTP.Store(site).Delete(path); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	warmLFN, warmStats, err := tb.Compute.Compute(cat, "MEMO-AGAIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmStats.MemoMisses != 0 {
+		t.Errorf("warm run recomputed %d measurements, want 0", warmStats.MemoMisses)
+	}
+	if warmStats.MemoHits != 20 {
+		t.Errorf("warm run MemoHits=%d, want 20 (one per galaxy)", warmStats.MemoHits)
+	}
+
+	coldTab, err := tb.Compute.ResultTable(coldLFN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTab, err := tb.Compute.ResultTable(warmLFN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldTab.NumRows() != warmTab.NumRows() {
+		t.Fatalf("rows: cold %d, warm %d", coldTab.NumRows(), warmTab.NumRows())
+	}
+	for r := 0; r < coldTab.NumRows(); r++ {
+		for c := range coldTab.Fields {
+			if coldTab.Rows[r][c] != warmTab.Rows[r][c] {
+				t.Errorf("row %d col %d: cold %v != warm %v",
+					r, c, coldTab.Rows[r][c], warmTab.Rows[r][c])
+			}
+		}
+	}
+}
+
+// benchPR2 is the record TestEmitBenchPR2 writes to BENCH_pr2.json.
+type benchPR2 struct {
+	Note       string             `json:"note"`
+	NumCPU     int                `json:"num_cpu"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Campaign   map[string]float64 `json:"campaign_wall_seconds_by_workers"`
+	ColdWarm   map[string]float64 `json:"request_wall_seconds"`
+	MemoHits   int                `json:"warm_request_memo_hits"`
+}
+
+// TestEmitBenchPR2 measures the eight-cluster campaign at several worker
+// counts and a cold-vs-memoized repeat request, and records the wall-clock
+// numbers in BENCH_pr2.json for EXPERIMENTS.md. Skipped under -short.
+func TestEmitBenchPR2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	out := benchPR2{
+		Note: "wall-clock seconds; side-effect concurrency only — the model clock " +
+			"is identical at every worker count. Speedups require real cores; " +
+			"single-CPU containers serialize the workers.",
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Campaign:   map[string]float64{},
+		ColdWarm:   map[string]float64{},
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		tb := parallelTestbed(t, 8, w, nil)
+		start := time.Now()
+		if _, err := core.RunCampaign(tb); err != nil {
+			t.Fatal(err)
+		}
+		out.Campaign[fmt.Sprintf("workers=%d", w)] = time.Since(start).Seconds()
+	}
+
+	tb := parallelTestbed(t, 1, 4, nil)
+	name := tb.Portal.Clusters()[0].Name
+	cat, err := tb.Portal.BuildCatalog(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, _, err := tb.Compute.Compute(cat, name); err != nil {
+		t.Fatal(err)
+	}
+	out.ColdWarm["cold"] = time.Since(start).Seconds()
+	// Reclaim the derived result files so the repeat request re-runs every
+	// galMorph node and the timing isolates the memo, not RLS-level pruning.
+	for i := 0; i < cat.NumRows(); i++ {
+		lfn := cat.Cell(i, "id") + ".txt"
+		for _, pfn := range tb.RLS.Lookup(lfn) {
+			_ = tb.RLS.Unregister(lfn, pfn)
+			if site, path, err := gridftp.ParseURL(pfn.URL); err == nil {
+				_ = tb.FTP.Store(site).Delete(path)
+			}
+		}
+	}
+	start = time.Now()
+	_, warmStats, err := tb.Compute.Compute(cat, name+"-WARM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.ColdWarm["warm_memoized"] = time.Since(start).Seconds()
+	out.MemoHits = warmStats.MemoHits
+	if warmStats.MemoHits == 0 || warmStats.MemoMisses != 0 {
+		t.Fatalf("warm request did not exercise the memo: %+v", warmStats)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr2.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_pr2.json: %s", data)
+}
