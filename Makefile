@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet chaos bench verify
+.PHONY: build test vet chaos bench recovery fuzz verify
 
 build:
 	$(GO) build ./...
@@ -22,8 +22,23 @@ BENCH ?= .
 bench:
 	$(GO) test -run XXX -bench '$(BENCH)' -benchmem .
 
-# Full verification gate: vet, build, the race-enabled suite, and the
-# chaos campaign under the race detector.
+# Journal-replay idempotence: the kill-and-resume sweep and corruption
+# recovery, race-enabled, plus the cmd-level sweep through the full testbed.
+recovery:
+	$(GO) test -race -run 'TestKillAndResume|TestResume|TestJournalBrackets|TestTransferCorruption|TestCorruptIntermediate|TestCancel' -v ./internal/webservice/
+	$(GO) run ./cmd/nvo-resume -cluster COMA -scale 0.1
+
+# Fuzz smoke over the RLS text codec (seeds always run under plain `go test`;
+# this also spends a short budget on new inputs).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz FuzzReadReplicas -fuzztime $(FUZZTIME) ./internal/rls/
+
+# Full verification gate: vet, build, the race-enabled suite, the chaos
+# campaign under the race detector, journal-replay idempotence, and the
+# codec fuzz smoke.
 verify: vet build
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) recovery
+	$(MAKE) fuzz

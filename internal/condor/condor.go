@@ -363,6 +363,21 @@ func (s *Simulator) Step() (completions []Completion, ok bool) {
 	return completions, true
 }
 
+// Abort discards all queued work and waits for the side effects of
+// already-launched tasks to finish, leaving the simulator quiet. It models
+// the workflow manager dying: nothing new is dispatched, but side effects
+// already handed to worker nodes run to completion unobserved (their
+// completions are never reported, so nothing downstream acts on them).
+func (s *Simulator) Abort() {
+	for _, e := range s.running {
+		if e.async != nil {
+			_ = e.async.Wait()
+		}
+	}
+	s.running = nil
+	s.queue = nil
+}
+
 // Drain runs Step until the simulator is quiet and returns all completions.
 func (s *Simulator) Drain() []Completion {
 	var all []Completion

@@ -81,6 +81,13 @@ type Config struct {
 	// cached image to this second GridFTP site (and register both PFNs in
 	// the RLS) so transfer nodes have a replica to fail over to.
 	MirrorSite string
+	// JournalDir, when non-empty, makes the compute service crash-safe: the
+	// planned DAG, the generated VDL and a write-ahead journal are persisted
+	// there, and a killed run can be finished with Compute.Resume.
+	JournalDir string
+	// CrashAfterEvents, when > 0, kills the workflow after that many journal
+	// appends (the kill-and-resume campaign's deterministic crash switch).
+	CrashAfterEvents int
 }
 
 // Testbed is the fully wired end-to-end system.
@@ -206,6 +213,9 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		MirrorSite:   cfg.MirrorSite,
 		Faults:       cfg.Faults,
 		Workers:      cfg.Workers,
+
+		JournalDir:       cfg.JournalDir,
+		CrashAfterEvents: cfg.CrashAfterEvents,
 	}
 	if cfg.Resilience {
 		wsCfg.Breakers = tb.Breakers

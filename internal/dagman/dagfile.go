@@ -1,0 +1,211 @@
+// DAG file serialization: the on-disk twin of a concrete workflow, written at
+// plan time so a crashed run can be resumed without replanning. Re-running
+// Pegasus after a crash would produce a different concrete DAG (the RLS-based
+// reduction prunes newly-materialized files and site selection consumes the
+// rng in job order), so the resumed execution instead reloads the exact graph
+// the journal's node IDs refer to.
+//
+// The format is line-oriented and deterministic (nodes and attributes
+// sorted), with every token quoted so IDs, attribute values, and sites
+// round-trip byte-exactly:
+//
+//	DAGFILE v1
+//	NODE <id> <type>
+//	ATTR <id> <key> <value>
+//	DONE <id>
+//	EDGE <parent> <child>
+//
+// DONE lines mark nodes a rescue file records as already completed; a plain
+// plan-time snapshot has none.
+package dagman
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// dagFileHeader identifies the format; bump the version on layout changes.
+const dagFileHeader = "DAGFILE v1"
+
+// WriteDAG serializes g (and an optional set of already-done node IDs) in the
+// deterministic text format above.
+func WriteDAG(w io.Writer, g *dag.Graph, done map[string]bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, dagFileHeader)
+	for _, id := range g.Nodes() {
+		n, _ := g.Node(id)
+		fmt.Fprintf(bw, "NODE %s %s\n", strconv.Quote(n.ID), strconv.Quote(n.Type))
+		for _, k := range sortedAttrKeys(n.Attrs) {
+			fmt.Fprintf(bw, "ATTR %s %s %s\n",
+				strconv.Quote(n.ID), strconv.Quote(k), strconv.Quote(n.Attrs[k]))
+		}
+	}
+	for _, id := range g.Nodes() {
+		if done[id] {
+			fmt.Fprintf(bw, "DONE %s\n", strconv.Quote(id))
+		}
+	}
+	for _, id := range g.Nodes() {
+		for _, c := range g.Children(id) {
+			fmt.Fprintf(bw, "EDGE %s %s\n", strconv.Quote(id), strconv.Quote(c))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDAGFile writes the serialized DAG to path, fsyncing before close so
+// the snapshot survives the crashes it exists to recover from.
+func WriteDAGFile(path string, g *dag.Graph, done map[string]bool) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteDAG(f, g, done); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDAG parses the text format back into a graph and the set of DONE nodes.
+func ReadDAG(r io.Reader) (*dag.Graph, map[string]bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, fmt.Errorf("dagman: empty DAG file")
+	}
+	if sc.Text() != dagFileHeader {
+		return nil, nil, fmt.Errorf("dagman: bad DAG file header %q", sc.Text())
+	}
+	g := dag.New()
+	done := map[string]bool{}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, rest, _ := strings.Cut(line, " ")
+		fields, err := splitQuoted(rest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dagman: DAG file line %d: %w", lineNo, err)
+		}
+		switch op {
+		case "NODE":
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: NODE wants 2 fields, got %d", lineNo, len(fields))
+			}
+			if err := g.AddNode(&dag.Node{ID: fields[0], Type: fields[1]}); err != nil {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: %w", lineNo, err)
+			}
+		case "ATTR":
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: ATTR wants 3 fields, got %d", lineNo, len(fields))
+			}
+			n, ok := g.Node(fields[0])
+			if !ok {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: ATTR for unknown node %q", lineNo, fields[0])
+			}
+			n.SetAttr(fields[1], fields[2])
+		case "DONE":
+			if len(fields) != 1 {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: DONE wants 1 field, got %d", lineNo, len(fields))
+			}
+			if _, ok := g.Node(fields[0]); !ok {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: DONE for unknown node %q", lineNo, fields[0])
+			}
+			done[fields[0]] = true
+		case "EDGE":
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: EDGE wants 2 fields, got %d", lineNo, len(fields))
+			}
+			if err := g.AddEdge(fields[0], fields[1]); err != nil {
+				return nil, nil, fmt.Errorf("dagman: DAG file line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, nil, fmt.Errorf("dagman: DAG file line %d: unknown directive %q", lineNo, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return g, done, nil
+}
+
+// ReadDAGFile is ReadDAG over the file at path.
+func ReadDAGFile(path string) (*dag.Graph, map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadDAG(f)
+}
+
+// WriteRescueFile serializes the rescue DAG of a finished-but-failed report —
+// the failed and never-run subgraph a later submission resumes from, the
+// on-disk analogue of Condor DAGMan's rescue files.
+func WriteRescueFile(path string, g *dag.Graph, report *Report) error {
+	return WriteDAGFile(path, report.RescueDAG(g), nil)
+}
+
+// sortedAttrKeys returns the attribute keys in deterministic order.
+func sortedAttrKeys(attrs map[string]string) []string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	// Insertion sort: attribute maps are tiny (a handful of keys).
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// splitQuoted splits a run of space-separated Go-quoted tokens.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("unquoted token at %q", s)
+		}
+		// Find the closing quote, honouring backslash escapes.
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated quote at %q", s)
+		}
+		tok, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("bad token %q: %w", s[:end+1], err)
+		}
+		out = append(out, tok)
+		s = s[end+1:]
+	}
+	return out, nil
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/condor"
 	"repro/internal/dag"
+	"repro/internal/journal"
 )
 
 // NodeState is the lifecycle state of one workflow node.
@@ -70,6 +71,9 @@ const (
 	EventCompleted
 	EventRetried
 	EventFailed // retries exhausted
+	// EventRestored marks a node recovered as already-done from a journal
+	// (Options.Completed); it never executed in this run.
+	EventRestored
 )
 
 // String labels the kind.
@@ -83,6 +87,8 @@ func (k EventKind) String() string {
 		return "retried"
 	case EventFailed:
 		return "failed"
+	case EventRestored:
+		return "restored"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -117,6 +123,24 @@ type Options struct {
 	// for budgeted backoff-aware decisions; nil keeps DAGMan's classic
 	// count-based behaviour.
 	RetryPolicy func(node string, attempt int, err error) bool
+	// Journal, when set, receives a write-ahead record at every node state
+	// transition, BEFORE the executor acts on the transition. A failed
+	// append aborts the run (ErrAborted): a transition that cannot be made
+	// durable must not happen, or replay-to-resume would re-run completed
+	// side effects' descendants against a lying history. Nil journals
+	// nothing at zero cost.
+	Journal journal.Sink
+	// Check, when set, is polled between scheduler events; a non-nil error
+	// aborts the run cleanly (an abort record is journaled, ErrAborted is
+	// returned). Wire a context with func() error { return ctx.Err() } to
+	// make an abandoned request stop scheduling new nodes.
+	Check func() error
+	// Completed restores nodes a previous (crashed) run already finished:
+	// they are marked done without executing, their children unlock, and
+	// they surface as EventRestored. IDs not present in the graph are
+	// ignored, so a journal replayed against a reduced or rescue DAG is
+	// harmless.
+	Completed map[string]bool
 }
 
 // emit delivers a monitoring event if a monitor is installed.
@@ -144,6 +168,10 @@ type Report struct {
 	Done     int
 	Failed   int
 	Unrun    int
+	// Restored counts nodes recovered as done from Options.Completed —
+	// journaled work a resumed run did not re-execute. They are included
+	// in Done.
+	Restored int
 }
 
 // Succeeded reports whether every node completed.
@@ -182,6 +210,10 @@ func (r *Report) RescueDAG(g *dag.Graph) *dag.Graph {
 var (
 	ErrNilInput = errors.New("dagman: nil graph, runner or simulator")
 	ErrStarved  = errors.New("dagman: tasks starved (pinned to saturated pools)")
+	// ErrAborted marks a run stopped before completion — by Options.Check
+	// (e.g. a cancelled context) or by a journal append failure (e.g. a
+	// simulated crash). The journal holds the exact progress at the abort.
+	ErrAborted = errors.New("dagman: execution aborted")
 )
 
 // Execute runs the workflow to completion (or permanent failure) on the
@@ -205,9 +237,67 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 		report.Results[id] = &Result{Node: id, State: StatePending}
 	}
 
+	// journalRec makes a state transition durable before it is acted on.
+	journalRec := func(rec journal.Record) error {
+		if opt.Journal == nil {
+			return nil
+		}
+		if err := opt.Journal.Append(rec); err != nil {
+			return errors.Join(ErrAborted, err)
+		}
+		return nil
+	}
+	// abort stops the run on a Check failure, journaling the clean abort
+	// record best-effort (a crashed journal refuses it, which is fine — the
+	// existing prefix is the truth).
+	abort := func(cause error) error {
+		if opt.Journal != nil {
+			_ = opt.Journal.Append(journal.Record{
+				Kind: journal.KindAborted, At: sim.Now(), Err: cause.Error()})
+		}
+		return errors.Join(ErrAborted, cause)
+	}
+	checkAbort := func() error {
+		if opt.Check == nil {
+			return nil
+		}
+		if err := opt.Check(); err != nil {
+			return abort(err)
+		}
+		return nil
+	}
+
+	// Restore journaled completions: the crashed run's finished nodes count
+	// as done without re-executing, and their children unlock.
+	for _, id := range g.Nodes() {
+		if !opt.Completed[id] {
+			continue
+		}
+		res := report.Results[id]
+		res.State = StateDone
+		report.Restored++
+		if err := journalRec(journal.Record{Kind: journal.KindRestored, Node: id, At: sim.Now()}); err != nil {
+			return nil, err
+		}
+		opt.emit(Event{Kind: EventRestored, Node: id, At: sim.Now()})
+		for _, child := range g.Children(id) {
+			pendingParents[child]--
+		}
+	}
+
 	// The throttle queue holds ready nodes waiting under MaxInFlight.
 	var waiting []string
 	inFlight := 0
+
+	// fail stops the run on an abort or journal error. The simulator may
+	// still hold launched side effects on its worker pool; wait them out so
+	// no goroutine touches shared state after Execute returns. (A resumed
+	// run re-executes those nodes anyway — their completions were never
+	// journaled — and completion side effects are idempotent.)
+	fail := func(err error) (*Report, error) {
+		sim.Abort()
+		return nil, err
+	}
 
 	doSubmit := func(id string) error {
 		n, _ := g.Node(id)
@@ -216,6 +306,10 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 		spec, err := runner(n, res.Attempts)
 		if err != nil {
 			return fmt.Errorf("dagman: runner for %s: %w", id, err)
+		}
+		if err := journalRec(journal.Record{
+			Kind: journal.KindSubmitted, Node: id, Attempt: res.Attempts, At: sim.Now()}); err != nil {
+			return err
 		}
 		res.State = StateRunning
 		inFlight++
@@ -244,10 +338,19 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 		return nil
 	}
 
-	// Release the roots.
-	for _, id := range g.Roots() {
+	// Release every node whose parents are all satisfied. With no restored
+	// completions this is exactly g.Roots(); after a restore it also covers
+	// interior nodes whose ancestors finished in the crashed run.
+	if err := checkAbort(); err != nil {
+		return nil, err
+	}
+	for _, id := range g.Nodes() {
+		res := report.Results[id]
+		if res.State != StatePending || pendingParents[id] > 0 {
+			continue
+		}
 		if err := submit(id); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 
@@ -261,6 +364,9 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 	}
 
 	for {
+		if err := checkAbort(); err != nil {
+			return fail(err)
+		}
 		completions, ok := sim.Step()
 		if !ok {
 			break
@@ -279,18 +385,32 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 					retry = opt.RetryPolicy(c.TaskID, res.Attempts, c.Err)
 				}
 				if retry {
+					if err := journalRec(journal.Record{Kind: journal.KindRetried,
+						Node: c.TaskID, Site: c.Site, Attempt: res.Attempts,
+						At: c.End, Err: c.Err.Error()}); err != nil {
+						return fail(err)
+					}
 					opt.emit(Event{Kind: EventRetried, Node: c.TaskID, Site: c.Site,
 						Attempt: res.Attempts, At: c.End, Err: c.Err})
 					if err := submit(c.TaskID); err != nil {
-						return nil, err
+						return fail(err)
 					}
 					continue
+				}
+				if err := journalRec(journal.Record{Kind: journal.KindFailed,
+					Node: c.TaskID, Site: c.Site, Attempt: res.Attempts,
+					At: c.End, Err: c.Err.Error()}); err != nil {
+					return fail(err)
 				}
 				res.State = StateFailed
 				opt.emit(Event{Kind: EventFailed, Node: c.TaskID, Site: c.Site,
 					Attempt: res.Attempts, At: c.End, Err: c.Err})
 				markUnrunDescendants(c.TaskID)
 				continue
+			}
+			if err := journalRec(journal.Record{Kind: journal.KindCompleted,
+				Node: c.TaskID, Site: c.Site, Attempt: res.Attempts, At: c.End}); err != nil {
+				return fail(err)
 			}
 			res.State = StateDone
 			opt.emit(Event{Kind: EventCompleted, Node: c.TaskID, Site: c.Site,
@@ -306,12 +426,12 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 					continue // upstream failure already marked it unrun
 				}
 				if err := submit(child); err != nil {
-					return nil, err
+					return fail(err)
 				}
 			}
 		}
 		if err := drainWaiting(); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 

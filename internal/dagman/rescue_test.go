@@ -2,6 +2,7 @@ package dagman
 
 import (
 	"errors"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -170,10 +171,151 @@ func TestMonitorFailedEvent(t *testing.T) {
 func TestEventKindString(t *testing.T) {
 	for k, want := range map[EventKind]string{
 		EventSubmitted: "submitted", EventCompleted: "completed",
-		EventRetried: "retried", EventFailed: "failed", EventKind(9): "EventKind(9)",
+		EventRetried: "retried", EventFailed: "failed",
+		EventRestored: "restored", EventKind(9): "EventKind(9)",
 	} {
 		if k.String() != want {
 			t.Errorf("%d -> %q", int(k), k.String())
 		}
+	}
+}
+
+// sameGraph compares two graphs structurally: node set, types, attributes,
+// and edges.
+func sameGraph(t *testing.T, got, want *dag.Graph) {
+	t.Helper()
+	gotIDs, wantIDs := got.Nodes(), want.Nodes()
+	if len(gotIDs) != len(wantIDs) {
+		t.Fatalf("node count %d, want %d (%v vs %v)", len(gotIDs), len(wantIDs), gotIDs, wantIDs)
+	}
+	for i, id := range wantIDs {
+		if gotIDs[i] != id {
+			t.Fatalf("nodes %v, want %v", gotIDs, wantIDs)
+		}
+		gn, _ := got.Node(id)
+		wn, _ := want.Node(id)
+		if gn.Type != wn.Type {
+			t.Errorf("node %s type %q, want %q", id, gn.Type, wn.Type)
+		}
+		if len(gn.Attrs) != len(wn.Attrs) {
+			t.Errorf("node %s attrs %v, want %v", id, gn.Attrs, wn.Attrs)
+		}
+		for k, v := range wn.Attrs {
+			if gn.Attrs[k] != v {
+				t.Errorf("node %s attr %s = %q, want %q", id, k, gn.Attrs[k], v)
+			}
+		}
+		gc, wc := got.Children(id), want.Children(id)
+		if len(gc) != len(wc) {
+			t.Fatalf("node %s children %v, want %v", id, gc, wc)
+		}
+		for j := range wc {
+			if gc[j] != wc[j] {
+				t.Fatalf("node %s children %v, want %v", id, gc, wc)
+			}
+		}
+	}
+}
+
+// rescueRoundTrip serializes the report's rescue DAG, reloads it, and checks
+// it equals the in-memory one.
+func rescueRoundTrip(t *testing.T, g *dag.Graph, rep *Report) *dag.Graph {
+	t.Helper()
+	mem := rep.RescueDAG(g)
+	path := filepath.Join(t.TempDir(), "rescue.dag")
+	if err := WriteRescueFile(path, g, rep); err != nil {
+		t.Fatal(err)
+	}
+	loaded, done, err := ReadDAGFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Errorf("rescue file carries DONE markers: %v", done)
+	}
+	sameGraph(t, loaded, mem)
+	return loaded
+}
+
+func TestRescueRoundTripEmpty(t *testing.T) {
+	// Fully successful run: the rescue DAG is empty, and so is its file twin.
+	g := chainGraph(t, 3)
+	sim, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	rep, err := Execute(g, unitRunner(nil), sim, Options{})
+	if err != nil || !rep.Succeeded() {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+	loaded := rescueRoundTrip(t, g, rep)
+	if loaded.Len() != 0 {
+		t.Errorf("empty rescue reloaded with %d nodes", loaded.Len())
+	}
+}
+
+func TestRescueRoundTripAllFailed(t *testing.T) {
+	// Root fails permanently: every node is failed or unrun, so the rescue
+	// DAG is the whole graph — and resuming it with a healed runner finishes.
+	g := chainGraph(t, 4)
+	broken := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error { return errors.New("dead") }}, nil
+	}
+	sim, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	rep, err := Execute(g, broken, sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded() {
+		t.Fatal("must fail")
+	}
+	loaded := rescueRoundTrip(t, g, rep)
+	sameGraph(t, loaded, g)
+
+	sim2, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	var order []string
+	rep2, err := Execute(loaded, unitRunner(&order), sim2, Options{})
+	if err != nil || !rep2.Succeeded() {
+		t.Fatalf("resume rep=%+v err=%v", rep2, err)
+	}
+	if len(order) != 4 {
+		t.Errorf("resume executed %v, want all 4 nodes", order)
+	}
+}
+
+func TestRescueRoundTripPartial(t *testing.T) {
+	// n2 of n1->n2->n3->n4 fails: the rescue DAG is {n2,n3,n4}, resuming the
+	// reloaded file with a healed runner completes exactly those nodes.
+	g := chainGraph(t, 4)
+	sick := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error {
+			if n.ID == "n2" {
+				return errors.New("sick")
+			}
+			return nil
+		}}, nil
+	}
+	sim, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	rep, err := Execute(g, sick, sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := rescueRoundTrip(t, g, rep)
+	wantNodes := []string{"n2", "n3", "n4"}
+	gotNodes := loaded.Nodes()
+	if len(gotNodes) != len(wantNodes) {
+		t.Fatalf("rescue nodes %v, want %v", gotNodes, wantNodes)
+	}
+	for i := range wantNodes {
+		if gotNodes[i] != wantNodes[i] {
+			t.Fatalf("rescue nodes %v, want %v", gotNodes, wantNodes)
+		}
+	}
+
+	sim2, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	var order []string
+	rep2, err := Execute(loaded, unitRunner(&order), sim2, Options{})
+	if err != nil || !rep2.Succeeded() {
+		t.Fatalf("resume rep=%+v err=%v", rep2, err)
+	}
+	if len(order) != 3 || order[0] != "n2" {
+		t.Errorf("resume executed %v, want [n2 n3 n4]", order)
 	}
 }

@@ -1,0 +1,260 @@
+package dagman
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/dag"
+	"repro/internal/journal"
+)
+
+func TestDAGFileRoundTripAttrs(t *testing.T) {
+	g := dag.New()
+	// Hostile IDs and values: spaces, quotes, newlines, unicode.
+	a := &dag.Node{ID: `tx a "quoted"`, Type: "transfer",
+		Attrs: map[string]string{"src": "gsiftp://x/ y", "multi": "line\nbreak"}}
+	b := &dag.Node{ID: "b", Type: "galmorph", Attrs: map[string]string{"lfn": "ngc–4321.fit"}}
+	for _, n := range []*dag.Node{a, b} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(a.ID, "b"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "wf.dag")
+	if err := WriteDAGFile(path, g, map[string]bool{"b": true}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, done, err := ReadDAGFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameGraph(t, loaded, g)
+	if !done["b"] || len(done) != 1 {
+		t.Errorf("done = %v, want {b}", done)
+	}
+}
+
+func TestDAGFileDeterministic(t *testing.T) {
+	g := chainGraph(t, 5)
+	var a, b strings.Builder
+	if err := WriteDAG(&a, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDAG(&b, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("serialization is not deterministic")
+	}
+}
+
+func TestDAGFileRejectsGarbage(t *testing.T) {
+	for name, text := range map[string]string{
+		"empty":        "",
+		"bad header":   "DAGFILE v9\n",
+		"unknown op":   "DAGFILE v1\nBLURB \"x\"\n",
+		"edge no node": "DAGFILE v1\nEDGE \"a\" \"b\"\n",
+		"attr no node": "DAGFILE v1\nATTR \"a\" \"k\" \"v\"\n",
+		"done no node": "DAGFILE v1\nDONE \"a\"\n",
+		"unquoted":     "DAGFILE v1\nNODE a compute\n",
+		"torn quote":   "DAGFILE v1\nNODE \"a\n",
+		"dup node":     "DAGFILE v1\nNODE \"a\" \"x\"\nNODE \"a\" \"x\"\n",
+	} {
+		if _, _, err := ReadDAG(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// journalFor runs Execute over a chain with a journal writer and returns the
+// journal path.
+func journalFor(t *testing.T, sink journal.Sink, opt Options) (*Report, error) {
+	t.Helper()
+	g := chainGraph(t, 4)
+	sim, err := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Journal = sink
+	return Execute(g, unitRunner(nil), sim, opt)
+}
+
+func TestExecuteJournalsEveryTransition(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.journal")
+	w, err := journal.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := journalFor(t, w, Options{})
+	if err != nil || !rep.Succeeded() {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+	w.Close()
+	recs, truncated, err := journal.Replay(path)
+	if err != nil || truncated {
+		t.Fatalf("replay: %v truncated=%t", err, truncated)
+	}
+	// 4 nodes, no faults: 4 submitted + 4 completed.
+	kinds := map[string]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+	}
+	if kinds[journal.KindSubmitted] != 4 || kinds[journal.KindCompleted] != 4 {
+		t.Errorf("journal kinds = %v", kinds)
+	}
+	done := journal.CompletedNodes(recs)
+	for _, id := range []string{"n1", "n2", "n3", "n4"} {
+		if !done[id] {
+			t.Errorf("%s not recorded done", id)
+		}
+	}
+}
+
+func TestExecuteJournalsRetryAndFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.journal")
+	w, _ := journal.Create(path)
+	g := chainGraph(t, 2)
+	runner := func(n *dag.Node, attempt int) (Spec, error) {
+		return Spec{Cost: time.Second, Run: func() error {
+			if n.ID == "n1" {
+				return errors.New("dead disk")
+			}
+			return nil
+		}}, nil
+	}
+	sim, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 1})
+	rep, err := Execute(g, runner, sim, Options{MaxRetries: 1, Journal: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Succeeded() {
+		t.Fatal("must fail")
+	}
+	w.Close()
+	recs, _, _ := journal.Replay(path)
+	kinds := map[string]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+		if (r.Kind == journal.KindRetried || r.Kind == journal.KindFailed) && r.Err == "" {
+			t.Errorf("%s record lost its error", r.Kind)
+		}
+	}
+	if kinds[journal.KindRetried] != 1 || kinds[journal.KindFailed] != 1 {
+		t.Errorf("journal kinds = %v", kinds)
+	}
+	if done := journal.CompletedNodes(recs); len(done) != 0 {
+		t.Errorf("failed chain recorded completions: %v", done)
+	}
+}
+
+func TestExecuteRestoresCompleted(t *testing.T) {
+	g := chainGraph(t, 3)
+	var order []string
+	sim, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 2})
+	var restored []string
+	rep, err := Execute(g, unitRunner(&order), sim, Options{
+		Completed: map[string]bool{"n1": true, "ghost": true},
+		Monitor: func(e Event) {
+			if e.Kind == EventRestored {
+				restored = append(restored, e.Node)
+			}
+		},
+	})
+	if err != nil || !rep.Succeeded() {
+		t.Fatalf("rep=%+v err=%v", rep, err)
+	}
+	if rep.Restored != 1 || rep.Done != 3 {
+		t.Errorf("restored=%d done=%d, want 1 and 3", rep.Restored, rep.Done)
+	}
+	if len(order) != 2 || order[0] != "n2" || order[1] != "n3" {
+		t.Errorf("executed %v, want only [n2 n3]", order)
+	}
+	if rep.Results["n1"].Attempts != 0 {
+		t.Errorf("restored node re-ran: %+v", rep.Results["n1"])
+	}
+	if len(restored) != 1 || restored[0] != "n1" {
+		t.Errorf("restored events = %v", restored)
+	}
+}
+
+func TestExecuteCheckAborts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wf.journal")
+	w, _ := journal.Create(path)
+	calls := 0
+	cancelled := errors.New("request abandoned")
+	_, err := journalFor(t, w, Options{Check: func() error {
+		calls++
+		if calls > 2 {
+			return cancelled
+		}
+		return nil
+	}})
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, cancelled) {
+		t.Fatalf("err = %v, want ErrAborted wrapping the cause", err)
+	}
+	w.Close()
+	recs, _, _ := journal.Replay(path)
+	if len(recs) == 0 || recs[len(recs)-1].Kind != journal.KindAborted {
+		t.Errorf("journal must end with an abort record: %+v", recs)
+	}
+}
+
+func TestExecuteCrashThenResumeRunsOnlyUnfinished(t *testing.T) {
+	// Sweep the kill point over every journal-append boundary: for each, the
+	// crashed run aborts, and a resume restores exactly the journaled
+	// completions and executes only the rest.
+	const n = 5
+	// An uninterrupted run journals 2*n records (submit+complete per node).
+	for kill := 1; kill < 2*n; kill++ {
+		path := filepath.Join(t.TempDir(), "wf.journal")
+		w, err := journal.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crash := &journal.CrashSink{Sink: w, After: kill}
+		g := chainGraph(t, n)
+		sim, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 1})
+		_, err = Execute(g, unitRunner(nil), sim, Options{Journal: crash})
+		if !errors.Is(err, ErrAborted) || !errors.Is(err, journal.ErrCrash) {
+			t.Fatalf("kill=%d: err = %v, want aborted crash", kill, err)
+		}
+		w.Close()
+
+		recs, _, err := journal.Replay(path)
+		if err != nil {
+			t.Fatalf("kill=%d: %v", kill, err)
+		}
+		done := journal.CompletedNodes(recs)
+
+		w2, _, err := journal.OpenAppend(path)
+		if err != nil {
+			t.Fatalf("kill=%d: %v", kill, err)
+		}
+		var order []string
+		g2 := chainGraph(t, n)
+		sim2, _ := condor.NewSimulator(condor.Pool{Name: "p", Slots: 1})
+		rep, err := Execute(g2, unitRunner(&order), sim2, Options{Journal: w2, Completed: done})
+		if err != nil || !rep.Succeeded() {
+			t.Fatalf("kill=%d: resume rep=%+v err=%v", kill, rep, err)
+		}
+		w2.Close()
+		if rep.Restored != len(done) {
+			t.Errorf("kill=%d: restored %d, journal said %d", kill, rep.Restored, len(done))
+		}
+		// Only the non-done prefix re-executed.
+		if len(order)+len(done) != n {
+			t.Errorf("kill=%d: executed %v with %d restored", kill, order, len(done))
+		}
+		for _, id := range order {
+			if done[id] {
+				t.Errorf("kill=%d: re-executed completed node %s", kill, id)
+			}
+		}
+	}
+}

@@ -13,6 +13,8 @@
 package gridftp
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -29,7 +31,37 @@ var (
 	ErrNoSuchFile  = errors.New("gridftp: no such file")
 	ErrNoSuchSite  = errors.New("gridftp: no such site")
 	ErrEmptyUpload = errors.New("gridftp: empty content")
+	// ErrChecksum marks a replica whose content no longer matches the
+	// checksum recorded at creation — corruption, not a transient fault. The
+	// right response is not a plain retry (the damage is at rest and will
+	// not heal) but an alternate replica or re-derivation; see
+	// resilience.Classify.
+	ErrChecksum = errors.New("gridftp: checksum mismatch")
 )
+
+// Checksum returns the content checksum (hex sha256) this package records at
+// file creation and verifies on every transfer.
+func Checksum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// ChecksumError reports a replica failing verification: the stored bytes
+// hash to Got but the checksum of record is Want. It unwraps to ErrChecksum
+// so errors.Is(err, ErrChecksum) classifies it.
+type ChecksumError struct {
+	Site, Path string
+	Want, Got  string
+}
+
+// Error formats the mismatch.
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("gridftp: checksum mismatch for %s at %s: stored bytes hash %.12s, recorded %.12s",
+		e.Path, e.Site, e.Got, e.Want)
+}
+
+// Unwrap ties the typed error to the ErrChecksum sentinel.
+func (e *ChecksumError) Unwrap() error { return ErrChecksum }
 
 // URL formats a gridftp URL.
 func URL(site, path string) string {
@@ -57,22 +89,26 @@ func ParseURL(u string) (site, path string, err error) {
 	return site, path, nil
 }
 
-// Store is one site's file system. It is safe for concurrent use.
+// Store is one site's file system. It is safe for concurrent use. Alongside
+// each file it keeps the checksum recorded when the file was created — the
+// integrity baseline transfers and consumers verify against.
 type Store struct {
 	site string
 	mu   sync.RWMutex
 	m    map[string][]byte
+	sums map[string]string
 }
 
 // NewStore returns an empty store for a site.
 func NewStore(site string) *Store {
-	return &Store{site: site, m: map[string][]byte{}}
+	return &Store{site: site, m: map[string][]byte{}, sums: map[string]string{}}
 }
 
 // Site returns the owning site name.
 func (s *Store) Site() string { return s.site }
 
-// Put stores content at path, replacing any previous file.
+// Put stores content at path, replacing any previous file, and records the
+// content checksum as the file's integrity baseline.
 func (s *Store) Put(path string, content []byte) error {
 	if len(content) == 0 {
 		return ErrEmptyUpload
@@ -82,7 +118,49 @@ func (s *Store) Put(path string, content []byte) error {
 	cp := make([]byte, len(content))
 	copy(cp, content)
 	s.m[path] = cp
+	s.sums[path] = Checksum(cp)
 	return nil
+}
+
+// Sum returns the checksum recorded when the file was created (not a fresh
+// hash of the bytes — after at-rest damage the two differ, which is the
+// point).
+func (s *Store) Sum(path string) (string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sum, ok := s.sums[path]
+	return sum, ok
+}
+
+// Verify recomputes the file's checksum and compares it to the record. A
+// mismatch returns a *ChecksumError (errors.Is ErrChecksum).
+func (s *Store) Verify(path string) error {
+	s.mu.RLock()
+	data, ok := s.m[path]
+	want := s.sums[path]
+	s.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s at %s", ErrNoSuchFile, path, s.site)
+	}
+	if got := Checksum(data); got != want {
+		return &ChecksumError{Site: s.site, Path: path, Want: want, Got: got}
+	}
+	return nil
+}
+
+// Corrupt damages the file's bytes at rest while leaving the recorded
+// checksum untouched — the persistent bit-rot a KindCorruption fault models.
+// Retrying a read of a corrupted replica keeps failing verification until the
+// replica is quarantined and replaced.
+func (s *Store) Corrupt(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[path]
+	if !ok {
+		return false
+	}
+	data[len(data)/2] ^= 0xFF
+	return true
 }
 
 // Get returns a copy of the file's content.
@@ -121,6 +199,7 @@ func (s *Store) Delete(path string) error {
 		return fmt.Errorf("%w: %s at %s", ErrNoSuchFile, path, s.site)
 	}
 	delete(s.m, path)
+	delete(s.sums, path)
 	return nil
 }
 
@@ -266,11 +345,15 @@ type Result struct {
 // copy itself happens immediately (wall-clock); Duration is for the
 // discrete-event executor's clock.
 //
-// With a fault injector installed, each transfer is a fault point keyed by
-// the source site and path: transient/timeout/site-down faults fail the
-// transfer outright, and a corruption fault models checksum verification
-// catching damage in flight — the transfer fails and no bytes are written
-// to the destination, so a retry can succeed cleanly.
+// Every transfer verifies the source replica against its checksum of record
+// before a single byte reaches the destination, so corruption never
+// propagates. With a fault injector installed, each transfer is a fault
+// point keyed by the source site and path: transient/timeout/site-down
+// faults fail the transfer outright, while a corruption fault damages the
+// source replica AT REST (the recorded checksum goes stale) — verification
+// then fails this and every later transfer from that replica with a
+// *ChecksumError until the replica is quarantined and re-derived or an
+// alternate replica is used.
 func (s *Service) Transfer(srcURL, dstURL string) (Result, error) {
 	srcSite, srcPath, err := ParseURL(srcURL)
 	if err != nil {
@@ -280,14 +363,22 @@ func (s *Service) Transfer(srcURL, dstURL string) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	if err := s.injector().Check(faults.Op{Name: OpTransfer, Site: srcSite, Key: srcPath}); err != nil {
-		return Result{}, fmt.Errorf("gridftp: transfer %s -> %s: %w", srcURL, dstURL, err)
-	}
 	s.mu.Lock()
 	src, ok := s.stores[srcSite]
 	s.mu.Unlock()
+	if err := s.injector().Check(faults.Op{Name: OpTransfer, Site: srcSite, Key: srcPath}); err != nil {
+		if faults.Is(err, faults.KindCorruption) && ok {
+			// Model bit-rot: the injector fires once, the damage persists.
+			src.Corrupt(srcPath)
+		} else {
+			return Result{}, fmt.Errorf("gridftp: transfer %s -> %s: %w", srcURL, dstURL, err)
+		}
+	}
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %q", ErrNoSuchSite, srcSite)
+	}
+	if err := src.Verify(srcPath); err != nil {
+		return Result{}, fmt.Errorf("gridftp: transfer %s -> %s: %w", srcURL, dstURL, err)
 	}
 	data, err := src.Get(srcPath)
 	if err != nil {
@@ -307,6 +398,22 @@ func (s *Service) Transfer(srcURL, dstURL string) (Result, error) {
 	s.stats.Bytes += res.Bytes
 	s.mu.Unlock()
 	return res, nil
+}
+
+// Verify checks the replica at url against its checksum of record — the
+// pre-consumption integrity gate a leaf job runs before trusting an input.
+func (s *Service) Verify(url string) error {
+	site, path, err := ParseURL(url)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	st, ok := s.stores[site]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchSite, site)
+	}
+	return st.Verify(path)
 }
 
 // Estimate returns the modelled duration of a prospective transfer without

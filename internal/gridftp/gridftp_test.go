@@ -72,25 +72,43 @@ func TestTransferFaultInjection(t *testing.T) {
 	svc := NewService(Network{})
 	_ = svc.Store("isi").Put("g1.fit", []byte("payload"))
 
-	// Site-down window over the first two isi-sourced transfers; the third
-	// succeeds. Corruption must not deliver bytes.
+	// Site-down window over the first two isi-sourced transfers, then a
+	// corruption fault that damages the replica at rest.
 	svc.SetInjector(faults.New(1,
 		faults.Rule{Name: OpTransfer, Site: "isi", Kind: faults.KindSiteDown, Until: 2},
 		faults.Rule{Name: OpTransfer, Site: "isi", Kind: faults.KindCorruption, From: 2, Until: 3},
 	))
-	for i, wantKind := range []faults.Kind{faults.KindSiteDown, faults.KindSiteDown, faults.KindCorruption} {
+	for i := 0; i < 2; i++ {
 		_, err := svc.Transfer(URL("isi", "g1.fit"), URL("fnal", "g1.fit"))
-		if !faults.Is(err, wantKind) {
-			t.Fatalf("attempt %d: err = %v, want injected %v", i, err, wantKind)
+		if !faults.Is(err, faults.KindSiteDown) {
+			t.Fatalf("attempt %d: err = %v, want injected site-down", i, err)
 		}
 		if svc.Store("fnal").Exists("g1.fit") {
 			t.Fatal("failed transfer must not deliver bytes")
 		}
 	}
+	// The corruption fault surfaces as a typed checksum error, and the
+	// damage is persistent: the fault window passing does not heal it.
+	for i := 0; i < 2; i++ {
+		_, err := svc.Transfer(URL("isi", "g1.fit"), URL("fnal", "g1.fit"))
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("corrupt attempt %d: err = %v, want ErrChecksum", i, err)
+		}
+		var ce *ChecksumError
+		if !errors.As(err, &ce) || ce.Site != "isi" || ce.Path != "g1.fit" {
+			t.Fatalf("corrupt attempt %d: err = %v, want *ChecksumError for isi/g1.fit", i, err)
+		}
+		if svc.Store("fnal").Exists("g1.fit") {
+			t.Fatal("corrupt transfer must not deliver bytes")
+		}
+	}
 	if st := svc.Stats(); st.Transfers != 0 {
 		t.Errorf("injected failures must not count as transfers: %+v", st)
 	}
-	// Window passed: the transfer completes.
+	// Re-creating the replica (what re-derivation does) restores integrity.
+	if err := svc.Store("isi").Put("g1.fit", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := svc.Transfer(URL("isi", "g1.fit"), URL("fnal", "g1.fit")); err != nil {
 		t.Fatal(err)
 	}
@@ -294,5 +312,65 @@ func TestEstimate(t *testing.T) {
 	}
 	if got := svc.Estimate("junk", URL("dst", "x")); got != 50*time.Millisecond {
 		t.Errorf("bad URL estimate = %v", got)
+	}
+}
+
+func TestChecksumLifecycle(t *testing.T) {
+	st := NewStore("isi")
+	if err := st.Put("g.fit", []byte("galaxy pixels")); err != nil {
+		t.Fatal(err)
+	}
+	sum, ok := st.Sum("g.fit")
+	if !ok || sum != Checksum([]byte("galaxy pixels")) {
+		t.Fatalf("Sum = %q, %t", sum, ok)
+	}
+	if err := st.Verify("g.fit"); err != nil {
+		t.Fatalf("fresh file must verify: %v", err)
+	}
+	if !st.Corrupt("g.fit") {
+		t.Fatal("Corrupt on existing file must succeed")
+	}
+	err := st.Verify("g.fit")
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted file verified: %v", err)
+	}
+	// The recorded sum survives corruption (it is the baseline).
+	if after, _ := st.Sum("g.fit"); after != sum {
+		t.Error("recorded checksum must not follow the damaged bytes")
+	}
+	// Overwriting heals: a fresh Put records a fresh baseline.
+	if err := st.Put("g.fit", []byte("galaxy pixels")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Verify("g.fit"); err != nil {
+		t.Errorf("re-created file must verify: %v", err)
+	}
+	if st.Corrupt("ghost") {
+		t.Error("Corrupt on a missing file must report false")
+	}
+	if err := st.Verify("ghost"); !errors.Is(err, ErrNoSuchFile) {
+		t.Errorf("Verify missing = %v", err)
+	}
+}
+
+func TestTransferCarriesChecksum(t *testing.T) {
+	svc := NewService(Network{})
+	_ = svc.Store("isi").Put("g.fit", []byte("payload"))
+	if _, err := svc.Transfer(URL("isi", "g.fit"), URL("fnal", "g.fit")); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := svc.Store("isi").Sum("g.fit")
+	dst, ok := svc.Store("fnal").Sum("g.fit")
+	if !ok || dst != src {
+		t.Errorf("destination sum %q, want source %q", dst, src)
+	}
+	if err := svc.Verify(URL("fnal", "g.fit")); err != nil {
+		t.Errorf("Service.Verify = %v", err)
+	}
+	if err := svc.Verify(URL("ghost", "g.fit")); !errors.Is(err, ErrNoSuchSite) {
+		t.Errorf("Verify unknown site = %v", err)
+	}
+	if err := svc.Verify("junk"); !errors.Is(err, ErrBadURL) {
+		t.Errorf("Verify bad URL = %v", err)
 	}
 }

@@ -13,7 +13,70 @@ package resilience
 import (
 	"errors"
 	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gridftp"
 )
+
+// Class is the coarse disposition of a grid-operation error — what the caller
+// should do about it, not what went wrong.
+type Class int
+
+// Error classes, ordered from "give up" to "try smarter".
+const (
+	// ClassFatal errors do not improve with retries against any replica:
+	// validation failures, missing files, programming errors.
+	ClassFatal Class = iota
+	// ClassTransient errors (timeouts, transient faults, site outages) are
+	// worth retrying against the SAME replica after backoff.
+	ClassTransient
+	// ClassAlternateReplica errors mean this replica is damaged at rest
+	// (checksum mismatch): retrying it is futile, but another replica of the
+	// same LFN — or re-deriving the file from provenance — can succeed.
+	ClassAlternateReplica
+)
+
+// String labels the class.
+func (c Class) String() string {
+	switch c {
+	case ClassFatal:
+		return "fatal"
+	case ClassTransient:
+		return "transient"
+	case ClassAlternateReplica:
+		return "alternate-replica"
+	default:
+		return "Class(?)"
+	}
+}
+
+// Classify maps an error to its disposition. Checksum mismatches are NOT
+// transient — the damage is at rest and survives any number of retries — so
+// they route to alternate-replica recovery, distinct from the injected
+// transient/timeout/site-down faults that heal with time.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassFatal // nothing to recover from; callers should not ask
+	}
+	if errors.Is(err, gridftp.ErrChecksum) {
+		return ClassAlternateReplica
+	}
+	if f, ok := faults.As(err); ok {
+		switch f.Kind {
+		case faults.KindCorruption:
+			return ClassAlternateReplica
+		case faults.KindTransient, faults.KindTimeout, faults.KindSiteDown:
+			return ClassTransient
+		}
+	}
+	return ClassFatal
+}
+
+// Retryable reports whether a retry loop (same replica, after backoff) can
+// help — the Policy.Retryable adapter for grid-operation errors. Note that
+// alternate-replica errors return false here: the RIGHT retry is against a
+// different replica, which plain retry loops cannot do.
+func Retryable(err error) bool { return Classify(err) == ClassTransient }
 
 // Policy is a retry policy: up to MaxAttempts tries with exponential
 // backoff, deterministic jitter, and a total backoff budget.

@@ -2,8 +2,12 @@ package resilience
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 	"time"
+
+	"repro/internal/faults"
+	"repro/internal/gridftp"
 )
 
 func TestRetrySucceedsAfterTransients(t *testing.T) {
@@ -200,5 +204,59 @@ func TestNilRegistryIsNoop(t *testing.T) {
 	r.Record("s", "op", errors.New("x"))
 	if r.TotalOpens() != 0 || r.OpenCircuits() != nil || r.For("s", "op") != nil {
 		t.Error("nil registry must report nothing")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	checksum := &gridftp.ChecksumError{Site: "isi", Path: "g.fit", Want: "aa", Got: "bb"}
+	transient := faults.New(1, faults.Rule{Name: "op", Kind: faults.KindTransient, Until: 1}).
+		Check(faults.Op{Name: "op"})
+	timeout := faults.New(1, faults.Rule{Name: "op", Kind: faults.KindTimeout, Until: 1}).
+		Check(faults.Op{Name: "op"})
+	siteDown := faults.New(1, faults.Rule{Name: "op", Kind: faults.KindSiteDown, Until: 1}).
+		Check(faults.Op{Name: "op"})
+	corruption := faults.New(1, faults.Rule{Name: "op", Kind: faults.KindCorruption, Until: 1}).
+		Check(faults.Op{Name: "op"})
+
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassFatal},
+		{"plain error", errors.New("boom"), ClassFatal},
+		{"checksum typed", checksum, ClassAlternateReplica},
+		{"checksum wrapped", fmt.Errorf("transfer: %w", checksum), ClassAlternateReplica},
+		{"checksum sentinel", gridftp.ErrChecksum, ClassAlternateReplica},
+		{"fault transient", transient, ClassTransient},
+		{"fault timeout", timeout, ClassTransient},
+		{"fault site-down", siteDown, ClassTransient},
+		{"fault corruption", corruption, ClassAlternateReplica},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Retryable: only transients — a damaged replica never heals by retry.
+	if Retryable(checksum) {
+		t.Error("checksum errors must not be same-replica retryable")
+	}
+	if !Retryable(transient) {
+		t.Error("transient faults must be retryable")
+	}
+	if Retryable(errors.New("boom")) {
+		t.Error("unknown errors must not be retryable")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassFatal: "fatal", ClassTransient: "transient",
+		ClassAlternateReplica: "alternate-replica", Class(9): "Class(?)",
+	} {
+		if c.String() != want {
+			t.Errorf("%d -> %q", int(c), c.String())
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package rls
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -16,8 +17,72 @@ import (
 //	GET  /lfns                  -> JSON array of logical names
 //	POST /register   (form: lfn, site, url)
 //	POST /unregister (form: lfn, site, url)
+//	POST /bulklookup   (body: JSON array of LFNs) -> JSON map lfn -> replicas
+//	POST /bulkregister (body: "lfn site url [checksum]" lines)
+//
+// Malformed bulk bodies — bad JSON, wrong element types, over-long or
+// short-field lines — are client errors and answer 400, never 500.
 func Handler(r *RLS) http.Handler {
 	mux := http.NewServeMux()
+
+	// maxBulkBody caps bulk request bodies; anything larger is a client
+	// error, not a server crash.
+	const maxBulkBody = 8 << 20
+
+	mux.HandleFunc("/bulklookup", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var lfns []string
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBulkBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&lfns); err != nil {
+			http.Error(w, "bad bulk-lookup body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Trailing garbage after the array is a malformed body too.
+		if dec.More() {
+			http.Error(w, "bad bulk-lookup body: trailing data", http.StatusBadRequest)
+			return
+		}
+		for _, lfn := range lfns {
+			if lfn == "" {
+				http.Error(w, "bad bulk-lookup body: empty lfn", http.StatusBadRequest)
+				return
+			}
+		}
+		writeJSON(w, r.BulkLookup(lfns))
+	})
+
+	mux.HandleFunc("/bulkregister", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		// Parse into a staging catalog first so a malformed line rejects the
+		// whole body atomically — no partial registrations on 400.
+		staging := New()
+		if err := ReadReplicas(staging, http.MaxBytesReader(w, req.Body, maxBulkBody)); err != nil {
+			http.Error(w, "bad bulk-register body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		for _, lfn := range staging.LFNs() {
+			for _, pfn := range staging.Lookup(lfn) {
+				if err := r.Register(lfn, pfn); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+			if sum, ok := staging.Checksum(lfn); ok {
+				if err := r.SetChecksum(lfn, sum); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+		}
+		w.WriteHeader(http.StatusCreated)
+	})
 
 	mux.HandleFunc("/lookup", func(w http.ResponseWriter, req *http.Request) {
 		lfn := req.URL.Query().Get("lfn")
@@ -136,6 +201,40 @@ func (c *Client) Exists(lfn string) (bool, error) {
 	var buf [8]byte
 	n, _ := resp.Body.Read(buf[:])
 	return strings.TrimSpace(string(buf[:n])) == "true", nil
+}
+
+// BulkLookup resolves many LFNs in one round trip.
+func (c *Client) BulkLookup(lfns []string) (map[string][]PFN, error) {
+	body, err := json.Marshal(lfns)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Post(c.Base+"/bulklookup", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("rls: bulklookup status %d", resp.StatusCode)
+	}
+	var out map[string][]PFN
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BulkRegister uploads replicas in the "lfn site url [checksum]" text format.
+func (c *Client) BulkRegister(body string) error {
+	resp, err := c.http().Post(c.Base+"/bulkregister", "text/plain", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("rls: bulkregister status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // Register records a replica.

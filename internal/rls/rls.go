@@ -125,12 +125,24 @@ type RLS struct {
 	lrcs map[string]*LRC
 	// rli maps lfn -> set of sites whose LRC holds it (the index layer).
 	rli map[string]map[string]bool
-	inj *faults.Injector
+	// sums holds the per-LFN content checksum attribute (Giggle's RLS
+	// attaches user-defined attributes to mappings; all replicas of an LFN
+	// share content, so the attribute lives at the logical level).
+	sums map[string]string
+	// quarantined holds replicas pulled from circulation after failing
+	// checksum verification, kept for audit rather than deleted.
+	quarantined map[string][]PFN
+	inj         *faults.Injector
 }
 
 // New returns an empty service.
 func New() *RLS {
-	return &RLS{lrcs: map[string]*LRC{}, rli: map[string]map[string]bool{}}
+	return &RLS{
+		lrcs:        map[string]*LRC{},
+		rli:         map[string]map[string]bool{},
+		sums:        map[string]string{},
+		quarantined: map[string][]PFN{},
+	}
 }
 
 // SetInjector installs (or removes, with nil) the fault injector. Exists
@@ -250,6 +262,61 @@ func (r *RLS) Lookup(lfn string) []PFN {
 		return out[i].URL < out[j].URL
 	})
 	return out
+}
+
+// SetChecksum records the content checksum attribute of a logical file —
+// written once when the file is created, carried so every consumer can
+// verify what it fetches.
+func (r *RLS) SetChecksum(lfn, sum string) error {
+	if lfn == "" || sum == "" {
+		return fmt.Errorf("%w: empty lfn or checksum", ErrBadInput)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sums[lfn] = sum
+	return nil
+}
+
+// Checksum returns the recorded content checksum of a logical file.
+func (r *RLS) Checksum(lfn string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	sum, ok := r.sums[lfn]
+	return sum, ok
+}
+
+// Quarantine pulls a replica out of circulation after it failed integrity
+// verification: the mapping leaves the catalog (so Lookup stops offering it)
+// but is retained on a quarantine list for audit. The LFN itself survives if
+// other replicas remain — and even with none, re-derivation re-registers it.
+func (r *RLS) Quarantine(lfn string, pfn PFN) error {
+	if err := r.Unregister(lfn, pfn); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.quarantined[lfn] = append(r.quarantined[lfn], pfn)
+	return nil
+}
+
+// Quarantined returns the quarantined replicas of lfn (nil if none).
+func (r *RLS) Quarantined(lfn string) []PFN {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]PFN, len(r.quarantined[lfn]))
+	copy(out, r.quarantined[lfn])
+	return out
+}
+
+// QuarantinedCount returns the total number of quarantined replicas.
+func (r *RLS) QuarantinedCount() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, pfns := range r.quarantined {
+		n += len(pfns)
+	}
+	return n
 }
 
 // Exists reports whether any replica of lfn is registered.

@@ -307,8 +307,16 @@ func TestReadReplicasErrorsAndComments(t *testing.T) {
 	if err := ReadReplicas(New(), strings.NewReader("only two")); err == nil {
 		t.Error("short line must fail")
 	}
-	if err := ReadReplicas(New(), strings.NewReader("a b c d")); err == nil {
-		t.Error("long line must fail")
+	if err := ReadReplicas(New(), strings.NewReader("a b c d e")); err == nil {
+		t.Error("over-long line must fail")
+	}
+	// Four fields is the checksum-attribute form.
+	r4 := New()
+	if err := ReadReplicas(r4, strings.NewReader("a site url deadbeef")); err != nil {
+		t.Fatalf("checksum line must load: %v", err)
+	}
+	if sum, ok := r4.Checksum("a"); !ok || sum != "deadbeef" {
+		t.Errorf("Checksum = %q, %t", sum, ok)
 	}
 }
 

@@ -2,16 +2,21 @@ package rls
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 )
 
-// ReadReplicas loads "lfn site url" triples (one per line; blank lines and
+// ReadReplicas loads "lfn site url [checksum]" lines (blank lines and
 // #-comments ignored) into the service — the bulk-load format the
-// pegasus-plan tool and test fixtures use.
+// pegasus-plan tool and test fixtures use. The optional fourth field records
+// the LFN's content-checksum attribute. Every malformed line fails with an
+// error wrapping ErrBadInput, so the HTTP front-end can answer 400, never
+// 500, to garbage bodies.
 func ReadReplicas(r *RLS, src io.Reader) error {
 	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -20,23 +25,41 @@ func ReadReplicas(r *RLS, src io.Reader) error {
 			continue
 		}
 		fields := strings.Fields(text)
-		if len(fields) != 3 {
-			return fmt.Errorf("%w: line %d: want 'lfn site url'", ErrBadInput, line)
+		if len(fields) != 3 && len(fields) != 4 {
+			return fmt.Errorf("%w: line %d: want 'lfn site url [checksum]'", ErrBadInput, line)
 		}
 		if err := r.Register(fields[0], PFN{Site: fields[1], URL: fields[2]}); err != nil {
 			return err
 		}
+		if len(fields) == 4 {
+			if err := r.SetChecksum(fields[0], fields[3]); err != nil {
+				return fmt.Errorf("%w: line %d: %v", ErrBadInput, line, err)
+			}
+		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return fmt.Errorf("%w: line longer than 1MB", ErrBadInput)
+		}
+		return err
+	}
+	return nil
 }
 
 // WriteReplicas dumps every replica in the text format, deterministically
-// (sorted by LFN, then site, then URL). ReadReplicas(WriteReplicas(x))
-// reproduces x.
+// (sorted by LFN, then site, then URL), appending the checksum attribute
+// when one is recorded. ReadReplicas(WriteReplicas(x)) reproduces x.
 func WriteReplicas(r *RLS, dst io.Writer) error {
 	for _, lfn := range r.LFNs() {
+		sum, hasSum := r.Checksum(lfn)
 		for _, pfn := range r.Lookup(lfn) {
-			if _, err := fmt.Fprintf(dst, "%s %s %s\n", lfn, pfn.Site, pfn.URL); err != nil {
+			var err error
+			if hasSum {
+				_, err = fmt.Fprintf(dst, "%s %s %s %s\n", lfn, pfn.Site, pfn.URL, sum)
+			} else {
+				_, err = fmt.Fprintf(dst, "%s %s %s\n", lfn, pfn.Site, pfn.URL)
+			}
+			if err != nil {
 				return err
 			}
 		}

@@ -16,6 +16,7 @@ import (
 //	POST /galmorph?cluster=NAME   body: VOTable       -> text: status URL path
 //	GET  /status?id=req-000001                        -> JSON Status
 //	GET  /result?lfn=NAME.vot                          -> VOTable
+//	POST /cancel?id=req-000001                         -> 202 Accepted
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -58,6 +59,18 @@ func (s *Service) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(resp)
+	})
+
+	mux.HandleFunc("/cancel", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.Cancel(req.URL.Query().Get("id")); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
 	})
 
 	mux.HandleFunc("/result", func(w http.ResponseWriter, req *http.Request) {

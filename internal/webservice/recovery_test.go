@@ -1,0 +1,451 @@
+package webservice
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dagman"
+	"repro/internal/faults"
+	"repro/internal/gridftp"
+	"repro/internal/journal"
+	"repro/internal/votable"
+)
+
+// outputBytes reads the raw result VOTable from the cache store — the bytes
+// whose identity the recovery design guarantees.
+func (h *harness) outputBytes(t *testing.T, lfn string) []byte {
+	t.Helper()
+	data, err := h.ftp.Store("isi").Get(lfn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// journaledRun computes the cluster with journaling on and returns the
+// output bytes plus the replayed journal.
+func journaledRun(t *testing.T, nGalaxies int, workers int) ([]byte, []journal.Record, *harness) {
+	t.Helper()
+	dir := t.TempDir()
+	h := newHarness(t, nGalaxies, func(c *Config) {
+		c.JournalDir = dir
+		c.Workers = workers
+	})
+	tab := h.inputTable(t)
+	if _, _, err := h.svc.Compute(tab, "COMA"); err != nil {
+		t.Fatal(err)
+	}
+	recs, truncated, err := journal.Replay(filepath.Join(dir, "COMA.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("uninterrupted run left a torn journal")
+	}
+	return h.outputBytes(t, "COMA.vot"), recs, h
+}
+
+func TestJournalBracketsCleanRun(t *testing.T) {
+	_, recs, h := journaledRun(t, 4, 1)
+	if len(recs) < 4 {
+		t.Fatalf("journal too short: %d records", len(recs))
+	}
+	if recs[0].Kind != journal.KindBegin {
+		t.Errorf("first record = %s, want begin", recs[0].Kind)
+	}
+	if !strings.Contains(recs[0].Detail, "cluster=COMA") {
+		t.Errorf("begin detail = %q", recs[0].Detail)
+	}
+	last := recs[len(recs)-1]
+	if last.Kind != journal.KindEnd || !strings.Contains(last.Detail, "COMA.vot") {
+		t.Errorf("last record = %+v, want end with output", last)
+	}
+	// The DAG and VDL artifacts exist and reload to the planned graph.
+	g, done, err := dagman.ReadDAGFile(filepath.Join(h.svc.cfg.JournalDir, "COMA.dag"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Errorf("plan-time DAG has %d done markers", len(done))
+	}
+	submitted := 0
+	for _, r := range recs {
+		if r.Kind == journal.KindSubmitted {
+			submitted++
+		}
+	}
+	if submitted != g.Len() {
+		t.Errorf("journal submitted %d nodes, DAG has %d", submitted, g.Len())
+	}
+}
+
+// TestKillAndResumeByteIdentity is the tentpole acceptance: kill the service
+// at EVERY journal-event boundary, restart, resume — the resumed run must
+// re-execute only unfinished nodes and the output VOTable must be
+// byte-identical to the uninterrupted run's.
+func TestKillAndResumeByteIdentity(t *testing.T) {
+	const nGalaxies = 4
+	want, baseRecs, _ := journaledRun(t, nGalaxies, 1)
+	events := len(baseRecs) - 2 // minus begin and end markers
+	if events < 10 {
+		t.Fatalf("workflow too small for a sweep: %d events", events)
+	}
+
+	// A budget of `events` is never exhausted (the end marker bypasses the
+	// crash sink), so the last genuine kill point is events-1.
+	for k := 1; k < events; k++ {
+		dir := t.TempDir()
+		h := newHarness(t, nGalaxies, func(c *Config) {
+			c.JournalDir = dir
+			c.CrashAfterEvents = k
+		})
+		tab := h.inputTable(t)
+		_, _, err := h.svc.Compute(tab, "COMA")
+		if !errors.Is(err, journal.ErrCrash) {
+			t.Fatalf("kill point %d: crash did not fire: %v", k, err)
+		}
+		if !errors.Is(err, dagman.ErrAborted) {
+			t.Errorf("kill point %d: crash not surfaced as abort: %v", k, err)
+		}
+
+		// What the dead process left behind.
+		recs, _, err := journal.Replay(filepath.Join(dir, "COMA.journal"))
+		if err != nil {
+			t.Fatalf("kill point %d: replay: %v", k, err)
+		}
+		doneAtCrash := journal.CompletedNodes(recs)
+		prefix := len(recs)
+
+		// Restart and resume.
+		svc2, err := h.svc.Reopen()
+		if err != nil {
+			t.Fatalf("kill point %d: reopen: %v", k, err)
+		}
+		out, stats, err := svc2.Resume("COMA")
+		if err != nil {
+			t.Fatalf("kill point %d: resume: %v", k, err)
+		}
+		if out != "COMA.vot" {
+			t.Fatalf("kill point %d: resume output %q", k, out)
+		}
+		if stats.RestoredNodes != len(doneAtCrash) {
+			t.Errorf("kill point %d: restored %d nodes, journal recorded %d done",
+				k, stats.RestoredNodes, len(doneAtCrash))
+		}
+		if got := h.outputBytes(t, "COMA.vot"); string(got) != string(want) {
+			t.Fatalf("kill point %d: resumed output differs from uninterrupted run", k)
+		}
+
+		// Only unfinished nodes were re-executed: no node the journal already
+		// recorded as completed is submitted again after the crash point.
+		after, _, err := journal.Replay(filepath.Join(dir, "COMA.journal"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range after[prefix:] {
+			if r.Kind == journal.KindSubmitted && doneAtCrash[r.Node] {
+				t.Fatalf("kill point %d: completed node %s re-submitted on resume", k, r.Node)
+			}
+		}
+		if _, ended := journal.Ended(after); !ended {
+			t.Errorf("kill point %d: resumed journal lacks end marker", k)
+		}
+	}
+}
+
+// TestKillAndResumeAtWorkerWidth repeats kill-and-resume with concurrent leaf
+// execution: the byte identity must hold at any worker width.
+func TestKillAndResumeAtWorkerWidth(t *testing.T) {
+	const nGalaxies = 5
+	want, baseRecs, _ := journaledRun(t, nGalaxies, 4)
+	events := len(baseRecs) - 2
+
+	for _, k := range []int{1, events / 3, events / 2, events - 1} {
+		if k < 1 {
+			k = 1
+		}
+		dir := t.TempDir()
+		h := newHarness(t, nGalaxies, func(c *Config) {
+			c.JournalDir = dir
+			c.CrashAfterEvents = k
+			c.Workers = 4
+		})
+		tab := h.inputTable(t)
+		if _, _, err := h.svc.Compute(tab, "COMA"); !errors.Is(err, journal.ErrCrash) {
+			t.Fatalf("kill point %d: crash did not fire", k)
+		}
+		svc2, err := h.svc.Reopen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := svc2.Resume("COMA"); err != nil {
+			t.Fatalf("kill point %d: resume: %v", k, err)
+		}
+		if got := h.outputBytes(t, "COMA.vot"); string(got) != string(want) {
+			t.Fatalf("kill point %d: output differs at worker width 4", k)
+		}
+	}
+}
+
+func TestResumeOfFinishedRunShortCircuits(t *testing.T) {
+	want, _, h := journaledRun(t, 3, 1)
+	svc2, err := h.svc.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resume is idempotent: the journal's end marker plus the registered
+	// output short-circuit re-execution entirely.
+	for i := 0; i < 2; i++ {
+		out, stats, err := svc2.Resume("COMA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != "COMA.vot" || !stats.ReusedOutput {
+			t.Errorf("resume %d: out=%q reused=%t", i, out, stats.ReusedOutput)
+		}
+	}
+	if got := h.outputBytes(t, "COMA.vot"); string(got) != string(want) {
+		t.Error("short-circuited resume must not touch the output")
+	}
+}
+
+func TestResumeErrors(t *testing.T) {
+	h := newHarness(t, 3, nil)
+	if _, _, err := h.svc.Resume("COMA"); err == nil {
+		t.Error("resume without JournalDir must fail")
+	}
+	h2 := newHarness(t, 3, func(c *Config) { c.JournalDir = t.TempDir() })
+	if _, _, err := h2.svc.Resume("NEVER-RAN"); err == nil {
+		t.Error("resume of an unknown cluster must fail")
+	}
+}
+
+// TestTransferCorruptionFailsOverToMirror corrupts a cached image at the
+// primary site during its staging transfer: the replica must be quarantined,
+// the content served from the mirror, the source healed — and the science
+// output unchanged.
+func TestTransferCorruptionFailsOverToMirror(t *testing.T) {
+	// Baseline: identical configuration, no faults.
+	h0 := newHarness(t, 4, func(c *Config) { c.MirrorSite = "mirror" })
+	tab0 := h0.inputTable(t)
+	if _, _, err := h0.svc.Compute(tab0, "COMA"); err != nil {
+		t.Fatal(err)
+	}
+	want := h0.outputBytes(t, "COMA.vot")
+
+	h := newHarness(t, 4, func(c *Config) { c.MirrorSite = "mirror" })
+	h.ftp.SetInjector(faults.New(7, faults.Rule{
+		Name: gridftp.OpTransfer, Site: "isi", Kind: faults.KindCorruption, MaxFaults: 2,
+	}))
+	tab := h.inputTable(t)
+	_, stats, err := h.svc.Compute(tab, "COMA")
+	if err != nil {
+		t.Fatalf("corruption must not fail the workflow: %v", err)
+	}
+	if stats.ChecksumFailures == 0 || stats.Quarantined == 0 {
+		t.Errorf("stats = %+v, want checksum failures and quarantines", stats)
+	}
+	if stats.Failovers == 0 {
+		t.Errorf("recovery must have served the mirror replica: %+v", stats)
+	}
+	if h.r.QuarantinedCount() == 0 {
+		t.Error("RLS retains no quarantined replica for audit")
+	}
+	if got := h.outputBytes(t, "COMA.vot"); string(got) != string(want) {
+		t.Error("science output changed under corruption recovery")
+	}
+	t.Logf("mirror failover: checksumFailures=%d quarantined=%d failovers=%d rederived=%d",
+		stats.ChecksumFailures, stats.Quarantined, stats.Failovers, stats.Rederived)
+	// Every surviving registered replica verifies — the heal converged.
+	for _, lfn := range h.r.LFNs() {
+		for _, p := range h.r.Lookup(lfn) {
+			site, path, err := gridftp.ParseURL(p.URL)
+			if err != nil {
+				continue
+			}
+			if err := h.ftp.Store(site).Verify(path); err != nil {
+				t.Errorf("replica %s at %s still damaged after heal: %v", lfn, site, err)
+			}
+		}
+	}
+}
+
+// TestCorruptIntermediateRederivedFromProvenance damages every registered
+// replica of one per-galaxy result file, then re-runs the (reduced) workflow:
+// the file must be re-derived from its galaxy image via the Chimera
+// provenance, and the output VOTable must be byte-identical.
+func TestCorruptIntermediateRederivedFromProvenance(t *testing.T) {
+	h := newHarness(t, 4, func(c *Config) { c.JournalDir = t.TempDir() })
+	tab := h.inputTable(t)
+	if _, _, err := h.svc.Compute(tab, "COMA"); err != nil {
+		t.Fatal(err)
+	}
+	want := h.outputBytes(t, "COMA.vot")
+
+	// Damage every registered replica of the first galaxy's result file.
+	victim := tab.Cell(0, "id") + ".txt"
+	pfns := h.r.Lookup(victim)
+	if len(pfns) == 0 {
+		t.Fatalf("%s not registered after the run", victim)
+	}
+	for _, p := range pfns {
+		site, path, err := gridftp.ParseURL(p.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.ftp.Store(site).Corrupt(path) {
+			t.Fatalf("could not corrupt %s at %s", path, site)
+		}
+	}
+	// Force a re-run: pull the output table from circulation.
+	for _, p := range h.r.Lookup("COMA.vot") {
+		if err := h.r.Unregister("COMA.vot", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, stats, err := h.svc.Compute(tab, "COMA")
+	if err != nil {
+		t.Fatalf("re-run with corrupted intermediate: %v", err)
+	}
+	if stats.PrunedJobs == 0 {
+		t.Errorf("expected Pegasus to prune completed derivations: %+v", stats)
+	}
+	if stats.Rederived == 0 {
+		t.Errorf("corrupted %s was not re-derived from provenance: %+v", victim, stats)
+	}
+	if stats.Quarantined == 0 {
+		t.Errorf("damaged replicas were not quarantined: %+v", stats)
+	}
+	if got := h.outputBytes(t, "COMA.vot"); string(got) != string(want) {
+		t.Error("re-derived output differs from the original")
+	}
+	t.Logf("provenance re-derivation: pruned=%d checksumFailures=%d quarantined=%d rederived=%d",
+		stats.PrunedJobs, stats.ChecksumFailures, stats.Quarantined, stats.Rederived)
+	// The healed result file verifies everywhere it is registered.
+	for _, p := range h.r.Lookup(victim) {
+		site, path, _ := gridftp.ParseURL(p.URL)
+		if err := h.ftp.Store(site).Verify(path); err != nil {
+			t.Errorf("%s at %s not healed: %v", victim, site, err)
+		}
+	}
+}
+
+func TestComputeWithContextCanceledBeforeStart(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, 3, func(c *Config) { c.JournalDir = dir })
+	tab := h.inputTable(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := h.svc.ComputeWithContext(ctx, tab, "COMA", nil)
+	if !errors.Is(err, dagman.ErrAborted) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled compute = %v, want abort wrapping context.Canceled", err)
+	}
+	recs, _, err := journal.Replay(filepath.Join(dir, "COMA.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].Kind != journal.KindAborted {
+		t.Fatalf("journal must end with a clean abort record, got %+v", recs)
+	}
+}
+
+// gateTransport blocks the first archive fetch until released, giving the
+// cancel test a deterministic window while the request is provably running.
+type gateTransport struct {
+	base    http.RoundTripper
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gateTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	g.once.Do(func() {
+		close(g.started)
+		<-g.release
+	})
+	return g.base.RoundTrip(req)
+}
+
+func TestCancelEndpointAbortsRunningRequest(t *testing.T) {
+	dir := t.TempDir()
+	gate := &gateTransport{
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	h := newHarness(t, 3, func(c *Config) {
+		c.JournalDir = dir
+		gate.base = c.HTTPClient.Transport
+		if gate.base == nil {
+			gate.base = http.DefaultTransport
+		}
+		c.HTTPClient = &http.Client{Transport: gate}
+	})
+	tab := h.inputTable(t)
+
+	srv := httptest.NewServer(h.svc.Handler())
+	defer srv.Close()
+	var body strings.Builder
+	if err := votable.WriteTable(&body, tab); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/galmorph?cluster=COMA", "text/xml", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := readAll(t, resp)
+	id := strings.TrimPrefix(path, "/status?id=")
+
+	<-gate.started // the request is now provably mid-flight
+	cresp, err := http.Post(srv.URL+"/cancel?id="+id, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("/cancel status = %d", cresp.StatusCode)
+	}
+	close(gate.release)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := h.svc.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateRunning {
+			if st.State != StateFailed || !strings.Contains(st.Message, "aborted") {
+				t.Fatalf("canceled request state = %s message = %q", st.State, st.Message)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached a terminal state after cancel")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recs, _, err := journal.Replay(filepath.Join(dir, "COMA.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].Kind != journal.KindAborted {
+		t.Fatalf("canceled run's journal must end with an abort record, got %d records", len(recs))
+	}
+
+	// Unknown IDs are a 404.
+	nresp, err := http.Post(srv.URL+"/cancel?id=req-999999", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("/cancel unknown id status = %d", nresp.StatusCode)
+	}
+}

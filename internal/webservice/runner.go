@@ -16,6 +16,7 @@ import (
 	"repro/internal/gridftp"
 	"repro/internal/morphology"
 	"repro/internal/pegasus"
+	"repro/internal/resilience"
 	"repro/internal/rls"
 	"repro/internal/vdcache"
 	"repro/internal/vdl"
@@ -50,7 +51,7 @@ func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *
 	return func(n *dag.Node, attempt int) (dagman.Spec, error) {
 		switch n.Type {
 		case pegasus.NodeTransfer:
-			return s.transferSpec(n, attempt, stats, mu), nil
+			return s.transferSpec(n, cat, attempt, stats, mu), nil
 		case pegasus.NodeRegister:
 			return s.registerSpec(n), nil
 		case pegasus.NodeCompute:
@@ -58,7 +59,7 @@ func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *
 			case "galMorph":
 				return s.galMorphSpec(n, cat, rng, stats, mu), nil
 			case "concatVOT":
-				return s.concatSpec(n, cat), nil
+				return s.concatSpec(n, cat, stats, mu), nil
 			default:
 				return dagman.Spec{}, fmt.Errorf("webservice: unknown transformation %q",
 					n.Attr(chimera.AttrTransformation))
@@ -69,8 +70,9 @@ func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *
 	}
 }
 
-func (s *Service) transferSpec(n *dag.Node, attempt int, stats *RunStats, mu *sync.Mutex) dagman.Spec {
-	src := s.pickTransferSource(n.Attr(pegasus.AttrLFN), n.Attr(pegasus.AttrSrcURL), attempt, stats)
+func (s *Service) transferSpec(n *dag.Node, cat *vdl.Catalog, attempt int, stats *RunStats, mu *sync.Mutex) dagman.Spec {
+	lfn := n.Attr(pegasus.AttrLFN)
+	src := s.pickTransferSource(lfn, n.Attr(pegasus.AttrSrcURL), attempt, stats)
 	dst := n.Attr(pegasus.AttrDstURL)
 	srcSite, _, _ := gridftp.ParseURL(src)
 	return dagman.Spec{
@@ -84,6 +86,33 @@ func (s *Service) transferSpec(n *dag.Node, attempt int, stats *RunStats, mu *sy
 			res, err := s.cfg.GridFTP.Transfer(src, dst)
 			s.cfg.Breakers.Record(srcSite, breakerOpTransfer, err)
 			if err != nil {
+				if resilience.Classify(err) == resilience.ClassAlternateReplica {
+					// The source replica is damaged at rest: retrying this
+					// URL can never succeed. Quarantine it and deliver the
+					// content another way — alternate replica or provenance
+					// re-derivation — healing the source so the catalog
+					// converges.
+					s.quarantineReplica(lfn, srcSite, src, stats, mu)
+					content, rerr := s.recoverContent(cat, lfn, srcSite, stats, mu)
+					if rerr != nil {
+						return err
+					}
+					dstSite, dstPath, perr := gridftp.ParseURL(dst)
+					if perr != nil {
+						return perr
+					}
+					if err := s.cfg.GridFTP.Store(dstSite).Put(dstPath, content); err != nil {
+						return err
+					}
+					if err := s.healSource(srcSite, src, lfn, content); err != nil {
+						return err
+					}
+					mu.Lock()
+					stats.FilesStaged++
+					stats.BytesStaged += int64(len(content))
+					mu.Unlock()
+					return nil
+				}
 				return err
 			}
 			mu.Lock()
@@ -93,6 +122,19 @@ func (s *Service) transferSpec(n *dag.Node, attempt int, stats *RunStats, mu *sy
 			return nil
 		},
 	}
+}
+
+// healSource overwrites a quarantined source replica with recovered content
+// and re-registers it, restoring the catalog to full replication.
+func (s *Service) healSource(srcSite, srcURL, lfn string, content []byte) error {
+	_, srcPath, err := gridftp.ParseURL(srcURL)
+	if err != nil {
+		return nil // unparseable planned URL: nothing to heal
+	}
+	if err := s.cfg.GridFTP.Store(srcSite).Put(srcPath, content); err != nil {
+		return err
+	}
+	return s.cfg.RLS.Register(lfn, rls.PFN{Site: srcSite, URL: srcURL})
 }
 
 // pickTransferSource chooses the physical source for one transfer attempt.
@@ -195,7 +237,8 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 				return fmt.Errorf("webservice: derivation %q vanished", dvName)
 			}
 			store := s.cfg.GridFTP.Store(site)
-			raw, err := store.Get(inputs[0])
+			// Pre-consumption integrity gate: never measure damaged pixels.
+			raw, err := s.verifiedGet(cat, store, inputs[0], stats, mu)
 			if err != nil {
 				return err
 			}
@@ -256,8 +299,10 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 	}
 }
 
-// concatSpec assembles the per-galaxy results into the output VOTable.
-func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog) dagman.Spec {
+// concatSpec assembles the per-galaxy results into the output VOTable. Every
+// input is integrity-verified before it is trusted; a corrupted result file
+// is quarantined and re-derived from its galaxy image via provenance.
+func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog, stats *RunStats, mu *sync.Mutex) dagman.Spec {
 	site := n.Attr(pegasus.AttrSite)
 	inputs := chimera.SplitLFNs(n.Attr(chimera.AttrInputs))
 	outputs := chimera.SplitLFNs(n.Attr(chimera.AttrOutputs))
@@ -273,7 +318,7 @@ func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog) dagman.Spec {
 			store := s.cfg.GridFTP.Store(site)
 			results := make([]GalMorphResult, 0, len(inputs))
 			for _, lfn := range inputs {
-				data, err := store.Get(lfn)
+				data, err := s.verifiedGet(cat, store, lfn, stats, mu)
 				if err != nil {
 					return err
 				}

@@ -25,12 +25,15 @@ package webservice
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -38,10 +41,11 @@ import (
 
 	"repro/internal/chimera"
 	"repro/internal/condor"
-	"repro/internal/faults"
 	"repro/internal/dagman"
+	"repro/internal/faults"
 	"repro/internal/fits"
 	"repro/internal/gridftp"
+	"repro/internal/journal"
 	"repro/internal/morphology"
 	"repro/internal/myproxy"
 	"repro/internal/pegasus"
@@ -86,6 +90,12 @@ type RunStats struct {
 	MemoMisses    int           // galMorph results measured and cached
 	Makespan      time.Duration // model execution time of the concrete DAG
 	ReusedOutput  bool          // whole result served from the RLS
+
+	// Integrity and recovery accounting.
+	ChecksumFailures int // replica verifications that failed
+	Quarantined      int // replicas pulled from RLS circulation
+	Rederived        int // files reproduced from Chimera provenance
+	RestoredNodes    int // nodes recovered as done from a prior journal
 }
 
 // Wide-area SIA cost model (2003-era numbers): each HTTP request pays a
@@ -166,6 +176,15 @@ type Config struct {
 	// any setting leaves the model clock, the schedule, and the result
 	// VOTable byte-identical — only wall-clock time changes.
 	Workers int
+	// JournalDir, when non-empty, makes every run crash-safe: the planned
+	// DAG, the generated VDL, and a write-ahead journal of every DAGMan
+	// state transition are persisted under this directory, and Resume can
+	// reopen a killed run and finish only the unfinished nodes.
+	JournalDir string
+	// CrashAfterEvents, when > 0, simulates kill -9 after that many journal
+	// appends (the record at the crash point is never written) — the
+	// deterministic kill switch of the kill-and-resume campaign.
+	CrashAfterEvents int
 }
 
 // batchFetchSize bounds ids per batch request (URL-length safety).
@@ -183,6 +202,7 @@ type Service struct {
 
 	mu       sync.Mutex
 	requests map[string]*Status
+	cancels  map[string]context.CancelFunc
 	nextID   int
 }
 
@@ -218,6 +238,7 @@ func New(cfg Config) (*Service, error) {
 	svc := &Service{
 		cfg:      cfg,
 		requests: map[string]*Status{},
+		cancels:  map[string]context.CancelFunc{},
 	}
 	if !cfg.StrictFaults {
 		svc.memo = vdcache.New[memoEntry]()
@@ -226,20 +247,24 @@ func New(cfg Config) (*Service, error) {
 }
 
 // Submit registers a new request and starts the computation in the
-// background, returning the request ID the status URL embeds.
+// background, returning the request ID the status URL embeds. The request
+// can be stopped mid-flight with Cancel, which aborts the workflow at the
+// next scheduler step and journals a clean abort record.
 func (s *Service) Submit(tab *votable.Table, cluster string) (string, error) {
 	if err := validateInput(tab); err != nil {
 		return "", err
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("req-%06d", s.nextID)
 	st := &Status{ID: id, Cluster: cluster, State: StateRunning, Message: "accepted"}
 	s.requests[id] = st
+	s.cancels[id] = cancel
 	s.mu.Unlock()
 
 	go func() {
-		out, stats, err := s.ComputeWithProgress(tab, cluster, func(done, total int) {
+		out, stats, err := s.ComputeWithContext(ctx, tab, cluster, func(done, total int) {
 			s.mu.Lock()
 			st.JobsDone = done
 			st.JobsTotal = total
@@ -247,6 +272,8 @@ func (s *Service) Submit(tab *votable.Table, cluster string) (string, error) {
 		})
 		s.mu.Lock()
 		defer s.mu.Unlock()
+		delete(s.cancels, id)
+		cancel()
 		st.Stats = stats
 		if err != nil {
 			st.State = StateFailed
@@ -258,6 +285,32 @@ func (s *Service) Submit(tab *votable.Table, cluster string) (string, error) {
 		st.ResultLFN = out
 	}()
 	return id, nil
+}
+
+// Reopen builds a fresh service on the same Grid substrate (RLS, catalogs,
+// GridFTP stores, journal directory) with the crash switch disarmed — the
+// restarted process of a kill-and-resume drill. Request state and the
+// virtual-data memo start empty, exactly as after a real process death.
+func (s *Service) Reopen() (*Service, error) {
+	cfg := s.cfg
+	cfg.CrashAfterEvents = 0
+	return New(cfg)
+}
+
+// Cancel aborts a running request. The workflow stops at the next scheduler
+// step, appends an "aborted" record to its journal (when journaling), and the
+// request transitions to failed with a cancellation message. Canceling a
+// request that already finished is a no-op; an unknown ID errors.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.requests[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if cancel, ok := s.cancels[id]; ok {
+		cancel()
+	}
+	return nil
 }
 
 // Pools returns the names of the Condor pools the service submits to,
@@ -311,6 +364,29 @@ func (s *Service) Compute(tab *votable.Table, cluster string) (string, RunStats,
 // ComputeWithProgress is Compute with a workflow-progress callback
 // (done/total concrete nodes), fed from DAGMan's monitoring events.
 func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
+	onProgress func(done, total int)) (string, RunStats, error) {
+	return s.ComputeWithContext(context.Background(), tab, cluster, onProgress)
+}
+
+// Per-cluster recovery artifacts under JournalDir.
+func (s *Service) journalPath(cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, cluster+".journal")
+}
+func (s *Service) dagPath(cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, cluster+".dag")
+}
+func (s *Service) vdlPath(cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, cluster+".vdl")
+}
+func (s *Service) rescuePath(cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, cluster+".rescue.dag")
+}
+
+// ComputeWithContext is ComputeWithProgress under a cancellation context:
+// when ctx is canceled the workflow aborts at the next scheduler step,
+// journaling a clean "aborted" record so a later Resume picks up exactly
+// where the run stopped.
+func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cluster string,
 	onProgress func(done, total int)) (string, RunStats, error) {
 	var stats RunStats
 	if err := validateInput(tab); err != nil {
@@ -382,9 +458,46 @@ func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
 	// Workers > 1 those bodies execute concurrently on the worker pool.
 	var runMu sync.Mutex
 	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
-	opts := dagman.Options{MaxRetries: s.cfg.MaxRetries}
+	opts := dagman.Options{
+		MaxRetries: s.cfg.MaxRetries,
+		Check:      func() error { return ctx.Err() },
+	}
 	if s.cfg.RetryPolicy != nil {
 		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
+	}
+
+	// Crash safety: persist the concrete plan and the VDL it came from (so
+	// Resume reloads the exact graph without replanning — site selection is
+	// seeded, and replanning against a healthier RLS would prune differently),
+	// then open the write-ahead journal DAGMan records every transition in.
+	var jw *journal.Writer
+	if s.cfg.JournalDir != "" {
+		if err := os.MkdirAll(s.cfg.JournalDir, 0o755); err != nil {
+			return "", stats, err
+		}
+		if err := os.WriteFile(s.vdlPath(cluster), []byte(vdlText), 0o644); err != nil {
+			return "", stats, err
+		}
+		if err := dagman.WriteDAGFile(s.dagPath(cluster), plan.Concrete, nil); err != nil {
+			return "", stats, err
+		}
+		jw, err = journal.Create(s.journalPath(cluster))
+		if err != nil {
+			return "", stats, err
+		}
+		defer jw.Close()
+		// The begin marker goes straight to the writer so a configured crash
+		// budget counts DAGMan events only.
+		if err := jw.Append(journal.Record{
+			Kind:   journal.KindBegin,
+			Detail: fmt.Sprintf("cluster=%s seed=%d nodes=%d", cluster, seed, plan.Concrete.Len()),
+		}); err != nil {
+			return "", stats, err
+		}
+		opts.Journal = journal.Sink(jw)
+		if s.cfg.CrashAfterEvents > 0 {
+			opts.Journal = &journal.CrashSink{Sink: jw, After: s.cfg.CrashAfterEvents}
+		}
 	}
 	total := plan.Concrete.Len()
 	done := 0
@@ -417,10 +530,127 @@ func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
 	}
 	stats.Makespan = rep.Makespan
 	if !rep.Succeeded() {
+		if jw != nil {
+			// Serialize the rescue DAG — the classic on-disk artifact naming
+			// exactly the nodes a resubmission must run.
+			if rerr := dagman.WriteRescueFile(s.rescuePath(cluster), plan.Concrete, rep); rerr != nil {
+				return "", stats, rerr
+			}
+		}
 		return "", stats, fmt.Errorf("webservice: workflow failed: %d failed, %d unrun", rep.Failed, rep.Unrun)
 	}
 	if !s.cfg.RLS.Exists(outLFN) {
 		return "", stats, fmt.Errorf("webservice: workflow completed but %q not registered", outLFN)
+	}
+	if err := jw.Append(journal.Record{Kind: journal.KindEnd, Detail: "output=" + outLFN}); err != nil {
+		return "", stats, err
+	}
+	return outLFN, stats, nil
+}
+
+// Resume reopens a journaled run that died mid-flight — a killed web service,
+// a machine crash — and finishes it: the persisted concrete DAG is reloaded
+// (never replanned), the journal's intact prefix restores every completed
+// node, and only the unfinished remainder executes. The output VOTable is
+// byte-identical to what the uninterrupted run would have produced.
+func (s *Service) Resume(cluster string) (string, RunStats, error) {
+	return s.ResumeWithContext(context.Background(), cluster, nil)
+}
+
+// ResumeWithContext is Resume under a cancellation context and an optional
+// progress callback (restored nodes count as already done).
+func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
+	onProgress func(done, total int)) (string, RunStats, error) {
+	var stats RunStats
+	if s.cfg.JournalDir == "" {
+		return "", stats, errors.New("webservice: resume requires JournalDir")
+	}
+	outLFN := outputLFN(cluster)
+
+	// Reload the exact planned graph and the catalog behind its derivations.
+	g, _, err := dagman.ReadDAGFile(s.dagPath(cluster))
+	if err != nil {
+		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
+	}
+	vdlText, err := os.ReadFile(s.vdlPath(cluster))
+	if err != nil {
+		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
+	}
+	cat, err := vdl.Parse(string(vdlText))
+	if err != nil {
+		return "", stats, fmt.Errorf("webservice: resume %s: saved VDL invalid: %w", cluster, err)
+	}
+
+	// Reopen the journal: its intact prefix is the authoritative history (a
+	// torn final line is the crash signature and is discarded by CRC check).
+	jw, recs, err := journal.OpenAppend(s.journalPath(cluster))
+	if err != nil {
+		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
+	}
+	defer jw.Close()
+	if _, ended := journal.Ended(recs); ended && s.cfg.RLS.Exists(outLFN) {
+		stats.ReusedOutput = true
+		return outLFN, stats, nil
+	}
+	done := journal.CompletedNodes(recs)
+
+	seed := s.requestSeed(cluster)
+	var runMu sync.Mutex
+	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
+	opts := dagman.Options{
+		MaxRetries: s.cfg.MaxRetries,
+		Completed:  done,
+		Check:      func() error { return ctx.Err() },
+		Journal:    journal.Sink(jw),
+	}
+	if s.cfg.CrashAfterEvents > 0 {
+		opts.Journal = &journal.CrashSink{Sink: jw, After: s.cfg.CrashAfterEvents}
+	}
+	if s.cfg.RetryPolicy != nil {
+		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
+	}
+	total := g.Len()
+	progress := 0
+	if onProgress != nil {
+		onProgress(0, total)
+	}
+	opts.Monitor = func(e dagman.Event) {
+		switch e.Kind {
+		case dagman.EventRetried:
+			stats.Retries++
+		case dagman.EventCompleted, dagman.EventRestored:
+			progress++
+			if onProgress != nil {
+				onProgress(progress, total)
+			}
+		}
+	}
+	newSim := func() (*condor.Simulator, error) {
+		sim, err := condor.NewSimulator(s.cfg.Pools...)
+		if err != nil {
+			return nil, err
+		}
+		sim.SetInjector(s.cfg.Faults)
+		sim.SetWorkers(s.workers())
+		return sim, nil
+	}
+	rep, err := dagman.ExecuteWithRescue(g, runner, newSim, opts, s.cfg.RescueRounds)
+	if err != nil {
+		return "", stats, err
+	}
+	stats.Makespan = rep.Makespan
+	stats.RestoredNodes = rep.Restored
+	if !rep.Succeeded() {
+		if rerr := dagman.WriteRescueFile(s.rescuePath(cluster), g, rep); rerr != nil {
+			return "", stats, rerr
+		}
+		return "", stats, fmt.Errorf("webservice: resumed workflow failed: %d failed, %d unrun", rep.Failed, rep.Unrun)
+	}
+	if !s.cfg.RLS.Exists(outLFN) {
+		return "", stats, fmt.Errorf("webservice: workflow completed but %q not registered", outLFN)
+	}
+	if err := jw.Append(journal.Record{Kind: journal.KindEnd, Detail: "output=" + outLFN}); err != nil {
+		return "", stats, err
 	}
 	return outLFN, stats, nil
 }
