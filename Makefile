@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet chaos bench recovery fuzz verify
+.PHONY: build test vet chaos bench emit-bench recovery fuzz verify
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,15 @@ chaos:
 
 # Every benchmark, including the parallel-execution and warm-cache suites;
 # BENCH=<regex> narrows the run (e.g. make bench BENCH=ParallelLeafJobs).
+# The checked-in BENCH_pr*.json snapshots are never rewritten here — only by
+# the opt-in emitters behind EMIT_BENCH (make emit-bench).
 BENCH ?= .
 bench:
 	$(GO) test -run XXX -bench '$(BENCH)' -benchmem .
+
+# Regenerate the checked-in BENCH_pr*.json snapshots.
+emit-bench:
+	EMIT_BENCH=1 $(GO) test -run 'TestEmitBench' -v .
 
 # Journal-replay idempotence: the kill-and-resume sweep and corruption
 # recovery, race-enabled, plus the cmd-level sweep through the full testbed.

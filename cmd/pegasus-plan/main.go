@@ -33,7 +33,7 @@ func main() {
 	outputSite := flag.String("output-site", "", "deliver requested outputs to this site")
 	register := flag.Bool("register", false, "add RLS registration nodes")
 	noReduce := flag.Bool("no-reduce", false, "disable abstract-DAG reduction")
-	policy := flag.String("site-selection", "random", "random | roundrobin")
+	policy := flag.String("site-selection", "random", "random | roundrobin | locality")
 	seed := flag.Int64("seed", 1, "random site/replica selection seed")
 	out := flag.String("out", "plan", "output directory for .dag and submit files")
 	flag.Parse()
@@ -76,8 +76,11 @@ func main() {
 		OutputSite:      *outputSite,
 		RegisterOutputs: *register,
 	}
-	if *policy == "roundrobin" {
+	switch *policy {
+	case "roundrobin":
 		cfg.Selection = pegasus.SelectRoundRobin
+	case "locality":
+		cfg.Selection = pegasus.SelectLocality
 	}
 	plan, err := pegasus.Map(wf, cfg)
 	check(err)
@@ -86,6 +89,8 @@ func main() {
 	fmt.Printf("reduced: pruned %d jobs (reused %d files)\n", st.PrunedJobs, len(plan.ReusedLFNs))
 	fmt.Printf("concrete workflow: %d compute, %d transfer, %d register nodes\n",
 		st.ComputeJobs, st.TransferNodes, st.RegisterNodes)
+	fmt.Printf("planner cost: %d RLS round trip(s), est %d bytes moved\n",
+		plan.RLSRoundTrips, plan.EstBytesMoved)
 	for _, id := range plan.Reduced.Nodes() {
 		fmt.Printf("  %-30s -> %s\n", id, plan.SiteOf[id])
 	}

@@ -30,13 +30,24 @@ type Pool struct {
 	Name  string
 	Slots int
 	Speed float64 // relative CPU speed; execution time = Cost / Speed
+	// TransferSlots, when > 0, gives the pool a dedicated data-movement
+	// lane: tasks with Lane == LaneTransfer occupy these slots instead of
+	// compute slots, so stage-ins run concurrently with computation (the
+	// GridFTP server is not a worker node). 0 keeps the legacy behaviour
+	// of transfers competing for compute slots.
+	TransferSlots int
 }
+
+// LaneTransfer marks data-movement tasks eligible for a pool's dedicated
+// transfer lane.
+const LaneTransfer = "transfer"
 
 // Task is one schedulable job.
 type Task struct {
 	ID   string
 	Site string        // required pool; "" lets the matchmaker choose
 	Cost time.Duration // model execution time at Speed 1.0
+	Lane string        // "" = compute slots; LaneTransfer = transfer lane
 	Run  func() error  // side effects, executed at completion (may be nil)
 }
 
@@ -67,7 +78,21 @@ type Stats struct {
 
 type poolState struct {
 	Pool
-	busy int
+	busy   int // compute slots in use
+	txBusy int // transfer-lane slots in use
+}
+
+// lane reports which capacity a task consumes at this pool: the transfer
+// lane only exists when the pool is configured with TransferSlots.
+func (p *poolState) isTransferLane(t Task) bool {
+	return t.Lane == LaneTransfer && p.TransferSlots > 0
+}
+
+func (p *poolState) freeFor(t Task) int {
+	if p.isTransferLane(t) {
+		return p.TransferSlots - p.txBusy
+	}
+	return p.Slots - p.busy
 }
 
 // event is a scheduled completion.
@@ -123,6 +148,16 @@ type Simulator struct {
 	inj      *faults.Injector
 	workers  int
 	pool     *workpool.Pool
+
+	// submitOverhead models the serialized per-job scheduling cost of the
+	// 2003 Condor-G/GRAM submission path: the scheduler hands jobs to the
+	// gatekeeper one at a time, so each placed task's start is gated behind
+	// the previous submission plus this overhead. Zero (the default)
+	// reproduces the instant-start legacy behaviour exactly. This is the
+	// overhead horizontal clustering amortizes: a clustered task pays it
+	// once for its whole batch.
+	submitOverhead time.Duration
+	submitGate     time.Duration
 }
 
 // NewSimulator builds a simulator over the given pools.
@@ -141,6 +176,9 @@ func NewSimulator(pools ...Pool) (*Simulator, error) {
 		}
 		if p.Speed <= 0 {
 			p.Speed = 1
+		}
+		if p.TransferSlots < 0 {
+			p.TransferSlots = 0
 		}
 		if _, dup := s.pools[p.Name]; dup {
 			return nil, fmt.Errorf("condor: duplicate pool %q", p.Name)
@@ -186,6 +224,15 @@ func (s *Simulator) SetWorkers(n int) {
 	} else {
 		s.pool = nil
 	}
+}
+
+// SetSubmitOverhead installs the serialized per-task scheduling overhead
+// (see the field doc). Call before submitting tasks; 0 disables.
+func (s *Simulator) SetSubmitOverhead(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.submitOverhead = d
 }
 
 // Workers returns the side-effect concurrency bound (minimum 1).
@@ -263,15 +310,29 @@ func (s *Simulator) dispatch() {
 			continue
 		}
 		p := s.pools[site]
-		p.busy++
+		if p.isTransferLane(t) {
+			p.txBusy++
+		} else {
+			p.busy++
+		}
+		start := s.now
+		if s.submitOverhead > 0 {
+			// The submission path is a serial resource: this job starts
+			// only after every earlier submission has cleared it.
+			if s.submitGate > start {
+				start = s.submitGate
+			}
+			start += s.submitOverhead
+			s.submitGate = start
+		}
 		dur := time.Duration(float64(t.Cost) / p.Speed)
 		s.seq++
 		e := event{
-			at:    s.now + dur,
+			at:    start + dur,
 			seq:   s.seq,
 			task:  t,
 			site:  site,
-			start: s.now,
+			start: start,
 		}
 		if s.pool != nil {
 			e.async = s.launch(t, site)
@@ -297,9 +358,10 @@ func (s *Simulator) launch(t Task, site string) *workpool.Future {
 
 // match picks a pool with a free slot for the task: its pinned site, or the
 // pool with the most free slots (ties by name). Returns "" if none is free.
+// Transfer-lane tasks consume a pool's TransferSlots where configured.
 func (s *Simulator) match(t Task) string {
 	if t.Site != "" {
-		if p := s.pools[t.Site]; p.busy < p.Slots {
+		if p := s.pools[t.Site]; p.freeFor(t) > 0 {
 			return t.Site
 		}
 		return ""
@@ -308,7 +370,7 @@ func (s *Simulator) match(t Task) string {
 	bestFree := 0
 	for _, name := range s.ordered {
 		p := s.pools[name]
-		free := p.Slots - p.busy
+		free := p.freeFor(t)
 		if free > bestFree {
 			best = name
 			bestFree = free
@@ -330,7 +392,11 @@ func (s *Simulator) Step() (completions []Completion, ok bool) {
 	for len(s.running) > 0 && s.running[0].at == next {
 		e := heap.Pop(&s.running).(event)
 		p := s.pools[e.site]
-		p.busy--
+		if p.isTransferLane(e.task) {
+			p.txBusy--
+		} else {
+			p.busy--
+		}
 		s.stats.BusyTime[e.site] += e.at - e.start
 		delete(s.inFlight, e.task.ID)
 

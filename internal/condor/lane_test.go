@@ -1,0 +1,131 @@
+package condor
+
+import (
+	"testing"
+	"time"
+)
+
+// drainAll steps the simulator to quiescence and returns every completion.
+func drainAll(t *testing.T, s *Simulator) []Completion {
+	t.Helper()
+	var all []Completion
+	for {
+		cs, ok := s.Step()
+		if !ok {
+			break
+		}
+		all = append(all, cs...)
+	}
+	if s.QueueLen() > 0 {
+		t.Fatalf("%d tasks starved", s.QueueLen())
+	}
+	return all
+}
+
+// TestTransferLaneOverlapsCompute: with a dedicated transfer slot, a stage-in
+// no longer competes with computation for the CPU slot — both finish in
+// parallel instead of back to back.
+func TestTransferLaneOverlapsCompute(t *testing.T) {
+	run := func(txSlots int) time.Duration {
+		s, err := NewSimulator(Pool{Name: "usc", Slots: 1, TransferSlots: txSlots})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(Task{ID: "compute", Site: "usc", Cost: 10 * time.Second}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(Task{ID: "stagein", Site: "usc", Cost: 10 * time.Second,
+			Lane: LaneTransfer}); err != nil {
+			t.Fatal(err)
+		}
+		drainAll(t, s)
+		return s.Now()
+	}
+	if serial := run(0); serial != 20*time.Second {
+		t.Errorf("without transfer lane makespan = %v, want 20s (slot contention)", serial)
+	}
+	if overlapped := run(1); overlapped != 10*time.Second {
+		t.Errorf("with transfer lane makespan = %v, want 10s (overlap)", overlapped)
+	}
+}
+
+// TestTransferLaneCapacity: the transfer lane has its own capacity — a third
+// transfer waits for a transfer slot even while CPU slots sit idle.
+func TestTransferLaneCapacity(t *testing.T) {
+	s, err := NewSimulator(Pool{Name: "usc", Slots: 4, TransferSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Submit(Task{ID: string(rune('a' + i)), Site: "usc",
+			Cost: time.Second, Lane: LaneTransfer}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drainAll(t, s)
+	if s.Now() != 2*time.Second {
+		t.Errorf("3 transfers over 2 transfer slots: makespan %v, want 2s", s.Now())
+	}
+}
+
+// TestSubmitOverheadSerializesStarts models the 2003 Condor-G/GRAM submission
+// bottleneck: task starts clear a serial gate one at a time, so even a wide
+// pool pays overhead × tasks end to end. This is the cost horizontal
+// clustering amortizes.
+func TestSubmitOverheadSerializesStarts(t *testing.T) {
+	s, err := NewSimulator(Pool{Name: "usc", Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSubmitOverhead(time.Second)
+	for i := 0; i < 4; i++ {
+		if err := s.Submit(Task{ID: string(rune('a' + i)), Site: "usc", Cost: time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := drainAll(t, s)
+	starts := map[time.Duration]bool{}
+	for _, c := range cs {
+		starts[c.Start] = true
+	}
+	for _, want := range []time.Duration{1, 2, 3, 4} {
+		if !starts[want*time.Second] {
+			t.Errorf("no task started at %vs; starts must serialize through the gate", want)
+		}
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("makespan %v, want 5s (last start at 4s + 1s run)", s.Now())
+	}
+}
+
+// TestSubmitOverheadAmortizedByBatching: one task carrying the work of four
+// pays the gate once — the clustering win in miniature.
+func TestSubmitOverheadAmortizedByBatching(t *testing.T) {
+	s, err := NewSimulator(Pool{Name: "usc", Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSubmitOverhead(time.Second)
+	if err := s.Submit(Task{ID: "batch", Site: "usc", Cost: 4 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	drainAll(t, s)
+	if s.Now() != 5*time.Second {
+		t.Errorf("batched makespan %v, want 5s (one gate + 4s of work)", s.Now())
+	}
+}
+
+// TestZeroOverheadIsLegacy: the default simulator starts tasks instantly.
+func TestZeroOverheadIsLegacy(t *testing.T) {
+	s, err := NewSimulator(Pool{Name: "usc", Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(Task{ID: "a", Site: "usc", Cost: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	cs := drainAll(t, s)
+	if len(cs) != 1 || cs[0].Start != 0 {
+		t.Errorf("legacy task start = %+v, want immediate", cs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/gridftp"
 	"repro/internal/mds"
 	"repro/internal/myproxy"
+	"repro/internal/pegasus"
 	"repro/internal/portal"
 	"repro/internal/registry"
 	"repro/internal/resilience"
@@ -88,6 +89,20 @@ type Config struct {
 	// CrashAfterEvents, when > 0, kills the workflow after that many journal
 	// appends (the kill-and-resume campaign's deterministic crash switch).
 	CrashAfterEvents int
+	// LocalityPlanning switches Pegasus to replica-cost site selection:
+	// jobs run where their input replicas already live, and stage-in nodes
+	// are only planned for genuinely remote inputs.
+	LocalityPlanning bool
+	// ClusterSize batches up to this many ready leaf jobs per site into one
+	// Condor task (Pegasus horizontal clustering). <= 1 keeps one task per
+	// node.
+	ClusterSize int
+	// SchedOverhead models the serialized per-task Condor-G/GRAM submission
+	// cost; zero keeps the instant-start legacy model.
+	SchedOverhead time.Duration
+	// TransferSlots gives every pool that many dedicated data-movement
+	// slots so stage-ins overlap computation.
+	TransferSlots int
 }
 
 // Testbed is the fully wired end-to-end system.
@@ -216,6 +231,13 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 
 		JournalDir:       cfg.JournalDir,
 		CrashAfterEvents: cfg.CrashAfterEvents,
+
+		ClusterSize:   cfg.ClusterSize,
+		SchedOverhead: cfg.SchedOverhead,
+		TransferSlots: cfg.TransferSlots,
+	}
+	if cfg.LocalityPlanning {
+		wsCfg.Selection = pegasus.SelectLocality
 	}
 	if cfg.Resilience {
 		wsCfg.Breakers = tb.Breakers

@@ -55,6 +55,17 @@ type Spec struct {
 	Site string        // pool to run on ("" = matchmake)
 	Cost time.Duration // model duration at unit speed
 	Run  func() error  // side effects, executed at completion time
+	// Lane routes the task to a scheduler lane; condor.LaneTransfer puts it
+	// on the pool's dedicated transfer slots (when configured), so data
+	// movement overlaps computation instead of competing for CPU slots.
+	Lane string
+	// ClusterKey, when non-empty and Options.ClusterSize > 1, marks the
+	// node horizontally clusterable: ready nodes sharing (Site, ClusterKey)
+	// are batched into a single Condor task of up to ClusterSize inner
+	// jobs, amortizing the per-task scheduling overhead. Journal records,
+	// monitoring events, retries and child release all remain per inner
+	// node, so crash recovery and rescue DAGs are unaffected.
+	ClusterKey string
 }
 
 // Runner maps a workflow node to its execution recipe. It is called once per
@@ -141,6 +152,11 @@ type Options struct {
 	// ignored, so a journal replayed against a reduced or rescue DAG is
 	// harmless.
 	Completed map[string]bool
+	// ClusterSize enables Pegasus-style horizontal clustering: up to this
+	// many ready nodes with equal (Site, ClusterKey) submit as one Condor
+	// task whose inner jobs run back to back on one slot. <= 1 disables
+	// clustering (every node is its own task, the legacy behaviour).
+	ClusterSize int
 }
 
 // emit delivers a monitoring event if a monitor is installed.
@@ -172,6 +188,13 @@ type Report struct {
 	// journaled work a resumed run did not re-execute. They are included
 	// in Done.
 	Restored int
+	// ScheduleEvents counts Condor tasks submitted to the scheduler — the
+	// quantity clustering amortizes (a clustered batch is one event).
+	ScheduleEvents int
+	// ClusteredTasks counts multi-node batches submitted; ClusteredNodes
+	// counts the inner jobs they carried.
+	ClusteredTasks int
+	ClusteredNodes int
 }
 
 // Succeeded reports whether every node completed.
@@ -299,6 +322,23 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 		return nil, err
 	}
 
+	// Horizontal clustering state: ready clusterable nodes wait in clusterBuf
+	// (journaled and monitored as submitted) until flushClusters groups them
+	// into batched Condor tasks before the next scheduler step.
+	type pendingInner struct {
+		id   string
+		spec Spec
+	}
+	// clusterBatch tracks one batched task's inner jobs; errs is filled by
+	// the batch Run in order, and settled per inner node at completion.
+	type clusterBatch struct {
+		ids  []string
+		errs []error
+	}
+	var clusterBuf []pendingInner
+	batches := map[string]*clusterBatch{}
+	clusterSeq := 0
+
 	doSubmit := func(id string) error {
 		n, _ := g.Node(id)
 		res := report.Results[id]
@@ -314,7 +354,74 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 		res.State = StateRunning
 		inFlight++
 		opt.emit(Event{Kind: EventSubmitted, Node: id, Attempt: res.Attempts, At: sim.Now()})
-		return sim.Submit(condor.Task{ID: id, Site: spec.Site, Cost: spec.Cost, Run: spec.Run})
+		if opt.ClusterSize > 1 && spec.ClusterKey != "" {
+			clusterBuf = append(clusterBuf, pendingInner{id: id, spec: spec})
+			return nil
+		}
+		report.ScheduleEvents++
+		return sim.Submit(condor.Task{ID: id, Site: spec.Site, Cost: spec.Cost, Lane: spec.Lane, Run: spec.Run})
+	}
+
+	// flushClusters drains the buffer into batched tasks: grouped by
+	// (Site, ClusterKey) in first-appearance order, split into chunks of at
+	// most ClusterSize. Inner Runs execute back to back inside one task —
+	// inner failures are recorded individually and never abort the batch,
+	// so one bad galaxy costs one retry, not fifteen re-runs.
+	flushClusters := func() error {
+		if len(clusterBuf) == 0 {
+			return nil
+		}
+		type groupKey struct{ site, key, lane string }
+		var order []groupKey
+		groups := map[groupKey][]pendingInner{}
+		for _, pi := range clusterBuf {
+			k := groupKey{site: pi.spec.Site, key: pi.spec.ClusterKey, lane: pi.spec.Lane}
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], pi)
+		}
+		clusterBuf = nil
+		for _, k := range order {
+			items := groups[k]
+			for lo := 0; lo < len(items); lo += opt.ClusterSize {
+				hi := lo + opt.ClusterSize
+				if hi > len(items) {
+					hi = len(items)
+				}
+				chunk := items[lo:hi]
+				var cost time.Duration
+				cb := &clusterBatch{errs: make([]error, len(chunk))}
+				runs := make([]func() error, len(chunk))
+				for i, pi := range chunk {
+					cb.ids = append(cb.ids, pi.id)
+					cost += pi.spec.Cost
+					runs[i] = pi.spec.Run
+				}
+				clusterSeq++
+				taskID := fmt.Sprintf("cluster-%04d_%s_%s", clusterSeq, k.key, k.site)
+				batches[taskID] = cb
+				report.ScheduleEvents++
+				if len(chunk) > 1 {
+					report.ClusteredTasks++
+					report.ClusteredNodes += len(chunk)
+				}
+				run := func() error {
+					for i, r := range runs {
+						if r != nil {
+							cb.errs[i] = r()
+						}
+					}
+					return nil // inner outcomes are settled individually
+				}
+				if err := sim.Submit(condor.Task{
+					ID: taskID, Site: k.site, Cost: cost, Lane: k.lane, Run: run,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
 
 	// submit releases a node immediately or queues it under the throttle.
@@ -353,6 +460,9 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 			return fail(err)
 		}
 	}
+	if err := flushClusters(); err != nil {
+		return fail(err)
+	}
 
 	markUnrunDescendants := func(id string) {
 		for _, d := range g.Descendants(id) {
@@ -361,6 +471,67 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 				res.State = StateUnrun
 			}
 		}
+	}
+
+	// settle applies one node's outcome: journal, retry/fail/complete, child
+	// release. For a clustered batch it runs once per inner node with that
+	// node's own error, so recovery semantics match unclustered execution.
+	settle := func(id, site string, startAt, endAt time.Duration, nodeErr error) error {
+		res := report.Results[id]
+		res.Site = site
+		res.Start = startAt
+		res.End = endAt
+		res.Err = nodeErr
+		inFlight--
+
+		if nodeErr != nil {
+			retry := res.Attempts <= opt.MaxRetries
+			if opt.RetryPolicy != nil {
+				retry = opt.RetryPolicy(id, res.Attempts, nodeErr)
+			}
+			if retry {
+				if err := journalRec(journal.Record{Kind: journal.KindRetried,
+					Node: id, Site: site, Attempt: res.Attempts,
+					At: endAt, Err: nodeErr.Error()}); err != nil {
+					return err
+				}
+				opt.emit(Event{Kind: EventRetried, Node: id, Site: site,
+					Attempt: res.Attempts, At: endAt, Err: nodeErr})
+				return submit(id)
+			}
+			if err := journalRec(journal.Record{Kind: journal.KindFailed,
+				Node: id, Site: site, Attempt: res.Attempts,
+				At: endAt, Err: nodeErr.Error()}); err != nil {
+				return err
+			}
+			res.State = StateFailed
+			opt.emit(Event{Kind: EventFailed, Node: id, Site: site,
+				Attempt: res.Attempts, At: endAt, Err: nodeErr})
+			markUnrunDescendants(id)
+			return nil
+		}
+		if err := journalRec(journal.Record{Kind: journal.KindCompleted,
+			Node: id, Site: site, Attempt: res.Attempts, At: endAt}); err != nil {
+			return err
+		}
+		res.State = StateDone
+		opt.emit(Event{Kind: EventCompleted, Node: id, Site: site,
+			Attempt: res.Attempts, At: endAt})
+		// Release children whose parents are now all done.
+		for _, child := range g.Children(id) {
+			pendingParents[child]--
+			if pendingParents[child] > 0 {
+				continue
+			}
+			childRes := report.Results[child]
+			if childRes.State != StatePending {
+				continue // upstream failure already marked it unrun
+			}
+			if err := submit(child); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	for {
@@ -372,65 +543,29 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 			break
 		}
 		for _, c := range completions {
-			res := report.Results[c.TaskID]
-			res.Site = c.Site
-			res.Start = c.Start
-			res.End = c.End
-			res.Err = c.Err
-			inFlight--
-
-			if c.Err != nil {
-				retry := res.Attempts <= opt.MaxRetries
-				if opt.RetryPolicy != nil {
-					retry = opt.RetryPolicy(c.TaskID, res.Attempts, c.Err)
-				}
-				if retry {
-					if err := journalRec(journal.Record{Kind: journal.KindRetried,
-						Node: c.TaskID, Site: c.Site, Attempt: res.Attempts,
-						At: c.End, Err: c.Err.Error()}); err != nil {
+			if cb, clustered := batches[c.TaskID]; clustered {
+				delete(batches, c.TaskID)
+				for i, id := range cb.ids {
+					innerErr := cb.errs[i]
+					if c.Err != nil {
+						// A whole-task failure (e.g. an injected batch
+						// fault) fails every inner job it carried.
+						innerErr = c.Err
+					}
+					if err := settle(id, c.Site, c.Start, c.End, innerErr); err != nil {
 						return fail(err)
 					}
-					opt.emit(Event{Kind: EventRetried, Node: c.TaskID, Site: c.Site,
-						Attempt: res.Attempts, At: c.End, Err: c.Err})
-					if err := submit(c.TaskID); err != nil {
-						return fail(err)
-					}
-					continue
 				}
-				if err := journalRec(journal.Record{Kind: journal.KindFailed,
-					Node: c.TaskID, Site: c.Site, Attempt: res.Attempts,
-					At: c.End, Err: c.Err.Error()}); err != nil {
-					return fail(err)
-				}
-				res.State = StateFailed
-				opt.emit(Event{Kind: EventFailed, Node: c.TaskID, Site: c.Site,
-					Attempt: res.Attempts, At: c.End, Err: c.Err})
-				markUnrunDescendants(c.TaskID)
 				continue
 			}
-			if err := journalRec(journal.Record{Kind: journal.KindCompleted,
-				Node: c.TaskID, Site: c.Site, Attempt: res.Attempts, At: c.End}); err != nil {
+			if err := settle(c.TaskID, c.Site, c.Start, c.End, c.Err); err != nil {
 				return fail(err)
-			}
-			res.State = StateDone
-			opt.emit(Event{Kind: EventCompleted, Node: c.TaskID, Site: c.Site,
-				Attempt: res.Attempts, At: c.End})
-			// Release children whose parents are now all done.
-			for _, child := range g.Children(c.TaskID) {
-				pendingParents[child]--
-				if pendingParents[child] > 0 {
-					continue
-				}
-				childRes := report.Results[child]
-				if childRes.State != StatePending {
-					continue // upstream failure already marked it unrun
-				}
-				if err := submit(child); err != nil {
-					return fail(err)
-				}
 			}
 		}
 		if err := drainWaiting(); err != nil {
+			return fail(err)
+		}
+		if err := flushClusters(); err != nil {
 			return fail(err)
 		}
 	}

@@ -64,6 +64,9 @@ func mergeReports(total, round *Report) {
 		total.Results[id] = &merged
 	}
 	total.Makespan += round.Makespan
+	total.ScheduleEvents += round.ScheduleEvents
+	total.ClusteredTasks += round.ClusteredTasks
+	total.ClusteredNodes += round.ClusteredNodes
 	total.Done, total.Failed, total.Unrun = 0, 0, 0
 	for _, res := range total.Results {
 		switch res.State {

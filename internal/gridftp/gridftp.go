@@ -295,6 +295,12 @@ func NewService(net Network) *Service {
 	return &Service{net: net.withDefaults(), stores: map[string]*Store{}}
 }
 
+// Network returns the service's link-cost model, for planners that score
+// candidate sites by estimated transfer cost.
+func (s *Service) Network() Network {
+	return s.net
+}
+
 // SetInjector installs (or removes, with nil) the fault injector. The nil
 // default costs one pointer check per transfer.
 func (s *Service) SetInjector(in *faults.Injector) {

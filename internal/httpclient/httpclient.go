@@ -1,0 +1,34 @@
+// Package httpclient provides the process-wide pooled HTTP client that the
+// portal and the thin service clients (RLS, registry, tableops, compute)
+// default to when no client is injected. A single client means a single
+// transport, so keep-alive connections are reused across calls and
+// components instead of each call paying a fresh TCP (and, in a real
+// deployment, TLS) handshake — the connection-churn analog of the planner's
+// one-round-trip-per-plan rule.
+package httpclient
+
+import (
+	"net/http"
+	"time"
+)
+
+// shared is the singleton pooled client. The transport mirrors
+// http.DefaultTransport's pooling posture but with a higher per-host idle
+// limit: the testbed concentrates traffic on a handful of archive hosts, so
+// the default of 2 idle conns per host would discard most keep-alives under
+// the portal's parallel fan-out.
+var shared = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        100,
+		MaxIdleConnsPerHost: 16,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
+// Shared returns the process-wide pooled client. Callers must not mutate it;
+// components needing different behaviour (timeouts, test routers) should
+// inject their own client instead.
+func Shared() *http.Client {
+	return shared
+}

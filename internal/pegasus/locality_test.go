@@ -1,0 +1,161 @@
+package pegasus
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chimera"
+	"repro/internal/gridftp"
+	"repro/internal/rls"
+	"repro/internal/tcat"
+	"repro/internal/vdl"
+)
+
+// fanWorkflow builds k independent step jobs, a_i -> b_i, all requested —
+// the shape of the galMorph leaf layer.
+func fanWorkflow(t testing.TB, k int) *chimera.Workflow {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("TR step( in x, out y ) {}\n")
+	var req []string
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "DV d%03d->step( x=@{in:\"a%03d\"}, y=@{out:\"b%03d\"} );\n", i, i, i)
+		req = append(req, fmt.Sprintf("b%03d", i))
+	}
+	cat, err := vdl.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := chimera.Compose(cat, chimera.Request{LFNs: req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wf
+}
+
+// fanServices registers every a_i at dataSite and step at both sites.
+func fanServices(t testing.TB, k int, dataSite string) (*rls.RLS, *tcat.Catalog) {
+	t.Helper()
+	r := rls.New()
+	for i := 0; i < k; i++ {
+		lfn := fmt.Sprintf("a%03d", i)
+		if err := r.Register(lfn, rls.PFN{Site: dataSite, URL: gridftp.URL(dataSite, lfn)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc := tcat.New()
+	_ = tc.Add(tcat.Entry{Transformation: "step", Site: "A", Path: "/bin/step"})
+	_ = tc.Add(tcat.Entry{Transformation: "step", Site: "B", Path: "/grid/step"})
+	return r, tc
+}
+
+// TestPlanIsSingleRLSRoundTrip is the tentpole's O(1) contract: however many
+// LFNs the workflow names, planning costs exactly one RLS read round trip
+// (the BulkLookup snapshot).
+func TestPlanIsSingleRLSRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 8, 64} {
+		wf := fanWorkflow(t, k)
+		r, tc := fanServices(t, k, "A")
+		r.ResetRoundTrips()
+		p, err := Map(wf, Config{RLS: r, TC: tc, Rand: rand.New(rand.NewSource(3))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.RoundTrips(); got != 1 {
+			t.Errorf("k=%d: planning cost %d RLS round trips, want 1", k, got)
+		}
+		if p.RLSRoundTrips != 1 {
+			t.Errorf("k=%d: plan recorded %d round trips, want 1", k, p.RLSRoundTrips)
+		}
+		if len(p.Replicas) != k {
+			t.Errorf("k=%d: snapshot has %d LFNs, want %d", k, len(p.Replicas), k)
+		}
+	}
+}
+
+// TestLocalityComputesWhereDataLives: with every input replica at site A,
+// SelectLocality maps every job to A and emits zero transfer nodes, while
+// the paper's random policy scatters jobs and pays stage-ins.
+func TestLocalityComputesWhereDataLives(t *testing.T) {
+	const k = 16
+	wf := fanWorkflow(t, k)
+	r, tc := fanServices(t, k, "A")
+
+	local, err := Map(wf, Config{RLS: r, TC: tc, Selection: SelectLocality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job, site := range local.SiteOf {
+		if site != "A" {
+			t.Errorf("locality put %s at %s; all replicas are at A", job, site)
+		}
+	}
+	if n := local.Stats().TransferNodes; n != 0 {
+		t.Errorf("locality plan has %d transfer nodes, want 0", n)
+	}
+	if local.EstBytesMoved != 0 {
+		t.Errorf("locality plan estimates %d bytes moved, want 0", local.EstBytesMoved)
+	}
+
+	random, err := Map(wf, Config{RLS: r, TC: tc, Selection: SelectRandom,
+		Rand: rand.New(rand.NewSource(7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := random.Stats().TransferNodes; n == 0 {
+		t.Fatalf("random plan moved nothing; seed no longer scatters jobs, pick another")
+	}
+	if random.EstBytesMoved <= local.EstBytesMoved {
+		t.Errorf("random est %d bytes <= locality est %d bytes",
+			random.EstBytesMoved, local.EstBytesMoved)
+	}
+}
+
+// TestLocalitySpreadsEqualCostJobs: when inputs are replicated everywhere,
+// locality degenerates to balanced assignment, not a pileup on one site.
+func TestLocalitySpreadsEqualCostJobs(t *testing.T) {
+	const k = 10
+	wf := fanWorkflow(t, k)
+	r, tc := fanServices(t, k, "A")
+	for i := 0; i < k; i++ {
+		lfn := fmt.Sprintf("a%03d", i)
+		if err := r.Register(lfn, rls.PFN{Site: "B", URL: gridftp.URL("B", lfn)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := Map(wf, Config{RLS: r, TC: tc, Selection: SelectLocality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSite := map[string]int{}
+	for _, site := range p.SiteOf {
+		perSite[site]++
+	}
+	if perSite["A"] != k/2 || perSite["B"] != k/2 {
+		t.Errorf("equal-cost jobs unbalanced: %v", perSite)
+	}
+}
+
+// TestLocalityPlanDeterministic: no rng in the policy — two runs agree
+// exactly (required by the kill/resume byte-identity sweep).
+func TestLocalityPlanDeterministic(t *testing.T) {
+	wf := fanWorkflow(t, 12)
+	r, tc := fanServices(t, 12, "B")
+	p1, err := Map(wf, Config{RLS: r, TC: tc, Selection: SelectLocality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Map(wf, Config{RLS: r, TC: tc, Selection: SelectLocality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.SiteOf, p2.SiteOf) {
+		t.Errorf("site maps differ:\n%v\n%v", p1.SiteOf, p2.SiteOf)
+	}
+	if !reflect.DeepEqual(p1.Concrete.Nodes(), p2.Concrete.Nodes()) {
+		t.Errorf("concrete node sets differ")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/chimera"
 	"repro/internal/dag"
@@ -58,10 +59,13 @@ type SiteSelection int
 // Site-selection policies. The paper's prototype "picks a random location to
 // execute from among the returned locations"; round-robin and least-loaded
 // are the natural alternatives its related-work section discusses.
+// SelectLocality is the replica-cost policy this repo adds: a job runs where
+// its input replicas already live, so data moves only when it must.
 const (
 	SelectRandom SiteSelection = iota
 	SelectRoundRobin
 	SelectLeastLoaded
+	SelectLocality
 )
 
 // Errors returned by the planner.
@@ -91,6 +95,29 @@ type Config struct {
 	OutputSite string
 	// RegisterOutputs adds RLS registration nodes for every data product.
 	RegisterOutputs bool
+
+	// Net is the link-cost model SelectLocality scores candidate sites
+	// with; the zero value uses the gridftp defaults (10 MB/s wide-area,
+	// 100 MB/s local, 50 ms latency).
+	Net gridftp.Network
+	// SizeOf reports the size in bytes of an existing logical file, for
+	// replica-cost scoring and planner byte estimates. Files it cannot
+	// size (or a nil hook) are assumed to be defaultFileSize.
+	SizeOf func(lfn string) int64
+}
+
+// defaultFileSize stands in for files whose size the planner cannot learn
+// (e.g. outputs not yet materialized): the ~1 MB of a cutout image, the
+// dominant file class in the paper's workload.
+const defaultFileSize = 1 << 20
+
+func (c Config) sizeOf(lfn string) int64 {
+	if c.SizeOf != nil {
+		if s := c.SizeOf(lfn); s > 0 {
+			return s
+		}
+	}
+	return defaultFileSize
 }
 
 func (c Config) rng() *rand.Rand {
@@ -116,6 +143,17 @@ type Plan struct {
 	ReusedLFNs []string
 	// SiteOf maps each compute job to its execution site.
 	SiteOf map[string]string
+
+	// Replicas is the replica snapshot the whole plan was computed from,
+	// fetched in a single RLS BulkLookup. Callers may prime a read-through
+	// rls.Cache with it so the runner's lookups are free.
+	Replicas map[string][]rls.PFN
+	// EstBytesMoved is the planner's estimate of bytes the transfer nodes
+	// will move (sum of input sizes over stage-in/inter-stage/stage-out
+	// nodes) — the quantity SelectLocality minimizes.
+	EstBytesMoved int64
+	// RLSRoundTrips is the number of RLS read round trips this plan cost.
+	RLSRoundTrips int64
 }
 
 // Stats summarizes a plan for reports and experiments.
@@ -154,8 +192,17 @@ func Map(wf *chimera.Workflow, cfg Config) (*Plan, error) {
 
 	p := &Plan{Abstract: wf.Graph, SiteOf: map[string]string{}}
 
+	// --- 0. Replica snapshot: every planner decision below reads replica
+	// state from one BulkLookup over the workflow's whole file set — a
+	// single RLS round trip per plan, however many LFNs the request names
+	// (previously reduction + feasibility + source selection each paid one
+	// round trip per LFN).
+	before := cfg.RLS.RoundTrips()
+	snap := cfg.RLS.BulkLookup(workflowLFNs(wf))
+	p.Replicas = snap
+
 	// --- 1. Abstract DAG reduction (Figure 2 step "Abstract DAG reduction").
-	reduced, pruned, reused := reduce(wf, cfg)
+	reduced, pruned, reused := reduce(wf, cfg, snap)
 	p.Reduced = reduced
 	p.PrunedJobs = pruned
 	p.ReusedLFNs = reused
@@ -173,7 +220,7 @@ func Map(wf *chimera.Workflow, cfg Config) (*Plan, error) {
 	for _, id := range reduced.Nodes() {
 		n, _ := reduced.Node(id)
 		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrInputs)) {
-			if !produced[lfn] && !cfg.RLS.Exists(lfn) {
+			if !produced[lfn] && len(snap[lfn]) == 0 {
 				missing = append(missing, lfn)
 			}
 		}
@@ -184,17 +231,38 @@ func Map(wf *chimera.Workflow, cfg Config) (*Plan, error) {
 	}
 
 	// --- 3 & 4. Site selection and concrete workflow construction.
-	if err := concretize(p, wf, cfg, rng); err != nil {
+	if err := concretize(p, wf, cfg, rng, snap); err != nil {
 		return nil, err
 	}
+	p.RLSRoundTrips = cfg.RLS.RoundTrips() - before
 	return p, nil
+}
+
+// workflowLFNs collects every logical file the plan can touch — requested
+// outputs plus all job inputs and outputs — sorted and deduplicated, so one
+// BulkLookup covers the planner's entire replica working set.
+func workflowLFNs(wf *chimera.Workflow) []string {
+	seen := map[string]bool{}
+	for _, lfn := range wf.RequestedLFNs {
+		seen[lfn] = true
+	}
+	for _, id := range wf.Graph.Nodes() {
+		n, _ := wf.Graph.Node(id)
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrInputs)) {
+			seen[lfn] = true
+		}
+		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrOutputs)) {
+			seen[lfn] = true
+		}
+	}
+	return sortedKeys(seen)
 }
 
 // reduce prunes jobs whose required outputs already exist in the RLS. A job
 // survives only if one of its outputs is required and absent: requirements
 // start at the requested LFNs and propagate to the inputs of surviving jobs
 // (walked in reverse topological order).
-func reduce(wf *chimera.Workflow, cfg Config) (g *dag.Graph, pruned, reused []string) {
+func reduce(wf *chimera.Workflow, cfg Config, snap map[string][]rls.PFN) (g *dag.Graph, pruned, reused []string) {
 	g = wf.Graph.Clone()
 	if cfg.NoReduce {
 		return g, nil, nil
@@ -209,7 +277,7 @@ func reduce(wf *chimera.Workflow, cfg Config) (g *dag.Graph, pruned, reused []st
 	required := map[string]bool{}
 	reusedSet := map[string]bool{}
 	for _, lfn := range wf.RequestedLFNs {
-		if cfg.RLS.Exists(lfn) {
+		if len(snap[lfn]) > 0 {
 			reusedSet[lfn] = true
 		} else {
 			required[lfn] = true
@@ -232,7 +300,7 @@ func reduce(wf *chimera.Workflow, cfg Config) (g *dag.Graph, pruned, reused []st
 			continue
 		}
 		for _, lfn := range chimera.SplitLFNs(n.Attr(chimera.AttrInputs)) {
-			if cfg.RLS.Exists(lfn) {
+			if len(snap[lfn]) > 0 {
 				reusedSet[lfn] = true
 			} else {
 				required[lfn] = true
@@ -248,7 +316,7 @@ func reduce(wf *chimera.Workflow, cfg Config) (g *dag.Graph, pruned, reused []st
 
 // concretize performs site selection and inserts transfer and registration
 // nodes around the reduced workflow's compute jobs.
-func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error {
+func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand, snap map[string][]rls.PFN) error {
 	cw := dag.New()
 	reduced := p.Reduced
 
@@ -261,9 +329,17 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 		}
 	}
 
-	// Site selection, in deterministic job order.
-	rrIndex := 0
+	// Site selection, in deterministic job order. SelectLocality assigns in
+	// topological order instead, so a consumer can see where its producers
+	// landed and follow the bytes.
 	jobs := reduced.Nodes()
+	if cfg.Selection == SelectLocality {
+		if order, err := reduced.TopoSort(); err == nil {
+			jobs = order
+		}
+	}
+	rrIndex := 0
+	assigned := map[string]int{} // jobs per site, for locality tie-breaks
 	for _, id := range jobs {
 		n, _ := reduced.Node(id)
 		tr := n.Attr(chimera.AttrTransformation)
@@ -287,6 +363,10 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 			}
 			// Planner-side load accounting so successive picks spread out.
 			_ = cfg.MDS.AddLoad(site, 1)
+		case SelectLocality:
+			inputs := chimera.SplitLFNs(n.Attr(chimera.AttrInputs))
+			site = pickByLocality(cfg, entries, inputs, snap, producerOf, p.SiteOf, assigned)
+			assigned[site]++
 		default: // SelectRandom — the paper's behaviour
 			site = entries[rng.Intn(len(entries))].Site
 		}
@@ -340,15 +420,18 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 					if err := cw.AddEdge(prod, txID); err != nil {
 						return err
 					}
+					p.EstBytesMoved += cfg.sizeOf(lfn)
 				}
 				if err := cw.AddEdge(txID, id); err != nil {
 					return err
 				}
 				continue
 			}
-			// Stage-in from an existing replica; source replica picked at
-			// random, as in the paper.
-			replicas := cfg.RLS.Lookup(lfn)
+			// Stage-in from an existing replica, read from the plan's
+			// snapshot. The source replica is picked at random, as in the
+			// paper — except under SelectLocality, which takes the cheapest
+			// link deterministically.
+			replicas := snap[lfn]
 			if len(replicas) == 0 {
 				return fmt.Errorf("%w: %q", ErrInfeasible, lfn)
 			}
@@ -360,9 +443,9 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 				}
 			}
 			if atSite {
-				continue // replica already local
+				continue // replica already local: genuinely nothing to move
 			}
-			src := replicas[rng.Intn(len(replicas))]
+			src := pickSource(cfg, rng, replicas, site, lfn)
 			txID := fmt.Sprintf("stagein_%s_to_%s", sanitize(lfn), site)
 			if _, exists := cw.Node(txID); !exists {
 				tn := &dag.Node{ID: txID, Type: NodeTransfer}
@@ -372,6 +455,7 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 				if err := cw.AddNode(tn); err != nil {
 					return err
 				}
+				p.EstBytesMoved += cfg.sizeOf(lfn)
 			}
 			if err := cw.AddEdge(txID, id); err != nil {
 				return err
@@ -402,6 +486,7 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 				if err := cw.AddEdge(id, txID); err != nil {
 					return err
 				}
+				p.EstBytesMoved += cfg.sizeOf(lfn)
 				finalSite = cfg.OutputSite
 				lastNode = txID
 			}
@@ -427,7 +512,7 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 			if _, producedHere := producerOf[lfn]; producedHere {
 				continue
 			}
-			replicas := cfg.RLS.Lookup(lfn)
+			replicas := snap[lfn]
 			if len(replicas) == 0 {
 				continue // reduction guarantees this does not happen
 			}
@@ -441,7 +526,7 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 			if already {
 				continue
 			}
-			src := replicas[rng.Intn(len(replicas))]
+			src := pickSource(cfg, rng, replicas, cfg.OutputSite, lfn)
 			txID := fmt.Sprintf("stageout_%s_to_%s", sanitize(lfn), cfg.OutputSite)
 			tn := &dag.Node{ID: txID, Type: NodeTransfer}
 			tn.SetAttr(AttrLFN, lfn)
@@ -450,6 +535,7 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 			if err := cw.AddNode(tn); err != nil {
 				return err
 			}
+			p.EstBytesMoved += cfg.sizeOf(lfn)
 			if cfg.RegisterOutputs {
 				regID := "reg_" + sanitize(lfn)
 				rn := &dag.Node{ID: regID, Type: NodeRegister}
@@ -468,6 +554,74 @@ func concretize(p *Plan, wf *chimera.Workflow, cfg Config, rng *rand.Rand) error
 
 	p.Concrete = cw
 	return nil
+}
+
+// pickByLocality scores each candidate site by the simulated cost of moving
+// the job's inputs there — for every input not already replicated at the
+// site, the cheapest link from an existing replica (or from the producer's
+// assigned site for inter-stage files), weighted by file size — and returns
+// the cheapest site. Ties break toward the site with fewer jobs assigned so
+// equal-cost work still spreads across pools, then by name; the whole pick
+// is deterministic, which the kill/resume byte-identity sweep depends on.
+func pickByLocality(cfg Config, entries []tcat.Entry, inputs []string,
+	snap map[string][]rls.PFN, producerOf, siteOf map[string]string,
+	assigned map[string]int) string {
+
+	net := cfg.Net
+	best := ""
+	var bestCost time.Duration
+	for _, e := range entries {
+		site := e.Site
+		var cost time.Duration
+		for _, lfn := range inputs {
+			size := cfg.sizeOf(lfn)
+			if prod, ok := producerOf[lfn]; ok {
+				if srcSite, placed := siteOf[prod]; placed && srcSite != site {
+					cost += net.Cost(srcSite, site, size)
+				}
+				continue
+			}
+			replicas := snap[lfn]
+			if len(replicas) == 0 {
+				continue // feasibility already rejected truly missing inputs
+			}
+			cheapest := time.Duration(-1)
+			for _, r := range replicas {
+				if r.Site == site {
+					cheapest = 0
+					break
+				}
+				if c := net.Cost(r.Site, site, size); cheapest < 0 || c < cheapest {
+					cheapest = c
+				}
+			}
+			cost += cheapest
+		}
+		if best == "" || cost < bestCost ||
+			(cost == bestCost && assigned[site] < assigned[best]) ||
+			(cost == bestCost && assigned[site] == assigned[best] && site < best) {
+			best, bestCost = site, cost
+		}
+	}
+	return best
+}
+
+// pickSource chooses the replica a transfer stages from: random under the
+// paper's policies, the cheapest link (ties by site then URL — the replica
+// list is already sorted) under SelectLocality.
+func pickSource(cfg Config, rng *rand.Rand, replicas []rls.PFN, dst, lfn string) rls.PFN {
+	if cfg.Selection != SelectLocality {
+		return replicas[rng.Intn(len(replicas))]
+	}
+	size := cfg.sizeOf(lfn)
+	best := replicas[0]
+	bestCost := cfg.Net.Cost(best.Site, dst, size)
+	for _, r := range replicas[1:] {
+		if c := cfg.Net.Cost(r.Site, dst, size); c < bestCost {
+			best, bestCost = r, c
+		}
+	}
+	return best
 }
 
 // sanitize turns an LFN into a legal node-id fragment.

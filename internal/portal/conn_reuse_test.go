@@ -1,0 +1,99 @@
+package portal
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/services"
+	"repro/internal/skysim"
+	"repro/internal/wcs"
+)
+
+// countingServer stands up one archive behind a server that counts both HTTP
+// requests and freshly accepted TCP connections, so a test can tell keep-alive
+// reuse apart from per-request redials.
+func countingServer(t *testing.T) (srv *httptest.Server, cl *skysim.Cluster, requests, conns *int64) {
+	t.Helper()
+	cl = skysim.Generate(skysim.Spec{
+		Name: "COMA", Center: wcs.New(195, 28), Redshift: 0.023,
+		NumGalaxies: 10, Seed: 21,
+	})
+	arch := services.NewArchive("mast", cl)
+	requests, conns = new(int64), new(int64)
+	srv = httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(requests, 1)
+		arch.Handler().ServeHTTP(w, r)
+	}))
+	srv.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			atomic.AddInt64(conns, 1)
+		}
+	}
+	srv.Start()
+	t.Cleanup(srv.Close)
+	return srv, cl, requests, conns
+}
+
+func reusePortal(t *testing.T, url string, cl *skysim.Cluster, client *http.Client) *Portal {
+	t.Helper()
+	p, err := New(Config{
+		Clusters: []ClusterEntry{{
+			Name: "COMA", Center: cl.Center, Redshift: cl.Redshift,
+			SearchRadiusDeg: 8*cl.CoreRadiusDeg + 0.01,
+		}},
+		ConeServices:       []string{url + "/cone"},
+		SIAServices:        []string{url + "/sia"},
+		CutoutService:      url + "/siacut",
+		ComputeService:     "http://unused.invalid",
+		HTTPClient:         client,
+		MaxParallelQueries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPortalReusesKeepAliveConnections: the portal's default pooled client
+// must carry many sequential archive calls over far fewer TCP connections
+// than requests — each redial would pay a fresh wide-area handshake.
+func TestPortalReusesKeepAliveConnections(t *testing.T) {
+	srv, cl, requests, conns := countingServer(t)
+	p := reusePortal(t, srv.URL, cl, nil) // nil => httpclient.Shared()
+
+	for i := 0; i < 4; i++ {
+		if _, _, err := p.BuildCatalogReport("COMA"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := p.FindImagesReport("COMA"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reqs, dials := atomic.LoadInt64(requests), atomic.LoadInt64(conns)
+	if reqs < 8 {
+		t.Fatalf("test issued only %d requests, cannot judge reuse", reqs)
+	}
+	if dials*2 > reqs {
+		t.Errorf("pooled client opened %d connections for %d requests — keep-alives not reused", dials, reqs)
+	}
+}
+
+// TestFreshClientDialsPerRequest documents the baseline the pool removes: a
+// client with keep-alives disabled opens one connection per request.
+func TestFreshClientDialsPerRequest(t *testing.T) {
+	srv, cl, requests, conns := countingServer(t)
+	churn := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	p := reusePortal(t, srv.URL, cl, churn)
+
+	if _, _, err := p.BuildCatalogReport("COMA"); err != nil {
+		t.Fatal(err)
+	}
+	reqs, dials := atomic.LoadInt64(requests), atomic.LoadInt64(conns)
+	if dials < reqs {
+		t.Errorf("keep-alive-disabled client opened %d connections for %d requests", dials, reqs)
+	}
+}

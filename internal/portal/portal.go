@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/httpclient"
 	"sort"
 	"sync"
 	"time"
@@ -132,7 +134,9 @@ func New(cfg Config) (*Portal, error) {
 		return nil, errors.New("portal: cone, cutout and compute services are required")
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{}
+		// All archive traffic shares one pooled client, so sequential cone,
+		// SIA and cutout calls to the same host reuse keep-alive connections.
+		cfg.HTTPClient = httpclient.Shared()
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 10 * time.Millisecond

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"repro/internal/httpclient"
 	"sort"
 	"strings"
 	"sync"
@@ -219,7 +221,7 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{}
+	return httpclient.Shared()
 }
 
 // Query fetches matching entries from the remote registry.

@@ -1,0 +1,134 @@
+package rls
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestCacheReadThroughAndHitAccounting(t *testing.T) {
+	r := New()
+	if err := r.Register("a.fit", PFN{Site: "isi", URL: "gridftp://isi/a.fit"}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(r)
+	base := r.RoundTrips()
+	first := c.Lookup("a.fit")
+	second := c.Lookup("a.fit")
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached lookup differs: %v vs %v", first, second)
+	}
+	if got := r.RoundTrips() - base; got != 1 {
+		t.Errorf("two cached lookups cost %d round trips, want 1", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestCacheCachesNegativeLookups(t *testing.T) {
+	c := NewCache(New())
+	base := c.rls.RoundTrips()
+	for i := 0; i < 3; i++ {
+		if got := c.Lookup("missing.fit"); len(got) != 0 {
+			t.Fatalf("lookup of unregistered LFN returned %v", got)
+		}
+	}
+	if got := c.rls.RoundTrips() - base; got != 1 {
+		t.Errorf("repeated negative lookups cost %d round trips, want 1", got)
+	}
+}
+
+func TestCachePrimeServesSnapshotWithoutRLS(t *testing.T) {
+	r := New()
+	c := NewCache(r)
+	c.Prime(map[string][]PFN{
+		"a.fit": {{Site: "isi", URL: "gridftp://isi/a.fit"}},
+	})
+	base := r.RoundTrips()
+	got := c.Lookup("a.fit")
+	if len(got) != 1 || got[0].Site != "isi" {
+		t.Errorf("primed lookup = %v", got)
+	}
+	if r.RoundTrips() != base {
+		t.Error("primed lookup hit the RLS")
+	}
+}
+
+// TestCacheNeverResurrectsQuarantinedReplica pins the tentpole's correctness
+// contract: after a replica is quarantined and the cache invalidated, no
+// lookup — however warm the cache was — may offer the quarantined copy again.
+func TestCacheNeverResurrectsQuarantinedReplica(t *testing.T) {
+	r := New()
+	bad := PFN{Site: "isi", URL: "gridftp://isi/a.fit"}
+	good := PFN{Site: "ncsa", URL: "gridftp://ncsa/a.fit"}
+	for _, p := range []PFN{bad, good} {
+		if err := r.Register("a.fit", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCache(r)
+	if got := c.Lookup("a.fit"); len(got) != 2 {
+		t.Fatalf("warmup lookup = %v, want both replicas", got)
+	}
+
+	// The quarantine path: catalog write, then cache invalidation.
+	if err := r.Quarantine("a.fit", bad); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("a.fit")
+
+	for i := 0; i < 3; i++ {
+		for _, p := range c.Lookup("a.fit") {
+			if p.URL == bad.URL {
+				t.Fatalf("lookup %d resurrected quarantined replica %v", i, p)
+			}
+		}
+	}
+	// Mutating a returned slice must not poison the cache for later callers.
+	got := c.Lookup("a.fit")
+	if len(got) == 0 {
+		t.Fatal("healthy replica vanished")
+	}
+	got[0] = bad
+	for _, p := range c.Lookup("a.fit") {
+		if p.URL == bad.URL {
+			t.Fatal("caller mutation of a returned slice leaked into the cache")
+		}
+	}
+}
+
+func TestCacheInvalidateThenFreshRead(t *testing.T) {
+	r := New()
+	c := NewCache(r)
+	if got := c.Lookup("b.fit"); len(got) != 0 {
+		t.Fatalf("lookup = %v", got)
+	}
+	// Simulate the register path: catalog write + invalidation.
+	if err := r.Register("b.fit", PFN{Site: "isi", URL: "gridftp://isi/b.fit"}); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate("b.fit")
+	if got := c.Lookup("b.fit"); len(got) != 1 {
+		t.Errorf("post-invalidate lookup = %v, want the new replica", got)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	r := New()
+	c := NewCache(r)
+	for i := 0; i < 4; i++ {
+		lfn := fmt.Sprintf("f%d.fit", i)
+		if err := r.Register(lfn, PFN{Site: "isi", URL: "gridftp://isi/" + lfn}); err != nil {
+			t.Fatal(err)
+		}
+		c.Lookup(lfn)
+	}
+	c.Reset()
+	base := r.RoundTrips()
+	c.Lookup("f0.fit")
+	if got := r.RoundTrips() - base; got != 1 {
+		t.Errorf("post-reset lookup cost %d round trips, want 1 (cache cleared)", got)
+	}
+}

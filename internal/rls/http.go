@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+
 	"net/url"
+	"repro/internal/httpclient"
 	"strings"
 )
 
@@ -171,7 +173,7 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{}
+	return httpclient.Shared()
 }
 
 // Lookup fetches the replicas of lfn.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/faults"
 )
@@ -133,6 +134,11 @@ type RLS struct {
 	// checksum verification, kept for audit rather than deleted.
 	quarantined map[string][]PFN
 	inj         *faults.Injector
+	// roundTrips counts client-visible read-query round trips: Lookup and
+	// Exists cost one each, BulkLookup costs one regardless of batch size.
+	// In the real deployment each is one network exchange with the RLS
+	// server, so this is the number the planner's batching optimizes.
+	roundTrips atomic.Int64
 }
 
 // New returns an empty service.
@@ -233,6 +239,13 @@ func (r *RLS) Unregister(lfn string, pfn PFN) error {
 // the injector are silently omitted — the degraded answer a live RLI gives
 // while one of its catalogs is down.
 func (r *RLS) Lookup(lfn string) []PFN {
+	r.roundTrips.Add(1)
+	return r.lookup(lfn)
+}
+
+// lookup is Lookup without the round-trip accounting, shared with BulkLookup
+// so a bulk query costs one round trip however many LFNs it resolves.
+func (r *RLS) lookup(lfn string) []PFN {
 	r.mu.RLock()
 	inj := r.inj
 	sites := make([]string, 0, len(r.rli[lfn]))
@@ -321,22 +334,34 @@ func (r *RLS) QuarantinedCount() int {
 
 // Exists reports whether any replica of lfn is registered.
 func (r *RLS) Exists(lfn string) bool {
+	r.roundTrips.Add(1)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.rli[lfn]) > 0
 }
 
 // BulkLookup resolves many LFNs at once (Pegasus queries the whole abstract
-// workflow's file set in one pass; Figure 2 steps 3–4).
+// workflow's file set in one pass; Figure 2 steps 3–4). It costs a single
+// round trip no matter how many LFNs it carries — the point of Giggle's bulk
+// interface, and what lets the planner run in O(1) RLS exchanges per plan.
 func (r *RLS) BulkLookup(lfns []string) map[string][]PFN {
+	r.roundTrips.Add(1)
 	out := make(map[string][]PFN, len(lfns))
 	for _, lfn := range lfns {
-		if pfns := r.Lookup(lfn); len(pfns) > 0 {
+		if pfns := r.lookup(lfn); len(pfns) > 0 {
 			out[lfn] = pfns
 		}
 	}
 	return out
 }
+
+// RoundTrips returns the cumulative read-query round trips served (Lookup
+// and Exists count one each; BulkLookup counts one per call).
+func (r *RLS) RoundTrips() int64 { return r.roundTrips.Load() }
+
+// ResetRoundTrips zeroes the round-trip counter and returns the prior value;
+// callers bracket a planning pass with it to measure that pass alone.
+func (r *RLS) ResetRoundTrips() int64 { return r.roundTrips.Swap(0) }
 
 // LFNs returns every indexed logical name, sorted.
 func (r *RLS) LFNs() []string {

@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+
 	"net/url"
+	"repro/internal/httpclient"
 	"strconv"
 	"strings"
 
@@ -193,7 +195,7 @@ func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{}
+	return httpclient.Shared()
 }
 
 // Join sends two tables for a server-side join.

@@ -4,9 +4,57 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/votable"
 )
+
+// ServiceStats is the observability snapshot /stats returns: cumulative
+// request-level accounting (for requests made through Submit) plus the live
+// catalog and cache counters the throughput work optimizes.
+type ServiceStats struct {
+	Requests  int
+	Completed int
+	Failed    int
+
+	RLSRoundTrips      int64 // catalog read round trips since process start
+	ReplicaCacheHits   int64
+	ReplicaCacheMisses int64
+
+	BytesStaged       int64
+	PlannedBytesMoved int64
+	ScheduleEvents    int
+	ClusteredTasks    int
+	ClusteredNodes    int
+	MemoHits          int
+	MemoMisses        int
+}
+
+// Stats aggregates the service-level counters across all requests.
+func (s *Service) Stats() ServiceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out ServiceStats
+	for _, st := range s.requests {
+		out.Requests++
+		switch st.State {
+		case StateCompleted:
+			out.Completed++
+		case StateFailed:
+			out.Failed++
+		}
+		out.BytesStaged += st.Stats.BytesStaged
+		out.PlannedBytesMoved += st.Stats.PlannedBytesMoved
+		out.ScheduleEvents += st.Stats.ScheduleEvents
+		out.ClusteredTasks += st.Stats.ClusteredTasks
+		out.ClusteredNodes += st.Stats.ClusteredNodes
+		out.MemoHits += st.Stats.MemoHits
+		out.MemoMisses += st.Stats.MemoMisses
+	}
+	out.RLSRoundTrips = s.cfg.RLS.RoundTrips()
+	out.ReplicaCacheHits, out.ReplicaCacheMisses = s.replicas.Stats()
+	return out
+}
 
 // Handler exposes the compute service over HTTP, following the asynchronous
 // protocol of §4.3: the submission response carries the status URL; the
@@ -17,8 +65,25 @@ import (
 //	GET  /status?id=req-000001                        -> JSON Status
 //	GET  /result?lfn=NAME.vot                          -> VOTable
 //	POST /cancel?id=req-000001                         -> 202 Accepted
+//	GET  /stats                                        -> JSON ServiceStats
+//
+// With Config.EnablePprof set, the standard net/http/pprof profiling
+// endpoints are also mounted under /debug/pprof/.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
+
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Stats())
+	})
+
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	mux.HandleFunc("/galmorph", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {

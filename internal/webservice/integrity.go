@@ -26,6 +26,9 @@ var errNoRecovery = errors.New("webservice: no healthy replica and no provenance
 // again.
 func (s *Service) quarantineReplica(lfn, site, url string, stats *RunStats, mu *sync.Mutex) {
 	err := s.cfg.RLS.Quarantine(lfn, rls.PFN{Site: site, URL: url})
+	// Drop the cached replica set BEFORE anyone can re-read it: a stale
+	// cache entry must never offer the quarantined copy again.
+	s.replicas.Invalidate(lfn)
 	mu.Lock()
 	stats.ChecksumFailures++
 	if err == nil {
@@ -40,7 +43,7 @@ func (s *Service) quarantineReplica(lfn, site, url string, stats *RunStats, mu *
 // file from its Chimera provenance. This is the "quarantine and re-derive
 // instead of failing the run" path of the integrity design.
 func (s *Service) recoverContent(cat *vdl.Catalog, lfn, excludeSite string, stats *RunStats, mu *sync.Mutex) ([]byte, error) {
-	for _, p := range s.cfg.RLS.Lookup(lfn) { // sorted: deterministic order
+	for _, p := range s.replicas.Lookup(lfn) { // sorted: deterministic order
 		if p.Site == excludeSite {
 			continue
 		}
@@ -104,7 +107,7 @@ func (s *Service) rederive(cat *vdl.Catalog, lfn string, stats *RunStats, mu *sy
 // inputBytes fetches one input LFN for a re-derivation, itself going through
 // replica verification and (recursively) re-derivation.
 func (s *Service) inputBytes(cat *vdl.Catalog, lfn string, stats *RunStats, mu *sync.Mutex) ([]byte, error) {
-	for _, p := range s.cfg.RLS.Lookup(lfn) {
+	for _, p := range s.replicas.Lookup(lfn) {
 		site, path, err := gridftp.ParseURL(p.URL)
 		if err != nil {
 			continue
@@ -226,7 +229,7 @@ func (s *Service) verifiedGet(cat *vdl.Catalog, store *gridftp.Store, lfn string
 	if err := store.Put(lfn, content); err != nil {
 		return nil, err
 	}
-	if err := s.cfg.RLS.Register(lfn, rls.PFN{Site: site, URL: gridftp.URL(site, lfn)}); err != nil {
+	if err := s.registerReplica(lfn, rls.PFN{Site: site, URL: gridftp.URL(site, lfn)}); err != nil {
 		return nil, err
 	}
 	return content, nil

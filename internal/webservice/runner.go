@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/chimera"
+	"repro/internal/condor"
 	"repro/internal/dag"
 	"repro/internal/dagman"
 	"repro/internal/fits"
@@ -77,6 +78,11 @@ func (s *Service) transferSpec(n *dag.Node, cat *vdl.Catalog, attempt int, stats
 	srcSite, _, _ := gridftp.ParseURL(src)
 	return dagman.Spec{
 		Cost: s.cfg.GridFTP.Estimate(src, dst),
+		// Transfers ride the dedicated data-movement lane (when the pools
+		// have one) so stage-ins overlap computation, and cluster by source
+		// site to amortize submission overhead across a site's stage-ins.
+		Lane:       condor.LaneTransfer,
+		ClusterKey: "transfer@" + srcSite,
 		Run: func() error {
 			// Per-request accounting happens here rather than by diffing
 			// the global GridFTP counters, so concurrent requests do not
@@ -134,7 +140,7 @@ func (s *Service) healSource(srcSite, srcURL, lfn string, content []byte) error 
 	if err := s.cfg.GridFTP.Store(srcSite).Put(srcPath, content); err != nil {
 		return err
 	}
-	return s.cfg.RLS.Register(lfn, rls.PFN{Site: srcSite, URL: srcURL})
+	return s.registerReplica(lfn, rls.PFN{Site: srcSite, URL: srcURL})
 }
 
 // pickTransferSource chooses the physical source for one transfer attempt.
@@ -148,7 +154,7 @@ func (s *Service) pickTransferSource(lfn, planned string, attempt int, stats *Ru
 		return planned
 	}
 	urls := []string{planned}
-	for _, p := range s.cfg.RLS.Lookup(lfn) { // sorted: deterministic rotation
+	for _, p := range s.replicas.Lookup(lfn) { // sorted: deterministic rotation
 		if p.URL != planned {
 			urls = append(urls, p.URL)
 		}
@@ -177,8 +183,11 @@ func (s *Service) registerSpec(n *dag.Node) dagman.Spec {
 	pfn := n.Attr(pegasus.AttrPFN)
 	return dagman.Spec{
 		Cost: registerCost,
+		// Registrations are catalog writes with no data dependency on each
+		// other: batch them per target site.
+		ClusterKey: "register@" + site,
 		Run: func() error {
-			return s.cfg.RLS.Register(lfn, rls.PFN{Site: site, URL: pfn})
+			return s.registerReplica(lfn, rls.PFN{Site: site, URL: pfn})
 		},
 	}
 }
@@ -222,6 +231,9 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 
 	return dagman.Spec{
 		Cost: cost,
+		// Leaf measurements are the small independent jobs horizontal
+		// clustering exists for; batch them per mapped site.
+		ClusterKey: "galmorph@" + site,
 		Run: func() error {
 			mu.Lock()
 			injected := s.cfg.FailureRate > 0 && rng.Float64() < s.cfg.FailureRate

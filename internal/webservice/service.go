@@ -45,6 +45,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fits"
 	"repro/internal/gridftp"
+	"repro/internal/httpclient"
 	"repro/internal/journal"
 	"repro/internal/morphology"
 	"repro/internal/myproxy"
@@ -96,6 +97,13 @@ type RunStats struct {
 	Quarantined      int // replicas pulled from RLS circulation
 	Rederived        int // files reproduced from Chimera provenance
 	RestoredNodes    int // nodes recovered as done from a prior journal
+
+	// Planner and scheduler throughput accounting.
+	RLSRoundTrips     int64 // RLS read round trips planning cost (O(1) via BulkLookup)
+	PlannedBytesMoved int64 // planner's link-cost estimate of bytes its transfer nodes move
+	ScheduleEvents    int   // Condor tasks submitted (a clustered batch is one event)
+	ClusteredTasks    int   // multi-node batches submitted
+	ClusteredNodes    int   // inner jobs carried by those batches
 }
 
 // Wide-area SIA cost model (2003-era numbers): each HTTP request pays a
@@ -185,6 +193,26 @@ type Config struct {
 	// appends (the record at the crash point is never written) — the
 	// deterministic kill switch of the kill-and-resume campaign.
 	CrashAfterEvents int
+	// Selection overrides Pegasus's site-selection policy. The zero value is
+	// pegasus.SelectRandom (the paper's behaviour); pegasus.SelectLocality
+	// maps each job to the site whose replicas make its inputs cheapest to
+	// reach, so cutouts compute where their data already lives.
+	Selection pegasus.SiteSelection
+	// ClusterSize enables horizontal job clustering: up to this many ready
+	// nodes with the same cluster key submit as one Condor task, amortizing
+	// per-task scheduling overhead. <= 1 keeps one task per node.
+	ClusterSize int
+	// SchedOverhead models the serialized per-task submission cost of the
+	// 2003 Condor-G/GRAM stack on every simulator the service creates
+	// (zero = instant-start, the legacy model). Clustering amortizes it.
+	SchedOverhead time.Duration
+	// TransferSlots, when > 0, gives every pool that many dedicated
+	// data-movement slots, so stage-ins overlap computation instead of
+	// competing for CPU slots.
+	TransferSlots int
+	// EnablePprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/ on the service handler.
+	EnablePprof bool
 }
 
 // batchFetchSize bounds ids per batch request (URL-length safety).
@@ -200,6 +228,12 @@ type Service struct {
 	// re-execution of failing measurements.
 	memo *vdcache.Cache[memoEntry]
 
+	// replicas is the read-through replica cache in front of the RLS: the
+	// runner's source rotation and recovery paths resolve LFNs through it,
+	// and every path that registers or quarantines a replica invalidates the
+	// LFN so a stale entry can never resurrect a quarantined copy.
+	replicas *rls.Cache
+
 	mu       sync.Mutex
 	requests map[string]*Status
 	cancels  map[string]context.CancelFunc
@@ -212,6 +246,39 @@ func (s *Service) workers() int {
 		return 1
 	}
 	return s.cfg.Workers
+}
+
+// newSim builds one Condor simulator under the service's scheduler model:
+// fault injection, side-effect fan-out, dedicated transfer lanes and the
+// serialized per-task submission overhead.
+func (s *Service) newSim() (*condor.Simulator, error) {
+	pools := make([]condor.Pool, len(s.cfg.Pools))
+	copy(pools, s.cfg.Pools)
+	if s.cfg.TransferSlots > 0 {
+		for i := range pools {
+			if pools[i].TransferSlots == 0 {
+				pools[i].TransferSlots = s.cfg.TransferSlots
+			}
+		}
+	}
+	sim, err := condor.NewSimulator(pools...)
+	if err != nil {
+		return nil, err
+	}
+	sim.SetInjector(s.cfg.Faults)
+	sim.SetWorkers(s.workers())
+	sim.SetSubmitOverhead(s.cfg.SchedOverhead)
+	return sim, nil
+}
+
+// registerReplica publishes one replica and invalidates the read-through
+// cache so the next lookup sees the fresh catalog state.
+func (s *Service) registerReplica(lfn string, pfn rls.PFN) error {
+	if err := s.cfg.RLS.Register(lfn, pfn); err != nil {
+		return err
+	}
+	s.replicas.Invalidate(lfn)
+	return nil
 }
 
 // Errors returned by the service.
@@ -230,13 +297,14 @@ func New(cfg Config) (*Service, error) {
 		cfg.CacheSite = "isi"
 	}
 	if cfg.HTTPClient == nil {
-		cfg.HTTPClient = &http.Client{}
+		cfg.HTTPClient = httpclient.Shared()
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 2
 	}
 	svc := &Service{
 		cfg:      cfg,
+		replicas: rls.NewCache(cfg.RLS),
 		requests: map[string]*Status{},
 		cancels:  map[string]context.CancelFunc{},
 	}
@@ -442,15 +510,23 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 		Rand:            rand.New(rand.NewSource(seed)),
 		OutputSite:      s.cfg.CacheSite,
 		RegisterOutputs: true,
+		Selection:       s.cfg.Selection,
+		Net:             s.cfg.GridFTP.Network(),
+		SizeOf:          func(lfn string) int64 { return s.cfg.GridFTP.Store(s.cfg.CacheSite).Size(lfn) },
 	})
 	if err != nil {
 		return "", stats, err
 	}
+	// The plan's replica snapshot seeds the read-through cache, so runner-side
+	// lookups (retry rotation, recovery) cost no extra RLS round trips.
+	s.replicas.Prime(plan.Replicas)
 	pstats := plan.Stats()
 	stats.ComputeJobs = pstats.ComputeJobs
 	stats.PrunedJobs = pstats.PrunedJobs
 	stats.TransferNodes = pstats.TransferNodes
 	stats.RegisterNodes = pstats.RegisterNodes
+	stats.RLSRoundTrips = plan.RLSRoundTrips
+	stats.PlannedBytesMoved = plan.EstBytesMoved
 
 	// ... and DAGMan executes on the Condor pools, resubmitting the rescue
 	// DAG when configured. runMu serializes what the Run side effects share
@@ -459,8 +535,9 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 	var runMu sync.Mutex
 	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
 	opts := dagman.Options{
-		MaxRetries: s.cfg.MaxRetries,
-		Check:      func() error { return ctx.Err() },
+		MaxRetries:  s.cfg.MaxRetries,
+		ClusterSize: s.cfg.ClusterSize,
+		Check:       func() error { return ctx.Err() },
 	}
 	if s.cfg.RetryPolicy != nil {
 		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
@@ -515,20 +592,14 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 			}
 		}
 	}
-	newSim := func() (*condor.Simulator, error) {
-		sim, err := condor.NewSimulator(s.cfg.Pools...)
-		if err != nil {
-			return nil, err
-		}
-		sim.SetInjector(s.cfg.Faults)
-		sim.SetWorkers(s.workers())
-		return sim, nil
-	}
-	rep, err := dagman.ExecuteWithRescue(plan.Concrete, runner, newSim, opts, s.cfg.RescueRounds)
+	rep, err := dagman.ExecuteWithRescue(plan.Concrete, runner, s.newSim, opts, s.cfg.RescueRounds)
 	if err != nil {
 		return "", stats, err
 	}
 	stats.Makespan = rep.Makespan
+	stats.ScheduleEvents = rep.ScheduleEvents
+	stats.ClusteredTasks = rep.ClusteredTasks
+	stats.ClusteredNodes = rep.ClusteredNodes
 	if !rep.Succeeded() {
 		if jw != nil {
 			// Serialize the rescue DAG — the classic on-disk artifact naming
@@ -598,10 +669,11 @@ func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
 	var runMu sync.Mutex
 	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
 	opts := dagman.Options{
-		MaxRetries: s.cfg.MaxRetries,
-		Completed:  done,
-		Check:      func() error { return ctx.Err() },
-		Journal:    journal.Sink(jw),
+		MaxRetries:  s.cfg.MaxRetries,
+		ClusterSize: s.cfg.ClusterSize,
+		Completed:   done,
+		Check:       func() error { return ctx.Err() },
+		Journal:     journal.Sink(jw),
 	}
 	if s.cfg.CrashAfterEvents > 0 {
 		opts.Journal = &journal.CrashSink{Sink: jw, After: s.cfg.CrashAfterEvents}
@@ -625,21 +697,15 @@ func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
 			}
 		}
 	}
-	newSim := func() (*condor.Simulator, error) {
-		sim, err := condor.NewSimulator(s.cfg.Pools...)
-		if err != nil {
-			return nil, err
-		}
-		sim.SetInjector(s.cfg.Faults)
-		sim.SetWorkers(s.workers())
-		return sim, nil
-	}
-	rep, err := dagman.ExecuteWithRescue(g, runner, newSim, opts, s.cfg.RescueRounds)
+	rep, err := dagman.ExecuteWithRescue(g, runner, s.newSim, opts, s.cfg.RescueRounds)
 	if err != nil {
 		return "", stats, err
 	}
 	stats.Makespan = rep.Makespan
 	stats.RestoredNodes = rep.Restored
+	stats.ScheduleEvents = rep.ScheduleEvents
+	stats.ClusteredTasks = rep.ClusteredTasks
+	stats.ClusteredNodes = rep.ClusteredNodes
 	if !rep.Succeeded() {
 		if rerr := dagman.WriteRescueFile(s.rescuePath(cluster), g, rep); rerr != nil {
 			return "", stats, rerr
@@ -803,7 +869,7 @@ func (s *Service) storeImage(lfn string, data []byte) error {
 	if err := s.cfg.GridFTP.Store(s.cfg.CacheSite).Put(lfn, data); err != nil {
 		return err
 	}
-	if err := s.cfg.RLS.Register(lfn, rls.PFN{
+	if err := s.registerReplica(lfn, rls.PFN{
 		Site: s.cfg.CacheSite,
 		URL:  gridftp.URL(s.cfg.CacheSite, lfn),
 	}); err != nil {
@@ -813,7 +879,7 @@ func (s *Service) storeImage(lfn string, data []byte) error {
 		if err := s.cfg.GridFTP.Store(m).Put(lfn, data); err != nil {
 			return err
 		}
-		if err := s.cfg.RLS.Register(lfn, rls.PFN{
+		if err := s.registerReplica(lfn, rls.PFN{
 			Site: m,
 			URL:  gridftp.URL(m, lfn),
 		}); err != nil {

@@ -1,0 +1,195 @@
+// PR 4 throughput instrumentation: the planner/scheduler quantities the
+// locality-and-clustering work optimizes, recorded to BENCH_pr4.json. Model
+// clocks, not wall clocks — the numbers are deterministic on any machine.
+package repro
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/chimera"
+	"repro/internal/condor"
+	"repro/internal/core"
+	"repro/internal/pegasus"
+	"repro/internal/skysim"
+	"repro/internal/wcs"
+)
+
+// BenchmarkPlanReduction measures the Pegasus reduction-and-concretization
+// pass at the paper's largest cluster size with half the per-galaxy products
+// already cached, and reports the catalog cost: one bulk RLS round trip per
+// plan, however many LFNs the workflow references.
+func BenchmarkPlanReduction(b *testing.B) {
+	const n = 561
+	cat := galaxyVDL(b, n)
+	wf, err := chimera.Compose(cat, chimera.Request{LFNs: []string{"out.vot"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, tc := planningServices(b, n, n/2)
+	var roundTrips, jobs float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pegasus.Map(wf, pegasus.Config{
+			RLS: r, TC: tc, Rand: rand.New(rand.NewSource(int64(i))),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.RLSRoundTrips != 1 {
+			b.Fatalf("plan cost %d RLS round trips, want 1", p.RLSRoundTrips)
+		}
+		roundTrips += float64(p.RLSRoundTrips)
+		jobs += float64(p.Stats().ComputeJobs)
+	}
+	b.ReportMetric(roundTrips/float64(b.N), "rls_round_trips")
+	b.ReportMetric(jobs/float64(b.N), "jobs_after_reduction")
+}
+
+// pr4ClusterRun is one row of the clustering sweep. Struct fields serialize
+// in declaration order, so the emitted JSON has stable key ordering.
+type pr4ClusterRun struct {
+	ClusterSize    int     `json:"cluster_size"`
+	ScheduleEvents int     `json:"schedule_events"`
+	ClusteredTasks int     `json:"clustered_tasks"`
+	ClusteredNodes int     `json:"clustered_nodes"`
+	RLSRoundTrips  int64   `json:"rls_round_trips"`
+	ModelMakespanS float64 `json:"model_makespan_s"`
+}
+
+// pr4Locality contrasts the paper's random placement with replica-cost
+// selection on a fabric where the cache site can compute.
+type pr4Locality struct {
+	RandomBytesStaged     int64 `json:"random_bytes_staged"`
+	LocalityBytesStaged   int64 `json:"locality_bytes_staged"`
+	RandomPlannedBytes    int64 `json:"random_planned_bytes_moved"`
+	LocalityPlannedBytes  int64 `json:"locality_planned_bytes_moved"`
+	RandomTransferNodes   int   `json:"random_transfer_nodes"`
+	LocalityTransferNodes int   `json:"locality_transfer_nodes"`
+}
+
+type benchPR4 struct {
+	Note           string          `json:"note"`
+	Galaxies       int             `json:"galaxies"`
+	SchedOverheadS float64         `json:"sched_overhead_s"`
+	Clustering     []pr4ClusterRun `json:"clustering"`
+	Locality       pr4Locality     `json:"locality"`
+}
+
+func pr4Spec(n int) []skysim.Spec {
+	return []skysim.Spec{{
+		Name: "BENCH", Center: wcs.New(150, 2), Redshift: 0.04,
+		NumGalaxies: n, Seed: 77,
+	}}
+}
+
+// TestEmitBenchPR4 records the clustering sweep (N in {1, 4, 16}) and the
+// locality-vs-random byte movement to BENCH_pr4.json for EXPERIMENTS.md.
+// Opt-in via EMIT_BENCH=1 like TestEmitBenchPR2, so routine test and bench
+// runs never churn the checked-in numbers. The metrics are model-clock
+// quantities, so the emitted file is machine-independent.
+func TestEmitBenchPR4(t *testing.T) {
+	if os.Getenv("EMIT_BENCH") == "" {
+		t.Skip("benchmark emission is opt-in: set EMIT_BENCH=1 to rewrite BENCH_pr4.json")
+	}
+	if testing.Short() {
+		t.Skip("benchmark emission skipped in -short mode")
+	}
+	const galaxies = 48
+	const overhead = time.Second
+
+	out := benchPR4{
+		Note: "deterministic model-clock metrics for one " +
+			"48-galaxy cluster request; schedule_events counts Condor task " +
+			"submissions (a clustered batch is one event), makespan is the " +
+			"discrete-event clock, and the locality table runs on a fabric " +
+			"where the cache site (isi) can compute.",
+		Galaxies:       galaxies,
+		SchedOverheadS: overhead.Seconds(),
+	}
+
+	for _, size := range []int{1, 4, 16} {
+		tb, err := core.NewTestbed(core.Config{
+			ClusterSpecs:  pr4Spec(galaxies),
+			Seed:          5,
+			ClusterSize:   size,
+			SchedOverhead: overhead,
+			TransferSlots: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat, err := tb.Portal.BuildCatalog("BENCH")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := tb.Compute.Compute(cat, "BENCH")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Clustering = append(out.Clustering, pr4ClusterRun{
+			ClusterSize:    size,
+			ScheduleEvents: stats.ScheduleEvents,
+			ClusteredTasks: stats.ClusteredTasks,
+			ClusteredNodes: stats.ClusteredNodes,
+			RLSRoundTrips:  stats.RLSRoundTrips,
+			ModelMakespanS: stats.Makespan.Seconds(),
+		})
+	}
+	for i := 1; i < len(out.Clustering); i++ {
+		prev, cur := out.Clustering[i-1], out.Clustering[i]
+		if cur.ScheduleEvents >= prev.ScheduleEvents || cur.ModelMakespanS >= prev.ModelMakespanS {
+			t.Fatalf("clustering sweep not monotone: N=%d %+v vs N=%d %+v",
+				prev.ClusterSize, prev, cur.ClusterSize, cur)
+		}
+	}
+
+	// Locality vs random placement, with the cache site in the compute fabric.
+	localityStats := func(locality bool) core.Config {
+		return core.Config{
+			ClusterSpecs:     pr4Spec(galaxies),
+			Pools:            append(core.DefaultPools(), condor.Pool{Name: "isi", Slots: 8}),
+			Seed:             5,
+			LocalityPlanning: locality,
+		}
+	}
+	for _, locality := range []bool{false, true} {
+		tb, err := core.NewTestbed(localityStats(locality))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat, err := tb.Portal.BuildCatalog("BENCH")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats, err := tb.Compute.Compute(cat, "BENCH")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if locality {
+			out.Locality.LocalityBytesStaged = stats.BytesStaged
+			out.Locality.LocalityPlannedBytes = stats.PlannedBytesMoved
+			out.Locality.LocalityTransferNodes = stats.TransferNodes
+		} else {
+			out.Locality.RandomBytesStaged = stats.BytesStaged
+			out.Locality.RandomPlannedBytes = stats.PlannedBytesMoved
+			out.Locality.RandomTransferNodes = stats.TransferNodes
+		}
+	}
+	if out.Locality.LocalityBytesStaged >= out.Locality.RandomBytesStaged {
+		t.Fatalf("locality did not reduce staged bytes: %+v", out.Locality)
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr4.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_pr4.json: %s", data)
+}
