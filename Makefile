@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: build test vet chaos bench emit-bench recovery fuzz verify
+.PHONY: build test vet lint chaos bench emit-bench recovery fuzz verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# The nvolint suite: five analyzers enforcing the determinism, clock and
+# resource-hygiene invariants (see README "Static analysis"). The binary
+# build goes through the Go build cache, so a warm rebuild is free; it
+# runs both standalone and as a go vet -vettool, which exercises the
+# same fleet through the cmd/go vet protocol.
+lint:
+	$(GO) build -o bin/nvolint ./cmd/nvolint
+	./bin/nvolint ./...
+	$(GO) vet -vettool=bin/nvolint ./...
 
 test:
 	$(GO) test ./...
@@ -40,10 +50,10 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzReadReplicas -fuzztime $(FUZZTIME) ./internal/rls/
 
-# Full verification gate: vet, build, the race-enabled suite, the chaos
-# campaign under the race detector, journal-replay idempotence, and the
-# codec fuzz smoke.
-verify: vet build
+# Full verification gate: vet, build, the nvolint invariants, the
+# race-enabled suite, the chaos campaign under the race detector,
+# journal-replay idempotence, and the codec fuzz smoke.
+verify: vet build lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) recovery

@@ -1,0 +1,28 @@
+// Command nvolint statically enforces the repo's determinism, clock
+// and resource-hygiene invariants — the properties the byte-identity
+// and crash-recovery campaigns (PRs 1–4) otherwise only probe
+// dynamically. It runs five analyzers (noclock, seededrand, mapiter,
+// sharedclient, errclose; see `nvolint -h` or the README's "Static
+// analysis" section) over package patterns:
+//
+//	nvolint ./...                               # standalone
+//	go vet -vettool=$(command -v nvolint) ./... # as a vet tool
+//
+// Findings can be silenced only by an inline directive carrying a
+// written reason:
+//
+//	//nvolint:ignore <analyzer> <reason>
+//
+// A reasonless directive suppresses nothing and is itself a finding.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analyze/driver"
+	"repro/internal/analyze/suite"
+)
+
+func main() {
+	os.Exit(driver.Main(suite.Analyzers()))
+}

@@ -1,0 +1,268 @@
+// Package analyze is the repo's static-analysis framework: a small,
+// self-contained reimplementation of the slice of
+// golang.org/x/tools/go/analysis that the nvolint suite needs. The
+// build environment is offline (no module proxy), so the framework
+// depends only on the standard library: analyzers are functions over a
+// parsed, type-checked package; the loader (internal/analyze/loader)
+// obtains type information from `go list -export` build-cache export
+// data, and the driver (internal/analyze/driver) runs the fleet both
+// standalone and under the `go vet -vettool` protocol.
+//
+// The suite exists because the repo's headline guarantee —
+// byte-identical VOTables across worker widths, fault schedules and
+// kill/resume points — rests on invariants (model clock only, seeded
+// randomness, ordered map iteration on output paths, one pooled HTTP
+// client, checked errors on journal/gridftp writes) that dynamic sweeps
+// alone cannot prove. Each analyzer turns one such invariant into a
+// compile-time property.
+package analyze
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer statically checks one invariant over one package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nvolint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `nvolint help`:
+	// what the analyzer enforces and why the invariant matters.
+	Doc string
+	// Flags holds analyzer-specific options. The driver exposes each
+	// flag F as -<name>.<F> on the command line.
+	Flags flag.FlagSet
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings reported so far.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// IsTestFile reports whether pos lies in a _test.go file. The repo's
+// invariants bind library and simulation code, not tests: tests may
+// sleep, time out and use ad-hoc clients freely.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgFunc resolves call to a package-level function: it returns the
+// function name when call invokes a top-level function (not a method)
+// of the package with import path pkgPath. Resolution goes through the
+// type checker's Uses map, so aliased imports and shadowed identifiers
+// are handled correctly.
+func PkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// PkgVar resolves expr to a package-level variable: it returns the
+// variable name when expr denotes a top-level var of pkgPath.
+func PkgVar(info *types.Info, expr ast.Expr, pkgPath string) (string, bool) {
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		id = e.Sel
+	case *ast.Ident:
+		id = e
+	default:
+		return "", false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != pkgPath || v.IsField() {
+		return "", false
+	}
+	return v.Name(), true
+}
+
+// IgnorePrefix is the suppression directive comment prefix. A directive
+//
+//	//nvolint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// suppresses diagnostics from the named analyzers on the directive's
+// own line (end-of-line form) or on the line directly below it
+// (standalone form). The reason is mandatory: a directive without one
+// suppresses nothing, and is itself diagnosed, so every silenced
+// finding carries a written justification into the tree.
+const IgnorePrefix = "nvolint:ignore"
+
+// directive is one parsed //nvolint:ignore comment.
+type directive struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers map[string]bool
+	reason    string
+}
+
+// parseDirectives extracts every suppression directive from files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var ds []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments are not directives
+				}
+				text, ok = strings.CutPrefix(strings.TrimLeft(text, " \t"), IgnorePrefix)
+				if !ok {
+					continue
+				}
+				// Fixtures append `// want ...` expectations to directive
+				// comments under test; the clause is not part of the reason.
+				if i := strings.Index(text, "// want "); i >= 0 {
+					text = text[:i]
+				}
+				pos := fset.Position(c.Pos())
+				d := directive{pos: c.Pos(), file: pos.Filename, line: pos.Line, analyzers: map[string]bool{}}
+				fields := strings.Fields(text)
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						d.analyzers[name] = true
+					}
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				ds = append(ds, d)
+			}
+		}
+	}
+	return ds
+}
+
+// Suppress applies //nvolint:ignore directives to diags: findings
+// covered by a well-formed directive (matching analyzer, non-empty
+// reason) are dropped; malformed directives — no analyzer name or no
+// reason — are converted into findings of their own, attributed to the
+// pseudo-analyzer "nvolint". The returned slice is sorted by position.
+func Suppress(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	ds := parseDirectives(fset, files)
+	code := codeLines(fset, files)
+	covered := func(d Diagnostic) bool {
+		p := fset.Position(d.Pos)
+		for _, dir := range ds {
+			if dir.reason == "" || !dir.analyzers[d.Analyzer] || dir.file != p.Filename {
+				continue
+			}
+			if dir.line == p.Line {
+				return true
+			}
+			// Only a standalone directive (no code on its own line)
+			// reaches down to the next line; an end-of-line directive
+			// covers exactly the line it annotates.
+			if dir.line+1 == p.Line && !code[dir.file][dir.line] {
+				return true
+			}
+		}
+		return false
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		if !covered(d) {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range ds {
+		switch {
+		case len(dir.analyzers) == 0:
+			kept = append(kept, Diagnostic{
+				Analyzer: "nvolint",
+				Pos:      dir.pos,
+				Message:  "nvolint:ignore directive names no analyzer",
+			})
+		case dir.reason == "":
+			kept = append(kept, Diagnostic{
+				Analyzer: "nvolint",
+				Pos:      dir.pos,
+				Message:  "nvolint:ignore directive requires a reason: //nvolint:ignore <analyzer> <why this is safe>",
+			})
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// codeLines records, per file, the lines on which some non-comment
+// syntax node begins or ends — the test distinguishing an end-of-line
+// directive from a standalone one.
+func codeLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	lines := map[string]map[int]bool{}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		m := lines[name]
+		if m == nil {
+			m = map[int]bool{}
+			lines[name] = m
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil, *ast.File, *ast.Comment, *ast.CommentGroup:
+				return n != nil
+			}
+			m[fset.Position(n.Pos()).Line] = true
+			m[fset.Position(n.End()).Line] = true
+			return true
+		})
+	}
+	return lines
+}
+
+// CommaList splits a comma-separated flag value into its non-empty
+// elements (the format of every path-list analyzer flag).
+func CommaList(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// posOnLine returns a Pos on the given 1-based line of the single file.
+func posOnLine(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestSuppressCoversSameAndNextLine(t *testing.T) {
+	src := `package p
+
+//nvolint:ignore demo the next line is fine
+var a = 1
+var b = 2 //nvolint:ignore demo this line is fine
+var c = 3
+`
+	fset, files := parseOne(t, src)
+	diags := []Diagnostic{
+		{Analyzer: "demo", Pos: posOnLine(fset, 4), Message: "on the covered next line"},
+		{Analyzer: "demo", Pos: posOnLine(fset, 5), Message: "on the directive's own line"},
+		{Analyzer: "demo", Pos: posOnLine(fset, 6), Message: "uncovered"},
+	}
+	kept := Suppress(fset, files, diags)
+	if len(kept) != 1 || kept[0].Message != "uncovered" {
+		t.Fatalf("Suppress kept %v, want only the uncovered finding", kept)
+	}
+}
+
+func TestSuppressRequiresMatchingAnalyzer(t *testing.T) {
+	src := `package p
+
+//nvolint:ignore other a reason that names a different analyzer
+var a = 1
+`
+	fset, files := parseOne(t, src)
+	diags := []Diagnostic{{Analyzer: "demo", Pos: posOnLine(fset, 4), Message: "m"}}
+	if kept := Suppress(fset, files, diags); len(kept) != 1 {
+		t.Fatalf("directive for a different analyzer suppressed the finding: %v", kept)
+	}
+}
+
+func TestSuppressCommaSeparatedAnalyzers(t *testing.T) {
+	src := `package p
+
+//nvolint:ignore demo,other both analyzers are justified here
+var a = 1
+`
+	fset, files := parseOne(t, src)
+	diags := []Diagnostic{
+		{Analyzer: "demo", Pos: posOnLine(fset, 4), Message: "m1"},
+		{Analyzer: "other", Pos: posOnLine(fset, 4), Message: "m2"},
+	}
+	if kept := Suppress(fset, files, diags); len(kept) != 0 {
+		t.Fatalf("comma-list directive left findings: %v", kept)
+	}
+}
+
+func TestSuppressReasonlessDirectiveDiagnosed(t *testing.T) {
+	src := `package p
+
+//nvolint:ignore demo
+var a = 1
+`
+	fset, files := parseOne(t, src)
+	diags := []Diagnostic{{Analyzer: "demo", Pos: posOnLine(fset, 4), Message: "survives"}}
+	kept := Suppress(fset, files, diags)
+	if len(kept) != 2 {
+		t.Fatalf("got %d findings, want 2 (original + malformed directive): %v", len(kept), kept)
+	}
+	if kept[0].Analyzer != "nvolint" || !strings.Contains(kept[0].Message, "requires a reason") {
+		t.Fatalf("first finding should be the reasonless directive, got %+v", kept[0])
+	}
+	if kept[1].Message != "survives" {
+		t.Fatalf("underlying finding did not survive: %+v", kept[1])
+	}
+}
+
+func TestSuppressNamelessDirectiveDiagnosed(t *testing.T) {
+	src := `package p
+
+//nvolint:ignore
+var a = 1
+`
+	fset, files := parseOne(t, src)
+	kept := Suppress(fset, files, nil)
+	if len(kept) != 1 || !strings.Contains(kept[0].Message, "names no analyzer") {
+		t.Fatalf("got %v, want the names-no-analyzer finding", kept)
+	}
+}
+
+func TestSuppressSortsByPosition(t *testing.T) {
+	src := "package p\n\nvar a = 1\n"
+	fset, files := parseOne(t, src)
+	diags := []Diagnostic{
+		{Analyzer: "z", Pos: posOnLine(fset, 3), Message: "later"},
+		{Analyzer: "a", Pos: posOnLine(fset, 1), Message: "earlier"},
+	}
+	kept := Suppress(fset, files, diags)
+	if kept[0].Message != "earlier" || kept[1].Message != "later" {
+		t.Fatalf("findings not sorted by position: %v", kept)
+	}
+}
+
+func TestCommaList(t *testing.T) {
+	got := CommaList(" a, b ,,c ")
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("CommaList = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CommaList = %v, want %v", got, want)
+		}
+	}
+	if CommaList("") != nil {
+		t.Fatalf("CommaList(%q) should be empty", "")
+	}
+}

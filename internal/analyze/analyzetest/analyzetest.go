@@ -1,0 +1,172 @@
+// Package analyzetest is the repo's analysistest equivalent: it runs
+// one analyzer over fixture packages under testdata/ and checks the
+// findings against `// want "regexp"` comments in the fixture source.
+//
+// A fixture line expecting a diagnostic carries a trailing comment
+//
+//	code() // want "part of the expected message"
+//
+// with one quoted Go-syntax regexp per expected diagnostic. Suppression
+// directives (//nvolint:ignore) in fixtures are honoured before
+// matching, so the suppression path — including the reasonless form
+// that must still diagnose — is testable end to end.
+package analyzetest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/analyze/loader"
+)
+
+// expectation is one `// want` entry.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run loads each fixture package (a directory relative to testdataDir,
+// e.g. "src/a"), applies the analyzer plus suppression filtering, and
+// reports any mismatch between findings and want-comments as test
+// errors.
+func Run(t *testing.T, testdataDir string, a *analyze.Analyzer, fixtures ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtures))
+	for i, f := range fixtures {
+		patterns[i] = "./" + strings.TrimPrefix(f, "./")
+	}
+	pkgs, err := loader.Load(testdataDir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", pkg.ImportPath, terr)
+		}
+		pass := &analyze.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("fixture %s: analyzer %s: %v", pkg.ImportPath, a.Name, err)
+		}
+		diags := analyze.Suppress(pkg.Fset, pkg.Files, pass.Diagnostics())
+		checkPackage(t, pkg, diags)
+	}
+}
+
+// checkPackage matches findings against the package's want-comments.
+func checkPackage(t *testing.T, pkg *loader.Package, diags []analyze.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", p, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses every `// want` comment in the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				trimmed := strings.TrimSpace(rest)
+				rest, ok = strings.CutPrefix(trimmed, "want ")
+				if !ok {
+					// A want clause may ride at the end of another directive
+					// comment — the only way to expect a diagnostic on the
+					// directive's own line (e.g. the reasonless-ignore case).
+					if i := strings.LastIndex(trimmed, "// want "); i >= 0 {
+						rest, ok = trimmed[i+len("// want "):], true
+					}
+				}
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWantPatterns(rest)
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantPatterns reads the sequence of quoted regexps after "want".
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var res []*regexp.Regexp
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted regexp, found %q", s)
+		}
+		quoted, rest, err := cutQuoted(s)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %s: %v", quoted, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, err
+		}
+		res = append(res, re)
+		s = rest
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment has no patterns")
+	}
+	return res, nil
+}
+
+// cutQuoted splits off the leading Go string literal.
+func cutQuoted(s string) (quoted, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			return s[:i+1], s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in want comment: %s", s)
+}

@@ -1,0 +1,199 @@
+// Package driver runs an analyzer fleet. It supports two entry modes,
+// dispatched by Main the way x/tools' multichecker+unitchecker pair
+// does:
+//
+//   - standalone: `nvolint [flags] [packages]` loads the patterns via
+//     internal/analyze/loader and prints findings;
+//   - vettool: `go vet -vettool=$(which nvolint) ./...` — cmd/go probes
+//     the binary with -V=full, optionally asks for -flags, then invokes
+//     it once per package with a vet.cfg JSON file (see vet.go).
+//
+// Exit codes follow go vet convention: 0 clean, 1 usage/driver error,
+// 2 findings reported.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/analyze/loader"
+)
+
+// Main is the entry point for cmd/nvolint. It returns the process exit
+// code.
+func Main(analyzers []*analyze.Analyzer) int {
+	fs := flag.NewFlagSet("nvolint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nvolint [flags] [package patterns]\n")
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(command -v nvolint) [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "\n  %s\n    %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	version := fs.Bool("V", false, "print version and exit (cmd/go vettool probe)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go vettool probe)")
+	registerAnalyzerFlags(fs, analyzers)
+
+	// cmd/go probes with -V=full; tolerate the =full value on our bool.
+	args := os.Args[1:]
+	for i, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			args[i] = "-V"
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	switch {
+	case *version:
+		printVersion()
+		return 0
+	case *printFlags:
+		return emitFlagDefs(analyzers)
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return RunVet(rest[0], analyzers)
+	}
+	return RunStandalone(".", rest, analyzers, os.Stderr)
+}
+
+// registerAnalyzerFlags exposes each analyzer flag F as -<name>.<F>.
+func registerAnalyzerFlags(fs *flag.FlagSet, analyzers []*analyze.Analyzer) {
+	for _, a := range analyzers {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+}
+
+// printVersion emits the toolID line cmd/go parses: "<name> version
+// <id>". The id hashes the binary itself so editing an analyzer
+// invalidates go vet's action cache.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			_ = f.Close() // read-only binary; nothing buffered to lose
+		}
+	}
+	fmt.Printf("nvolint version nvolint-%s\n", id)
+}
+
+// emitFlagDefs answers cmd/go's -flags probe with the JSON schema it
+// expects from a vettool.
+func emitFlagDefs(analyzers []*analyze.Analyzer) int {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := []flagDef{}
+	for _, a := range analyzers {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			b, ok := f.Value.(interface{ IsBoolFlag() bool })
+			defs = append(defs, flagDef{
+				Name:  a.Name + "." + f.Name,
+				Bool:  ok && b.IsBoolFlag(),
+				Usage: f.Usage,
+			})
+		})
+	}
+	data, err := json.Marshal(defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Println(string(data))
+	return 0
+}
+
+// RunStandalone loads patterns rooted at dir, runs the fleet over every
+// matched package, and prints suppressed-filtered findings to w. It
+// returns the process exit code.
+func RunStandalone(dir string, patterns []string, analyzers []*analyze.Analyzer, w io.Writer) int {
+	diags, errs := Analyze(dir, patterns, analyzers)
+	for _, err := range errs {
+		fmt.Fprintln(w, err)
+	}
+	if len(errs) > 0 {
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// A Finding is one formatted, position-resolved diagnostic.
+type Finding struct {
+	Position string // file:line:col
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Analyze runs the fleet over the packages matched by patterns under
+// dir and returns sorted findings. Type-check errors in target
+// packages are returned as errs: analysis over a broken tree would
+// under-report, which must read as failure, not cleanliness.
+func Analyze(dir string, patterns []string, analyzers []*analyze.Analyzer) (findings []Finding, errs []error) {
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		return nil, []error{err}
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			errs = append(errs, fmt.Errorf("%s: %v", pkg.ImportPath, terr))
+		}
+		var diags []analyze.Diagnostic
+		for _, a := range analyzers {
+			pass := &analyze.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err))
+				continue
+			}
+			diags = append(diags, pass.Diagnostics()...)
+		}
+		for _, d := range analyze.Suppress(pkg.Fset, pkg.Files, diags) {
+			findings = append(findings, Finding{
+				Position: pkg.Fset.Position(d.Pos).String(),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Position != findings[j].Position {
+			return findings[i].Position < findings[j].Position
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, errs
+}

@@ -1,0 +1,107 @@
+package driver_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze/driver"
+	"repro/internal/analyze/suite"
+)
+
+// TestTreeClean runs the full fleet over the repository: the tree must
+// stay free of findings — every legitimate wall-clock or close-discard
+// boundary carries a reasoned //nvolint:ignore, and everything else has
+// been fixed.
+func TestTreeClean(t *testing.T) {
+	findings, errs := driver.Analyze("../../..", []string{"./..."}, suite.Analyzers())
+	for _, err := range errs {
+		t.Errorf("analysis error: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("finding: %s", f)
+	}
+}
+
+// buildNvolint compiles the cmd/nvolint binary into a temp dir.
+func buildNvolint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "nvolint")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/nvolint")
+	cmd.Dir = "../../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building nvolint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVettoolProtocol checks the handshake go vet performs before
+// trusting a -vettool: the -V=full version line and the -flags JSON.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildNvolint(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("nvolint -V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	// cmd/go requires f[1]=="version" and f[2] != "devel" to accept the
+	// whole line as the tool's cache ID.
+	if len(f) != 3 || f[1] != "version" || f[2] == "devel" {
+		t.Fatalf("version line %q does not satisfy the vettool contract", out)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("nvolint -flags: %v", err)
+	}
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &defs); err != nil {
+		t.Fatalf("-flags output is not the expected JSON: %v\n%s", err, out)
+	}
+}
+
+// TestGoVetVettool runs the real thing: go vet -vettool over the whole
+// repository must exit clean.
+func TestGoVetVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and type-checks the tree twice")
+	}
+	bin := buildNvolint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = "../../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneFindingsExitCode runs the binary over a fixture package
+// that contains known findings: exit code 2, diagnostics on stderr.
+func TestStandaloneFindingsExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildNvolint(t)
+	cmd := exec.Command(bin, "./src/a")
+	cmd.Dir = "../noclock/testdata"
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v (stderr %q), want exit code 2", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "[noclock]") {
+		t.Fatalf("stderr lacks noclock findings:\n%s", stderr.String())
+	}
+}

@@ -1,0 +1,133 @@
+// vet.go implements the `go vet -vettool` side of the driver: cmd/go
+// hands the tool a JSON config naming one package's sources and the
+// export-data files of its dependencies; the tool type-checks, runs
+// the fleet, writes the (empty — the suite is factless) vetx output
+// cmd/go caches, and reports findings on stderr with a nonzero exit.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analyze"
+)
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVet analyzes the single package described by the vet config file
+// at cfgPath and returns the process exit code.
+func RunVet(cfgPath string, analyzers []*analyze.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvolint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nvolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The vetx file is how cmd/go caches and threads inter-package
+	// analysis facts. The suite is factless, but the file must exist
+	// for the cache entry to form.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("nvolint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "nvolint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "nvolint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "nvolint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	var diags []analyze.Diagnostic
+	for _, a := range analyzers {
+		pass := &analyze.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "nvolint: analyzer %s: %v\n", a.Name, err)
+			return 1
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	kept := analyze.Suppress(fset, files, diags)
+	for _, d := range kept {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(kept) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,39 @@
+package errclose_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/errclose"
+)
+
+// scoped points the analyzer's package list at the given fixture for
+// the duration of one test (errclose only fires inside its configured
+// write-path packages).
+func scoped(t *testing.T, pkg string) {
+	t.Helper()
+	f := errclose.Analyzer.Flags.Lookup("pkgs")
+	old := f.Value.String()
+	if err := f.Value.Set(pkg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Value.Set(old) })
+}
+
+func TestErrClose(t *testing.T) {
+	scoped(t, "repro/internal/analyze/errclose/testdata/src/j")
+	analyzetest.Run(t, "testdata", errclose.Analyzer, "src/j")
+}
+
+func TestErrCloseSuppression(t *testing.T) {
+	scoped(t, "repro/internal/analyze/errclose/testdata/src/sup")
+	analyzetest.Run(t, "testdata", errclose.Analyzer, "src/sup")
+}
+
+// TestErrCloseOutOfScope checks that the same leaky fixture is clean
+// when the package list does not include it: the want comments are
+// declared unmet, so run it manually and expect zero diagnostics.
+func TestErrCloseOutOfScope(t *testing.T) {
+	scoped(t, "repro/internal/other")
+	analyzetest.Run(t, "testdata", errclose.Analyzer, "src/clean")
+}

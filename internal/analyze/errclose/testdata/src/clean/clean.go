@@ -1,0 +1,16 @@
+// Package clean duplicates the leaky pattern but is loaded with
+// -errclose.pkgs pointing elsewhere: out-of-scope packages must
+// produce no findings.
+package clean
+
+import "os"
+
+func leaky(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("x")
+	return err
+}

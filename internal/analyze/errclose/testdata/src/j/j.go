@@ -1,0 +1,51 @@
+// Package j exercises the errclose analyzer on a mock crash-safety
+// write path (the test points -errclose.pkgs at this package).
+package j
+
+import (
+	"bufio"
+	"os"
+)
+
+func leaky(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer f\.Close\(\) discards its error on a crash-safety write path`
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync() // want `error from f\.Sync\(\) is discarded on a crash-safety write path`
+	return nil
+}
+
+func leakyFlush(w *bufio.Writer) {
+	w.Flush() // want `error from w\.Flush\(\) is discarded on a crash-safety write path`
+}
+
+func checked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // explicit discard is legal: the write error wins
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// noError has a Close that returns nothing; calling it bare is fine.
+type noError struct{}
+
+func (noError) Close() {}
+
+func closesNoError() {
+	var n noError
+	n.Close()
+	defer n.Close()
+}

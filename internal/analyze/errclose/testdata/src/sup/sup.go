@@ -1,0 +1,28 @@
+// Package sup exercises //nvolint:ignore handling for errclose (the
+// test points -errclose.pkgs at this package).
+package sup
+
+import "os"
+
+func suppressed(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	//nvolint:ignore errclose fixture: read-only handle, no buffered writes to lose
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}
+
+func reasonless(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	//nvolint:ignore errclose // want `directive requires a reason`
+	defer f.Close() // want `defer f\.Close\(\) discards its error on a crash-safety write path`
+	_, err = f.WriteString("x")
+	return err
+}

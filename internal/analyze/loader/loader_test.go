@@ -1,0 +1,48 @@
+package loader
+
+import "testing"
+
+// TestLoadTypeChecksRealPackage loads a real repo package through the
+// go list -export path and checks full type information came back.
+func TestLoadTypeChecksRealPackage(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/journal" {
+		t.Fatalf("ImportPath = %q", p.ImportPath)
+	}
+	if len(p.TypeErrors) != 0 {
+		t.Fatalf("type errors: %v", p.TypeErrors)
+	}
+	if len(p.Files) == 0 {
+		t.Fatal("no files parsed")
+	}
+	if p.Types == nil || p.Types.Scope().Lookup("Writer") == nil {
+		t.Fatal("journal.Writer not in package scope; export-data importing failed")
+	}
+	if len(p.TypesInfo.Uses) == 0 {
+		t.Fatal("TypesInfo.Uses empty; type checking did not run")
+	}
+}
+
+// TestLoadMultiplePatterns loads two packages in one call.
+func TestLoadMultiplePatterns(t *testing.T) {
+	pkgs, err := Load("../../..", "./internal/journal", "./internal/dag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	if _, err := Load("../../..", "./internal/does-not-exist"); err == nil {
+		t.Fatal("expected an error for a nonexistent package")
+	}
+}

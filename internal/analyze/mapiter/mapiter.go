@@ -1,0 +1,248 @@
+// Package mapiter flags range-over-map loops whose bodies feed
+// order-sensitive sinks: appending to slices that outlive the loop,
+// writing to output streams, emitting journal records, or sending on
+// channels. Go randomizes map iteration order per run, so any such loop
+// makes output bytes (or the write-ahead journal a resume replays)
+// depend on scheduler dice. The deterministic idiom — collect the keys,
+// sort them, range the sorted slice — is recognized and exempt: a loop
+// that only appends keys/values to slices which are then sorted before
+// use in the same block passes clean.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyze"
+)
+
+// Analyzer is the mapiter check.
+var Analyzer = &analyze.Analyzer{
+	Name: "mapiter",
+	Doc: "flag range-over-map loops that append to outer slices, write output, emit records, or send on " +
+		"channels: map order is randomized per run, so these loops break byte-identity unless the keys are " +
+		"collected and sorted first (that idiom is recognized and exempt)",
+	Run: run,
+}
+
+// writeMethods are method names whose call inside a map-range body
+// makes the emission order observable (stream writers, journal sinks,
+// encoders).
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Append": true, "Emit": true, "Record": true, "Encode": true,
+}
+
+// sink is one order-sensitive effect found in a loop body.
+type sink struct {
+	pos  token.Pos
+	desc string
+	// appendTo is set when the sink is an append to a variable declared
+	// outside the loop; such sinks are forgiven if the variable is
+	// sorted later in the enclosing block.
+	appendTo *types.Var
+}
+
+func run(pass *analyze.Pass) error {
+	for _, f := range pass.Files {
+		sorts := collectSortCalls(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if rs, ok := n.(*ast.RangeStmt); ok {
+				checkRange(pass, rs, sorts)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sortCall is one sorting call site: a sort./slices. entry point or a
+// local helper whose name contains "sort", with the variables it was
+// handed.
+type sortCall struct {
+	pos  token.Pos
+	vars map[*types.Var]bool
+}
+
+func checkRange(pass *analyze.Pass, rs *ast.RangeStmt, sorts []sortCall) {
+	if pass.IsTestFile(rs.Pos()) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return
+	}
+	sinks := findSinks(pass, rs.Body)
+	if len(sinks) == 0 {
+		return
+	}
+	// The collect-and-sort idiom: every sink is an append to an outer
+	// slice, and every such slice is sorted after the loop (anywhere
+	// later in the file — the object identity ties it to the same
+	// variable, so a later sort in another function can only be a
+	// closure over the same slice).
+	deterministic := true
+	for _, s := range sinks {
+		if s.appendTo == nil || !sortedLater(rs, sorts, s.appendTo) {
+			deterministic = false
+			break
+		}
+	}
+	if deterministic {
+		return
+	}
+	var descs []string
+	seen := map[string]bool{}
+	for _, s := range sinks {
+		if !seen[s.desc] {
+			seen[s.desc] = true
+			descs = append(descs, s.desc)
+		}
+	}
+	pass.Reportf(rs.Pos(),
+		"range over map %s visits keys in randomized order and the body %s; collect the keys, sort them, then range the sorted slice",
+		exprString(rs.X), strings.Join(descs, " and "))
+}
+
+// findSinks walks a loop body for order-sensitive effects.
+func findSinks(pass *analyze.Pass, body *ast.BlockStmt) []sink {
+	var sinks []sink
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sinks = append(sinks, sink{pos: n.Pos(), desc: "sends on a channel"})
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if v := outerVar(pass, n.Args[0], body); v != nil {
+						sinks = append(sinks, sink{
+							pos:      n.Pos(),
+							desc:     "appends to " + v.Name(),
+							appendTo: v,
+						})
+					}
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if writeMethods[sel.Sel.Name] {
+					if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+						sinks = append(sinks, sink{pos: n.Pos(), desc: "calls " + exprString(sel.X) + "." + sel.Sel.Name})
+						return true
+					}
+				}
+			}
+			if name, ok := analyze.PkgFunc(pass.TypesInfo, n, "fmt"); ok && strings.HasPrefix(name, "Fprint") {
+				sinks = append(sinks, sink{pos: n.Pos(), desc: "writes output via fmt." + name})
+			} else if ok && strings.HasPrefix(name, "Print") {
+				sinks = append(sinks, sink{pos: n.Pos(), desc: "writes output via fmt." + name})
+			}
+		}
+		return true
+	})
+	return sinks
+}
+
+// outerVar resolves expr to a variable declared outside body, or nil.
+// Appends to loop-local scratch are not sinks — their contents only
+// escape through some later effect the walk will catch on its own.
+func outerVar(pass *analyze.Pass, expr ast.Expr, body *ast.BlockStmt) *types.Var {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	if v.Pos() >= body.Pos() && v.Pos() < body.End() {
+		return nil
+	}
+	return v
+}
+
+// collectSortCalls gathers every sorting call site in the file.
+func collectSortCalls(pass *analyze.Pass, f *ast.File) []sortCall {
+	var sorts []sortCall
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		sc := sortCall{pos: call.Pos(), vars: map[*types.Var]bool{}}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+					sc.vars[v] = true
+				}
+			}
+		}
+		if len(sc.vars) > 0 {
+			sorts = append(sorts, sc)
+		}
+		return true
+	})
+	return sorts
+}
+
+// isSortCall recognizes sort./slices. entry points and, as a
+// concession to local helpers, any callee whose name mentions "sort".
+func isSortCall(pass *analyze.Pass, call *ast.CallExpr) bool {
+	if name, ok := analyze.PkgFunc(pass.TypesInfo, call, "sort"); ok {
+		return sortFunc(name)
+	}
+	if name, ok := analyze.PkgFunc(pass.TypesInfo, call, "slices"); ok {
+		return sortFunc(name)
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	case *ast.SelectorExpr:
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	}
+	return false
+}
+
+// sortedLater reports whether v is passed to a sorting call positioned
+// after the loop.
+func sortedLater(rs *ast.RangeStmt, sorts []sortCall, v *types.Var) bool {
+	for _, sc := range sorts {
+		if sc.pos > rs.End() && sc.vars[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// sortFunc reports whether name is a sorting entry point of package
+// sort or slices.
+func sortFunc(name string) bool {
+	switch name {
+	case "Strings", "Ints", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+		return true
+	}
+	return strings.HasPrefix(name, "Sort")
+}
+
+// exprString renders a short source form of expr for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expression"
+}

@@ -1,0 +1,16 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/mapiter"
+)
+
+func TestMapIter(t *testing.T) {
+	analyzetest.Run(t, "testdata", mapiter.Analyzer, "src/a")
+}
+
+func TestMapIterSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", mapiter.Analyzer, "src/sup")
+}

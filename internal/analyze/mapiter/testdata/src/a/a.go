@@ -1,0 +1,77 @@
+// Package a exercises the mapiter analyzer: map-range loops feeding
+// order-sensitive sinks are findings; the collect-and-sort idiom and
+// order-free accumulation are not.
+package a
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func appendsOuter(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m visits keys in randomized order and the body appends to out`
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // exempt: keys is sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortKeys(s []string) { sort.Strings(s) }
+
+func collectAndHelperSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // exempt: sorted by the local helper below
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func writesOutput(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `randomized order and the body writes output via fmt\.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func writesBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `randomized order and the body calls b\.WriteString`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func sendsChannel(m map[string]int, ch chan<- string) {
+	for k := range m { // want `sends on a channel`
+		ch <- k
+	}
+}
+
+func orderFree(m map[string]int) int {
+	n := 0
+	for _, v := range m { // no sink: scalar accumulation is order-free
+		n += v
+	}
+	return n
+}
+
+func loopLocalScratch(m map[string][]string) int {
+	n := 0
+	for _, vs := range m { // no sink: the append target is loop-local
+		var dedup []string
+		dedup = append(dedup, vs...)
+		n += len(dedup)
+	}
+	return n
+}

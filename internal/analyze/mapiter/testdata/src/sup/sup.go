@@ -1,0 +1,20 @@
+// Package sup exercises //nvolint:ignore handling for mapiter.
+package sup
+
+func suppressed(m map[string]bool) []string {
+	var out []string
+	//nvolint:ignore mapiter fixture: order provably irrelevant downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func reasonless(m map[string]bool) []string {
+	var out []string
+	//nvolint:ignore mapiter // want `directive requires a reason`
+	for k := range m { // want `randomized order and the body appends to out`
+		out = append(out, k)
+	}
+	return out
+}

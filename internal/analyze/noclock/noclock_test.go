@@ -1,0 +1,29 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/noclock"
+)
+
+func TestNoClock(t *testing.T) {
+	analyzetest.Run(t, "testdata", noclock.Analyzer, "src/a")
+}
+
+func TestNoClockSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", noclock.Analyzer, "src/sup")
+}
+
+// TestNoClockAllowlist checks that a package on the allow list is
+// exempt: the fixture reads the wall clock and carries no want
+// comments, so any finding fails the run.
+func TestNoClockAllowlist(t *testing.T) {
+	f := noclock.Analyzer.Flags.Lookup("allow")
+	old := f.Value.String()
+	if err := f.Value.Set("repro/internal/analyze/noclock/testdata/src/allowed"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Value.Set(old) }()
+	analyzetest.Run(t, "testdata", noclock.Analyzer, "src/allowed")
+}

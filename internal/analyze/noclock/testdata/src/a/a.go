@@ -1,0 +1,26 @@
+// Package a exercises the noclock analyzer: wall-clock reads are
+// findings, pure time computations are not.
+package a
+
+import "time"
+
+var epoch = time.Unix(0, 0)
+
+func bad() {
+	_ = time.Now()                 // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep blocks on the wall clock`
+	_ = time.Since(epoch)          // want `time\.Since reads the wall clock`
+	_ = time.Until(epoch)          // want `time\.Until reads the wall clock`
+	<-time.After(time.Millisecond) // want `time\.After fires on the wall clock`
+}
+
+// Storing a reference is a wall-clock read at one remove.
+var defaultNow = time.Now // want `time\.Now reads the wall clock`
+
+func good(now func() time.Time) {
+	t := now()
+	_ = t.Add(time.Hour)
+	_ = t.After(epoch) // the Time method, not the package function
+	_ = time.Date(2004, 6, 1, 0, 0, 0, 0, time.UTC)
+	_ = epoch.Sub(t)
+}

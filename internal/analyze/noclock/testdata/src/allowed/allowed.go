@@ -1,0 +1,7 @@
+// Package allowed is loaded with -noclock.allow set to its own import
+// path: the wall-clock read below must produce no finding.
+package allowed
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,27 @@
+// Package sup exercises //nvolint:ignore handling for noclock.
+package sup
+
+import "time"
+
+// A well-formed standalone directive covers the line below it.
+
+//nvolint:ignore noclock fixture: this package models the wall-clock boundary
+var wallNow = time.Now
+
+// A well-formed end-of-line directive covers its own line.
+var alsoNow = time.Now //nvolint:ignore noclock fixture: boundary default
+
+// Naming the wrong analyzer covers nothing.
+
+//nvolint:ignore seededrand fixture: names the wrong analyzer
+var wrongName = time.Now // want `time\.Now reads the wall clock`
+
+// A reasonless directive suppresses nothing and is itself a finding.
+
+//nvolint:ignore noclock // want `directive requires a reason`
+var reasonless = time.Now // want `time\.Now reads the wall clock`
+
+// A directive naming no analyzer at all is also a finding.
+
+//nvolint:ignore // want `directive names no analyzer`
+var nameless = time.Now // want `time\.Now reads the wall clock`

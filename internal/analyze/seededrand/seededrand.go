@@ -1,0 +1,59 @@
+// Package seededrand forbids the process-global math/rand source in
+// non-test code. Every stochastic decision in the stack — site
+// selection, fault schedules, retry jitter — must draw from a
+// *rand.Rand built over an explicitly threaded seed (the request seed,
+// the fault-campaign seed), because the byte-identity guarantees are
+// proved by replaying those seeds. The top-level math/rand functions
+// (and all of math/rand/v2, whose global source cannot be seeded at
+// all) draw from shared process state that a resumed or re-sharded run
+// cannot reproduce.
+package seededrand
+
+import (
+	"go/ast"
+
+	"repro/internal/analyze"
+)
+
+// constructors are the math/rand package-level functions that build
+// seeded sources rather than drawing from the global one.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Analyzer is the seededrand check.
+var Analyzer = &analyze.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid the global math/rand source (top-level rand.Intn, rand.Float64, rand.Shuffle, ..., and all " +
+		"of math/rand/v2) in non-test code; randomness must flow from rand.New(rand.NewSource(seed)) with the " +
+		"seed threaded from the request or campaign, or replays cannot reproduce the original bytes",
+	Run: run,
+}
+
+func run(pass *analyze.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.IsTestFile(call.Pos()) {
+				return true
+			}
+			if name, ok := analyze.PkgFunc(pass.TypesInfo, call, "math/rand"); ok && !constructors[name] {
+				pass.Reportf(call.Pos(),
+					"rand.%s draws from the process-global math/rand source; thread the run seed through rand.New(rand.NewSource(seed)) instead",
+					name)
+			}
+			if name, ok := analyze.PkgFunc(pass.TypesInfo, call, "math/rand/v2"); ok {
+				pass.Reportf(call.Pos(),
+					"math/rand/v2 %s uses a global source that cannot be seeded; use math/rand with an explicit rand.NewSource(seed)",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}

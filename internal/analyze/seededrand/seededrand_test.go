@@ -1,0 +1,16 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analyzetest.Run(t, "testdata", seededrand.Analyzer, "src/a")
+}
+
+func TestSeededRandSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", seededrand.Analyzer, "src/sup")
+}

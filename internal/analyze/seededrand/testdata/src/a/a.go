@@ -1,0 +1,20 @@
+// Package a exercises the seededrand analyzer: global-source draws are
+// findings, explicitly seeded generators are not.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func bad() {
+	_ = rand.Intn(10)                  // want `rand\.Intn draws from the process-global math/rand source`
+	_ = rand.Float64()                 // want `rand\.Float64 draws from the process-global math/rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle draws from the process-global math/rand source`
+	_ = randv2.IntN(10)                // want `math/rand/v2 IntN uses a global source that cannot be seeded`
+}
+
+func good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) // a method on an explicitly seeded *rand.Rand
+}

@@ -1,0 +1,10 @@
+// Package sup exercises //nvolint:ignore handling for seededrand.
+package sup
+
+import "math/rand"
+
+//nvolint:ignore seededrand fixture: demo code outside any replayed path
+func suppressed() int { return rand.Int() }
+
+//nvolint:ignore seededrand // want `directive requires a reason`
+func reasonless() int { return rand.Int() } // want `rand\.Int draws from the process-global math/rand source`

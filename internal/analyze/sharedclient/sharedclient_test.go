@@ -1,0 +1,28 @@
+package sharedclient_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/sharedclient"
+)
+
+func TestSharedClient(t *testing.T) {
+	analyzetest.Run(t, "testdata", sharedclient.Analyzer, "src/a")
+}
+
+func TestSharedClientSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", sharedclient.Analyzer, "src/sup")
+}
+
+// TestSharedClientAllowlist checks the allow-listed package (the
+// httpclient stand-in) is exempt from the construction ban.
+func TestSharedClientAllowlist(t *testing.T) {
+	f := sharedclient.Analyzer.Flags.Lookup("allow")
+	old := f.Value.String()
+	if err := f.Value.Set("repro/internal/analyze/sharedclient/testdata/src/allowed"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Value.Set(old) }()
+	analyzetest.Run(t, "testdata", sharedclient.Analyzer, "src/allowed")
+}

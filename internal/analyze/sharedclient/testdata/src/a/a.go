@@ -1,0 +1,17 @@
+// Package a exercises the sharedclient analyzer: ad-hoc client
+// construction and default-client helpers are findings; using an
+// injected client is not.
+package a
+
+import "net/http"
+
+func bad() {
+	c := &http.Client{}         // want `ad-hoc http\.Client literal bypasses the pooled shared client`
+	_ = c
+	_ = http.DefaultClient      // want `http\.DefaultClient has no pooled-transport tuning`
+	_, _ = http.Get("http://x") // want `http\.Get uses http\.DefaultClient under the hood`
+}
+
+func good(c *http.Client) (*http.Response, error) {
+	return c.Get("http://x") // method on an injected client
+}

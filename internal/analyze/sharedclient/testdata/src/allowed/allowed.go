@@ -1,0 +1,8 @@
+// Package allowed is loaded with -sharedclient.allow set to its own
+// import path: the construction below must produce no finding (this is
+// the stand-in for internal/httpclient itself).
+package allowed
+
+import "net/http"
+
+func New() *http.Client { return &http.Client{} }

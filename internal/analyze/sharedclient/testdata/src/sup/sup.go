@@ -1,0 +1,10 @@
+// Package sup exercises //nvolint:ignore handling for sharedclient.
+package sup
+
+import "net/http"
+
+//nvolint:ignore sharedclient fixture: isolated probe client, never pooled
+var probe = &http.Client{}
+
+//nvolint:ignore sharedclient // want `directive requires a reason`
+var reasonless = &http.Client{} // want `ad-hoc http\.Client literal bypasses the pooled shared client`

@@ -1,0 +1,34 @@
+// Package suite assembles the nvolint analyzer fleet — the five
+// checks that together make the repo's determinism, clock and
+// resource-hygiene invariants a compile-time property:
+//
+//	noclock      no wall clock in library/simulation code
+//	seededrand   no process-global math/rand
+//	mapiter      no randomized map order feeding output or journals
+//	sharedclient no HTTP client construction outside internal/httpclient
+//	errclose     no dropped Close/Flush/Sync errors on write paths
+//
+// cmd/nvolint runs this fleet standalone and as a `go vet -vettool`;
+// the suite test runs it over the whole tree and fails on any finding,
+// so `go test ./...` alone proves the tree lint-clean.
+package suite
+
+import (
+	"repro/internal/analyze"
+	"repro/internal/analyze/errclose"
+	"repro/internal/analyze/mapiter"
+	"repro/internal/analyze/noclock"
+	"repro/internal/analyze/seededrand"
+	"repro/internal/analyze/sharedclient"
+)
+
+// Analyzers returns the full nvolint fleet in reporting order.
+func Analyzers() []*analyze.Analyzer {
+	return []*analyze.Analyzer{
+		noclock.Analyzer,
+		seededrand.Analyzer,
+		mapiter.Analyzer,
+		sharedclient.Analyzer,
+		errclose.Analyzer,
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/condor"
 	"repro/internal/faults"
 	"repro/internal/gridftp"
+	"repro/internal/httpclient"
 	"repro/internal/mds"
 	"repro/internal/myproxy"
 	"repro/internal/pegasus"
@@ -211,7 +212,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 
 	// HTTP fabric: every virtual host resolves in-process.
 	router := hostRouter{}
-	tb.Client = &http.Client{Transport: router}
+	tb.Client = httpclient.New(router)
 
 	wsCfg := webservice.Config{
 		RLS:          tb.RLS,

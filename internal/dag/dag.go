@@ -123,6 +123,7 @@ func (g *Graph) reaches(src, dst string) bool {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		//nvolint:ignore mapiter reachability is a boolean query; worklist visit order cannot change the result
 		for next := range g.children[cur] {
 			if next == dst {
 				return true

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -67,11 +68,11 @@ func WriteDAGFile(path string, g *dag.Graph, done map[string]bool) error {
 		return err
 	}
 	if err := WriteDAG(f, g, done); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the failure being reported
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // the sync error is the failure being reported
 		return err
 	}
 	return f.Close()
@@ -152,6 +153,7 @@ func ReadDAGFile(path string) (*dag.Graph, map[string]bool, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	//nvolint:ignore errclose read-only handle; there are no buffered writes a failed close could lose
 	defer f.Close()
 	return ReadDAG(f)
 }
@@ -169,12 +171,7 @@ func sortedAttrKeys(attrs map[string]string) []string {
 	for k := range attrs {
 		keys = append(keys, k)
 	}
-	// Insertion sort: attribute maps are tiny (a handful of keys).
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return keys
 }
 

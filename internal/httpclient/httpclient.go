@@ -32,3 +32,12 @@ var shared = &http.Client{
 func Shared() *http.Client {
 	return shared
 }
+
+// New returns a client over the given transport. It exists so that the
+// few places that legitimately need a non-shared client (the testbed's
+// in-memory request router) still construct it here: the sharedclient
+// analyzer forbids http.Client literals everywhere else, which keeps
+// this package the single audit point for connection behaviour.
+func New(transport http.RoundTripper) *http.Client {
+	return &http.Client{Transport: transport}
+}

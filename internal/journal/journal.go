@@ -156,11 +156,12 @@ func (w *Writer) Close() error {
 		return nil
 	}
 	w.closed = true
-	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return err
+	flushErr := w.w.Flush()
+	closeErr := w.f.Close()
+	if flushErr != nil {
+		return flushErr
 	}
-	return w.f.Close()
+	return closeErr
 }
 
 // Replay reads every intact record from the journal at path. A torn or
@@ -176,6 +177,7 @@ func Replay(path string) (recs []Record, truncated bool, err error) {
 		}
 		return nil, false, err
 	}
+	//nvolint:ignore errclose read-only replay handle; there are no buffered writes a failed close could lose
 	defer f.Close()
 	return ReplayFrom(f)
 }

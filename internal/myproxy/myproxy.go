@@ -64,6 +64,8 @@ type Repository struct {
 }
 
 // New returns a repository using the real clock.
+//
+//nvolint:ignore noclock New is the documented wall-clock boundary: live credential lifetimes are real time; deterministic paths use NewWithClock
 func New() *Repository { return NewWithClock(time.Now) }
 
 // NewWithClock returns a repository with an injected clock.

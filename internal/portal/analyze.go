@@ -45,7 +45,7 @@ func (p *Portal) Analyze(cluster string) (*AnalysisResult, error) {
 func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total int)) (*AnalysisResult, error) {
 	res := &AnalysisResult{Cluster: cluster}
 
-	t0 := time.Now()
+	t0 := p.cfg.Now()
 	images, imgDegraded, err := p.FindImagesReport(cluster)
 	if err != nil {
 		return nil, err
@@ -54,17 +54,17 @@ func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total
 	for _, im := range images {
 		res.Images = append(res.Images, imageRef{Title: im.Title, AcRef: im.AcRef})
 	}
-	res.ImageSearch = time.Since(t0)
+	res.ImageSearch = p.cfg.Now().Sub(t0)
 
-	t1 := time.Now()
+	t1 := p.cfg.Now()
 	cat, catDegraded, err := p.BuildCatalogReport(cluster)
 	if err != nil {
 		return nil, err
 	}
 	res.Degraded = append(res.Degraded, catDegraded...)
-	res.CatalogTime = time.Since(t1)
+	res.CatalogTime = p.cfg.Now().Sub(t1)
 
-	t2 := time.Now()
+	t2 := p.cfg.Now()
 	morph, err := p.compute(cat, cluster, onProgress)
 	if err != nil {
 		return nil, err
@@ -75,7 +75,7 @@ func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total
 		"surface_brightness", "concentration", "asymmetry", "valid"); err != nil {
 		return nil, err
 	}
-	res.ComputeTime = time.Since(t2)
+	res.ComputeTime = p.cfg.Now().Sub(t2)
 	res.Table = cat
 	return res, nil
 }
@@ -103,7 +103,7 @@ func (p *Portal) compute(cat *votable.Table, cluster string, onProgress func(don
 	}
 	statusURL := p.cfg.ComputeService + strings.TrimSpace(string(statusPath))
 
-	deadline := time.Now().Add(p.cfg.PollTimeout)
+	deadline := p.cfg.Now().Add(p.cfg.PollTimeout)
 	for {
 		st, err := p.pollOnce(statusURL)
 		if err != nil {
@@ -118,10 +118,10 @@ func (p *Portal) compute(cat *votable.Table, cluster string, onProgress func(don
 		case "failed":
 			return nil, fmt.Errorf("%w: %s", ErrComputeFailed, st.Message)
 		}
-		if time.Now().After(deadline) {
+		if p.cfg.Now().After(deadline) {
 			return nil, ErrTimeout
 		}
-		time.Sleep(p.cfg.PollInterval)
+		p.cfg.Sleep(p.cfg.PollInterval)
 	}
 }
 

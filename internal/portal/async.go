@@ -1,6 +1,9 @@
 package portal
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // The paper's portal "operates in real-time with the multiple NVO services,
 // waiting until all processing is done ... This synchronous behavior
@@ -93,14 +96,6 @@ func (p *Portal) Jobs() []JobSnapshot {
 		out = append(out, rec.snap)
 	}
 	// Newest first by ID (ids are zero-padded and monotone).
-	sortSnapshotsDesc(out)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
 	return out
-}
-
-func sortSnapshotsDesc(s []JobSnapshot) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j].ID > s[j-1].ID; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

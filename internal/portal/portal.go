@@ -79,6 +79,15 @@ type Config struct {
 	// are identical to a serial build. Default 4; 1 restores the fully
 	// sequential portal.
 	MaxParallelQueries int
+	// Now is the clock behind the phase timings and the poll deadline.
+	// The default is the wall clock — the portal is the human-facing
+	// client, so real elapsed time is its observable — but tests and
+	// replay harnesses inject a fake to make timing-dependent behaviour
+	// (poll timeouts) deterministic.
+	Now func() time.Time
+	// Sleep paces status polling; default time.Sleep, injectable for the
+	// same reason as Now.
+	Sleep func(time.Duration)
 }
 
 // Degradation records one archive the portal proceeded without: a secondary
@@ -146,6 +155,14 @@ func New(cfg Config) (*Portal, error) {
 	}
 	if cfg.MaxParallelQueries <= 0 {
 		cfg.MaxParallelQueries = 4
+	}
+	if cfg.Now == nil {
+		//nvolint:ignore noclock the portal is the wall-clock boundary: it reports real elapsed time to a human and is never replayed
+		cfg.Now = time.Now
+	}
+	if cfg.Sleep == nil {
+		//nvolint:ignore noclock default poll pacing for the live portal; tests inject a no-op Sleep
+		cfg.Sleep = time.Sleep
 	}
 	return &Portal{cfg: cfg, imageCache: map[string][]services.SIARecord{}}, nil
 }

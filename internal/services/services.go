@@ -112,7 +112,7 @@ func (a *Archive) Clusters() []string {
 	for n := range a.clusters {
 		out = append(out, n)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
 }
 
@@ -302,5 +302,3 @@ func (a *Archive) SIAQueryCutouts(pos wcs.SkyCoord, sizeDeg float64) *votable.Ta
 	}
 	return t
 }
-
-func sortStrings(s []string) { sort.Strings(s) }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/gridftp"
 	"repro/internal/journal"
+	"repro/internal/myproxy"
 	"repro/internal/votable"
 )
 
@@ -447,5 +448,65 @@ func TestCancelEndpointAbortsRunningRequest(t *testing.T) {
 	nresp.Body.Close()
 	if nresp.StatusCode != http.StatusNotFound {
 		t.Errorf("/cancel unknown id status = %d", nresp.StatusCode)
+	}
+}
+
+// TestResumeWithWallClockExpiredProxy is the regression for the
+// time.Now() that used to live in the proxy admission check: a run is
+// admitted with a valid credential, crashes mid-flight, and the machine
+// stays down long past the credential's lifetime. Resume must not
+// re-consult the wall clock — the original admission governs the run —
+// and the resumed output must be byte-identical to the uninterrupted
+// run's.
+func TestResumeWithWallClockExpiredProxy(t *testing.T) {
+	const nGalaxies = 4
+	want, baseRecs, _ := journaledRun(t, nGalaxies, 1)
+	events := len(baseRecs) - 2
+	k := events / 2
+
+	// One mutable fake instant drives both the credential repository and
+	// the service's admission clock.
+	now := time.Date(2004, 6, 1, 12, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	repo := myproxy.NewWithClock(clock)
+	if err := repo.Delegate("nvoportal", "pw", "/CN=NVO Portal", time.Hour, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	var issued myproxy.Proxy
+	dir := t.TempDir()
+	h := newHarness(t, nGalaxies, func(c *Config) {
+		c.JournalDir = dir
+		c.CrashAfterEvents = k
+		c.Now = clock
+		c.Proxy = func() (myproxy.Proxy, error) {
+			p, err := repo.Retrieve("nvoportal", "pw", 30*time.Minute)
+			issued = p
+			return p, err
+		}
+	})
+	tab := h.inputTable(t)
+	if _, _, err := h.svc.Compute(tab, "COMA"); !errors.Is(err, journal.ErrCrash) {
+		t.Fatalf("crash did not fire: %v", err)
+	}
+
+	// The outage outlives the credential by a wide margin.
+	now = now.Add(48 * time.Hour)
+	if issued.Valid(now) {
+		t.Fatal("test is vacuous: the issued proxy is still valid after the outage")
+	}
+
+	svc2, err := h.svc.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := svc2.Resume("COMA")
+	if err != nil {
+		t.Fatalf("resume with wall-clock-expired proxy: %v", err)
+	}
+	if out != "COMA.vot" {
+		t.Fatalf("resume output %q", out)
+	}
+	if got := h.outputBytes(t, "COMA.vot"); string(got) != string(want) {
+		t.Fatal("resumed output differs from the uninterrupted run")
 	}
 }

@@ -159,6 +159,15 @@ type Config struct {
 	// (§4.3.1 item 5 — the MyProxy integration the paper plans; leaving it
 	// nil reproduces the prototype's server-stored-credential behaviour).
 	Proxy func() (myproxy.Proxy, error)
+	// Now is the clock proxy-credential validity is checked against at
+	// submission. The default is the wall clock — live deployments admit
+	// a request only while its credential is valid — but tests and
+	// resumable runs inject a fixed clock so admission, and therefore
+	// the output bytes, cannot depend on when a run happens to execute.
+	// Resume never re-validates: the original submission's admission
+	// decision governs the whole run, however much wall time passed
+	// before the journal is replayed.
+	Now func() time.Time
 	// BatchFetch pulls galaxy images through the batched cutout interface
 	// ("this could be sped up tremendously if one could query for all
 	// images at once", §4.2) when the acrefs support it, instead of one
@@ -301,6 +310,10 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = 2
+	}
+	if cfg.Now == nil {
+		//nvolint:ignore noclock credential admission is the service's one wall-clock boundary; replay harnesses inject Config.Now
+		cfg.Now = time.Now
 	}
 	svc := &Service{
 		cfg:      cfg,
@@ -455,7 +468,7 @@ func (s *Service) rescuePath(cluster string) string {
 // journaling a clean "aborted" record so a later Resume picks up exactly
 // where the run stopped.
 func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cluster string,
-	onProgress func(done, total int)) (string, RunStats, error) {
+	onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
 	var stats RunStats
 	if err := validateInput(tab); err != nil {
 		return "", stats, err
@@ -465,7 +478,7 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 		if err != nil {
 			return "", stats, fmt.Errorf("webservice: credential retrieval: %w", err)
 		}
-		if !proxy.Valid(time.Now()) {
+		if !proxy.Valid(s.cfg.Now()) {
 			return "", stats, errors.New("webservice: Grid proxy expired; delegate a fresh credential")
 		}
 	}
@@ -562,7 +575,14 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 		if err != nil {
 			return "", stats, err
 		}
-		defer jw.Close()
+		// A failed close means the final records may not have reached the
+		// disk — the journal is the crash-recovery contract, so that is a
+		// run failure, not a cleanup detail.
+		defer func() {
+			if cerr := jw.Close(); cerr != nil && retErr == nil {
+				retErr = fmt.Errorf("webservice: closing journal: %w", cerr)
+			}
+		}()
 		// The begin marker goes straight to the writer so a configured crash
 		// budget counts DAGMan events only.
 		if err := jw.Append(journal.Record{
@@ -631,7 +651,7 @@ func (s *Service) Resume(cluster string) (string, RunStats, error) {
 // ResumeWithContext is Resume under a cancellation context and an optional
 // progress callback (restored nodes count as already done).
 func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
-	onProgress func(done, total int)) (string, RunStats, error) {
+	onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
 	var stats RunStats
 	if s.cfg.JournalDir == "" {
 		return "", stats, errors.New("webservice: resume requires JournalDir")
@@ -658,7 +678,11 @@ func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
 	if err != nil {
 		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
 	}
-	defer jw.Close()
+	defer func() {
+		if cerr := jw.Close(); cerr != nil && retErr == nil {
+			retErr = fmt.Errorf("webservice: closing journal: %w", cerr)
+		}
+	}()
 	if _, ended := journal.Ended(recs); ended && s.cfg.RLS.Exists(outLFN) {
 		stats.ReusedOutput = true
 		return outLFN, stats, nil
@@ -855,7 +879,9 @@ func (s *Service) fetchURL(u string) ([]byte, error) {
 		return nil, fmt.Errorf("webservice: fetch %s: %w", u, err)
 	}
 	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	// The body has been fully consumed; a close error cannot invalidate data
+	// already read.
+	_ = resp.Body.Close()
 	if err != nil {
 		return nil, fmt.Errorf("webservice: fetch %s: %w", u, err)
 	}
