@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint chaos bench emit-bench recovery fuzz verify
+.PHONY: build test vet lint chaos bench emit-bench recovery fuzz tenants verify
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The nvolint suite: five analyzers enforcing the determinism, clock and
+# The nvolint suite: six analyzers enforcing the determinism, clock and
 # resource-hygiene invariants (see README "Static analysis"). The binary
 # build goes through the Go build cache, so a warm rebuild is free; it
 # runs both standalone and as a go vet -vettool, which exercises the
@@ -50,11 +50,22 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz FuzzReadReplicas -fuzztime $(FUZZTIME) ./internal/rls/
 
+# The multi-tenant fabric campaign, race-enabled: deterministic overload
+# shedding, concurrent tenants byte-identical to their solo runs, shared-
+# fabric kill/resume without cross-workflow journal bleed, and cancel
+# isolation. Bounded: a few minutes of simulated workflows, not a soak.
+tenants:
+	$(GO) test -race -run 'TestChaosConcurrentTenants' -v .
+	$(GO) test -race -run 'TestDeterministicSheddingUnderOverload|TestFabricKillResumeNoJournalBleed|TestCancelIsolationAcrossWorkflows|TestQueuedStatusAndCancelWhileQueued' -v ./internal/webservice/
+	$(GO) test -race ./internal/fabric/
+
 # Full verification gate: vet, build, the nvolint invariants, the
 # race-enabled suite, the chaos campaign under the race detector,
-# journal-replay idempotence, and the codec fuzz smoke.
+# journal-replay idempotence, the multi-tenant fabric campaign, and the
+# codec fuzz smoke.
 verify: vet build lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) recovery
+	$(MAKE) tenants
 	$(MAKE) fuzz

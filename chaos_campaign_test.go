@@ -2,7 +2,9 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,6 +17,7 @@ import (
 	"repro/internal/services"
 	"repro/internal/skysim"
 	"repro/internal/votable"
+	"repro/internal/webservice"
 )
 
 // chaosSpecs is the §5 eight-cluster campaign scaled down so the chaos
@@ -164,6 +167,151 @@ func TestChaosSameSeedSameSchedule(t *testing.T) {
 		if !bytes.Equal(tabB[name], a) {
 			t.Errorf("%s: tables differ between identical runs", name)
 		}
+	}
+}
+
+// tenantFaultPlan builds the per-workflow Condor fault injector of the
+// concurrent-tenants campaign: every workflow gets its own deterministic
+// transient-failure schedule, seeded from its cluster, independent of what
+// any other tenant's workflow is doing on the shared fabric.
+func tenantFaultPlan(cluster string) *faults.Injector {
+	seed := int64(900)
+	for _, c := range cluster {
+		seed = seed*31 + int64(c)
+	}
+	return faults.New(seed,
+		faults.Rule{Name: condor.OpExec, Kind: faults.KindTransient, Probability: 0.12})
+}
+
+// TestChaosConcurrentTenants runs N workflows simultaneously on one shared
+// fabric — distinct tenants, distinct seeds, distinct fault plans — and
+// requires every workflow's output table to be byte-identical to a solo
+// run of the same cluster on a private testbed, with the same fault
+// history. Fault isolation under interleaving: one tenant's chaos must not
+// leak into another tenant's science or schedule.
+func TestChaosConcurrentTenants(t *testing.T) {
+	const n = 3
+	tenants := []string{"alice", "bob", "carol"}
+
+	// Solo baselines: each cluster alone on a fresh testbed, same fault plan.
+	soloTables := make([]map[string][]byte, n)
+	soloHist := make([][]faults.Fault, n)
+	for i := 0; i < n; i++ {
+		var inj *faults.Injector
+		tb, err := core.NewTestbed(core.Config{
+			ClusterSpecs: chaosSpecs(n),
+			Seed:         7,
+			Resilience:   true,
+			MirrorSite:   "mirror",
+			FaultsFor: func(tenant, cluster string) *faults.Injector {
+				in := tenantFaultPlan(cluster)
+				inj = in
+				return in
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := tb.Clusters[i].Name
+		rep, err := core.RunCluster(tb, name)
+		if err != nil {
+			t.Fatalf("solo %s: %v", name, err)
+		}
+		var b bytes.Buffer
+		if err := votable.WriteTable(&b, rep.Table); err != nil {
+			t.Fatal(err)
+		}
+		soloTables[i] = map[string][]byte{name: b.Bytes()}
+		soloHist[i] = inj.History()
+		if inj.Injected() == 0 {
+			t.Fatalf("solo %s: fault plan injected nothing; the chaos run tests nothing", name)
+		}
+	}
+
+	// Concurrent run: all N workflows at once on one shared testbed, each
+	// under its own tenant with its own injector.
+	injectors := make([]*faults.Injector, n)
+	var mu sync.Mutex
+	tb, err := core.NewTestbed(core.Config{
+		ClusterSpecs: chaosSpecs(n),
+		Seed:         7,
+		Resilience:   true,
+		MirrorSite:   "mirror",
+		FaultsFor: func(tenant, cluster string) *faults.Injector {
+			inj := tenantFaultPlan(cluster)
+			mu.Lock()
+			for i := range tenants {
+				if tenant == tenants[i] {
+					injectors[i] = inj
+				}
+			}
+			mu.Unlock()
+			return inj
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Catalogs are built through the shared portal up front (deterministic
+	// per cluster); the workflows themselves run simultaneously.
+	cats := make([]*votable.Table, n)
+	for i := 0; i < n; i++ {
+		cat, _, err := tb.Portal.BuildCatalogReport(tb.Clusters[i].Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cats[i] = cat
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = tb.Compute.ComputeFor(context.Background(), cats[i],
+				tb.Clusters[i].Name, webservice.RequestOptions{Tenant: tenants[i]}, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent workflow %d (%s): %v", i, tenants[i], err)
+		}
+	}
+
+	// Byte-identity and fault-history identity per workflow, solo vs
+	// interleaved.
+	for i := 0; i < n; i++ {
+		name := tb.Clusters[i].Name
+		morph, err := tb.Compute.ResultTable(name + ".vot")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := votable.MergeColumns(cats[i], morph, "id", "id",
+			"surface_brightness", "concentration", "asymmetry", "valid"); err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := votable.WriteTable(&b, cats[i]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b.Bytes(), soloTables[i][name]) {
+			t.Errorf("%s (%s): concurrent-tenant table differs from solo run", name, tenants[i])
+		}
+		if injectors[i] == nil {
+			t.Fatalf("%s: FaultsFor never called for tenant %s", name, tenants[i])
+		}
+		if !reflect.DeepEqual(injectors[i].History(), soloHist[i]) {
+			t.Errorf("%s (%s): fault history diverged between solo and concurrent runs:\n  solo: %v\n  conc: %v",
+				name, tenants[i], soloHist[i], injectors[i].History())
+		}
+	}
+
+	// The fabric accounted one completed workflow per tenant.
+	fleet := tb.Compute.Fleet()
+	if fleet.Admitted != n || fleet.Completed != n {
+		t.Errorf("fleet = %+v, want %d admitted and completed", fleet, n)
 	}
 }
 

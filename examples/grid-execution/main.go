@@ -54,6 +54,7 @@ func demoMonitoringAndRetries() {
 			return nil
 		}}, nil
 	}
+	//nvolint:ignore fabricpool standalone demo of raw DAGMan/Condor, no shared fabric to lease from
 	sim, err := condor.NewSimulator(condor.Pool{Name: "usc", Slots: 4})
 	if err != nil {
 		log.Fatal(err)
@@ -91,6 +92,7 @@ func demoRescueDAG() {
 		}}, nil
 	}
 	newSim := func() (*condor.Simulator, error) {
+		//nvolint:ignore fabricpool standalone demo of raw DAGMan/Condor, no shared fabric to lease from
 		return condor.NewSimulator(condor.Pool{Name: "usc", Slots: 4})
 	}
 	rep, err := dagman.ExecuteWithRescue(g, runner, newSim, dagman.Options{MaxRetries: 1}, 2)
@@ -115,6 +117,7 @@ func demoPoolScaling() {
 		{{Name: "usc", Slots: 20}, {Name: "wisc", Slots: 30}},
 		{{Name: "usc", Slots: 20}, {Name: "wisc", Slots: 30}, {Name: "fnal", Slots: 20}},
 	} {
+		//nvolint:ignore fabricpool standalone demo of raw DAGMan/Condor, no shared fabric to lease from
 		sim, err := condor.NewSimulator(pools...)
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,28 @@
+package fabricpool_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/fabricpool"
+)
+
+func TestFabricPool(t *testing.T) {
+	analyzetest.Run(t, "testdata", fabricpool.Analyzer, "src/a")
+}
+
+func TestFabricPoolSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", fabricpool.Analyzer, "src/sup")
+}
+
+// TestFabricPoolAllowlist checks the allow-listed package (the fabric
+// stand-in) is exempt from the construction ban.
+func TestFabricPoolAllowlist(t *testing.T) {
+	f := fabricpool.Analyzer.Flags.Lookup("allow")
+	old := f.Value.String()
+	if err := f.Value.Set("repro/internal/analyze/fabricpool/testdata/src/allowed"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Value.Set(old) }()
+	analyzetest.Run(t, "testdata", fabricpool.Analyzer, "src/allowed")
+}

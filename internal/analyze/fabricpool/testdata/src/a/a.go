@@ -1,0 +1,15 @@
+// Package a exercises the fabricpool analyzer: constructing a Condor
+// simulator directly is a finding; capacity obtained through an
+// injected simulator is not.
+package a
+
+import "repro/internal/condor"
+
+func bad() {
+	sim, err := condor.NewSimulator(condor.Pool{Name: "usc", Slots: 4}) // want `condor\.NewSimulator outside the fabric mints execution capacity`
+	_, _ = sim, err
+}
+
+func good(sim *condor.Simulator) *condor.Simulator {
+	return sim // injected: the fabric minted it
+}

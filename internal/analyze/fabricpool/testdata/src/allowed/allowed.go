@@ -1,0 +1,10 @@
+// Package allowed is loaded with -fabricpool.allow set to its own
+// import path: the construction below must produce no finding (this is
+// the stand-in for internal/fabric itself).
+package allowed
+
+import "repro/internal/condor"
+
+func New() (*condor.Simulator, error) {
+	return condor.NewSimulator(condor.Pool{Name: "usc", Slots: 4})
+}

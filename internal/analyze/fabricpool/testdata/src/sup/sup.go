@@ -1,0 +1,10 @@
+// Package sup exercises //nvolint:ignore handling for fabricpool.
+package sup
+
+import "repro/internal/condor"
+
+//nvolint:ignore fabricpool fixture: standalone demo, no shared fabric to lease from
+var demo, _ = condor.NewSimulator(condor.Pool{Name: "p", Slots: 1})
+
+//nvolint:ignore fabricpool // want `directive requires a reason`
+var reasonless, _ = condor.NewSimulator(condor.Pool{Name: "p", Slots: 1}) // want `condor\.NewSimulator outside the fabric mints execution capacity`

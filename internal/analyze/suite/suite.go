@@ -1,4 +1,4 @@
-// Package suite assembles the nvolint analyzer fleet — the five
+// Package suite assembles the nvolint analyzer fleet — the six
 // checks that together make the repo's determinism, clock and
 // resource-hygiene invariants a compile-time property:
 //
@@ -7,6 +7,7 @@
 //	mapiter      no randomized map order feeding output or journals
 //	sharedclient no HTTP client construction outside internal/httpclient
 //	errclose     no dropped Close/Flush/Sync errors on write paths
+//	fabricpool   no Condor simulator construction outside internal/fabric
 //
 // cmd/nvolint runs this fleet standalone and as a `go vet -vettool`;
 // the suite test runs it over the whole tree and fails on any finding,
@@ -16,6 +17,7 @@ package suite
 import (
 	"repro/internal/analyze"
 	"repro/internal/analyze/errclose"
+	"repro/internal/analyze/fabricpool"
 	"repro/internal/analyze/mapiter"
 	"repro/internal/analyze/noclock"
 	"repro/internal/analyze/seededrand"
@@ -30,5 +32,6 @@ func Analyzers() []*analyze.Analyzer {
 		mapiter.Analyzer,
 		sharedclient.Analyzer,
 		errclose.Analyzer,
+		fabricpool.Analyzer,
 	}
 }

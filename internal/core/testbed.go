@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/condor"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/gridftp"
 	"repro/internal/httpclient"
@@ -73,6 +74,15 @@ type Config struct {
 	// registrations, and Condor job execution inside the compute service.
 	// Nil runs fault-free at zero cost.
 	Faults *faults.Injector
+	// FaultsFor, when set, supplies the compute service a per-workflow
+	// Condor fault injector (tenant, cluster) so concurrent workflows keep
+	// independent, deterministic fault schedules. Unlike Faults it is NOT
+	// installed on the shared substrate (GridFTP/RLS/archives).
+	FaultsFor func(tenant, cluster string) *faults.Injector
+	// Fabric, when set, is the shared multi-tenant execution fabric the
+	// compute service admits and schedules workflows on; nil gives the
+	// service a private permissive fabric over Pools.
+	Fabric *fabric.Fabric
 	// Resilience enables the retry/backoff/circuit-breaker stack: the
 	// portal retries archive calls and degrades gracefully, the compute
 	// service retries DAG nodes under a budgeted policy and fails transfers
@@ -228,6 +238,8 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		BatchFetch:   cfg.BatchFetch,
 		MirrorSite:   cfg.MirrorSite,
 		Faults:       cfg.Faults,
+		FaultsFor:    cfg.FaultsFor,
+		Fabric:       cfg.Fabric,
 		Workers:      cfg.Workers,
 
 		JournalDir:       cfg.JournalDir,

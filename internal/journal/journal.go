@@ -43,7 +43,14 @@ const (
 
 // Record is one journaled event.
 type Record struct {
-	Seq     int           `json:"seq"`
+	Seq int `json:"seq"`
+	// Scope names the workflow the record belongs to (tenant/cluster on a
+	// multi-tenant fabric). Every record a scoped Writer appends is stamped
+	// with it, and OpenAppendScoped refuses to resume over records from a
+	// different scope — the guard against cross-workflow journal bleed when
+	// many workflows share one journal directory. Empty on journals written
+	// before scoping existed; such records replay under any scope.
+	Scope   string        `json:"wf,omitempty"`
 	Kind    string        `json:"kind"`
 	Node    string        `json:"node,omitempty"`
 	Site    string        `json:"site,omitempty"`
@@ -75,6 +82,9 @@ type Writer struct {
 	w      *bufio.Writer
 	next   int
 	closed bool
+	// Scope, when non-empty, is stamped onto every appended record (see
+	// Record.Scope). Set by CreateScoped/OpenAppendScoped.
+	Scope string
 	// NoSync skips the per-record fsync. The write ordering is still exact;
 	// only durability against machine crashes is weakened. Tests writing
 	// thousands of records use it; production paths keep the default.
@@ -89,6 +99,42 @@ func Create(path string) (*Writer, error) {
 		return nil, err
 	}
 	return &Writer{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// CreateScoped is Create with a workflow scope: every appended record is
+// stamped with scope, namespacing the journal to one workflow of one
+// tenant even when many workflows write under a shared journal directory.
+func CreateScoped(path, scope string) (*Writer, error) {
+	w, err := Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w.Scope = scope
+	return w, nil
+}
+
+// ErrScope reports a resume over another workflow's journal — the
+// cross-workflow bleed a scoped journal exists to prevent.
+var ErrScope = errors.New("journal: workflow scope mismatch")
+
+// OpenAppendScoped is OpenAppend with a workflow scope: the replayed
+// records are verified to belong to scope (records with no scope, written
+// before scoping existed, are accepted), and the returned writer stamps
+// scope onto everything it appends.
+func OpenAppendScoped(path, scope string) (*Writer, []Record, error) {
+	w, recs, err := OpenAppend(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range recs {
+		if r.Scope != "" && r.Scope != scope {
+			_ = w.Close()
+			return nil, nil, fmt.Errorf("%w: journal %s belongs to workflow %q, resuming %q",
+				ErrScope, path, r.Scope, scope)
+		}
+	}
+	w.Scope = scope
+	return w, recs, nil
 }
 
 // OpenAppend opens an existing journal for appending, replaying it first to
@@ -121,6 +167,9 @@ func (w *Writer) Append(rec Record) error {
 		return ErrClosed
 	}
 	rec.Seq = w.next
+	if w.Scope != "" {
+		rec.Scope = w.Scope
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("journal: marshal: %w", err)

@@ -232,3 +232,85 @@ func TestReplayMissingFile(t *testing.T) {
 		t.Error("missing journal must error")
 	}
 }
+
+func TestScopedWriterStampsRecords(t *testing.T) {
+	path := tmpJournal(t)
+	w, err := CreateScoped(path, "alice/COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Kind: KindCompleted, Node: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, truncated, err := Replay(path)
+	if err != nil || truncated {
+		t.Fatalf("replay: %v truncated=%v", err, truncated)
+	}
+	for _, r := range recs {
+		if r.Scope != "alice/COMA" {
+			t.Fatalf("record %d scope = %q, want alice/COMA", r.Seq, r.Scope)
+		}
+	}
+}
+
+func TestOpenAppendScopedAcceptsOwnScope(t *testing.T) {
+	path := tmpJournal(t)
+	w, _ := CreateScoped(path, "alice/COMA")
+	w.Append(Record{Kind: KindBegin})
+	w.Close()
+
+	w2, recs, err := OpenAppendScoped(path, "alice/COMA")
+	if err != nil {
+		t.Fatalf("reopen same scope: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	if err := w2.Append(Record{Kind: KindEnd}); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+}
+
+func TestOpenAppendScopedRejectsForeignScope(t *testing.T) {
+	// Resuming one workflow's journal under another workflow's identity is
+	// cross-workflow bleed and must fail loudly, not silently merge.
+	path := tmpJournal(t)
+	w, _ := CreateScoped(path, "alice/COMA")
+	w.Append(Record{Kind: KindBegin})
+	w.Close()
+
+	_, _, err := OpenAppendScoped(path, "bob/COMA")
+	if err == nil || !strings.Contains(err.Error(), "scope mismatch") {
+		t.Fatalf("foreign scope reopen = %v, want ErrScope", err)
+	}
+}
+
+func TestOpenAppendScopedAcceptsLegacyUnscoped(t *testing.T) {
+	// Journals written before scoping existed carry no scope; they must
+	// remain resumable under any identity.
+	path := tmpJournal(t)
+	w, _ := Create(path)
+	w.Append(Record{Kind: KindBegin})
+	w.Close()
+
+	w2, recs, err := OpenAppendScoped(path, "alice/COMA")
+	if err != nil {
+		t.Fatalf("legacy reopen: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	w2.Append(Record{Kind: KindEnd})
+	w2.Close()
+	recs, _, _ = Replay(path)
+	if recs[1].Scope != "alice/COMA" {
+		t.Fatalf("appended record scope = %q, want alice/COMA", recs[1].Scope)
+	}
+}

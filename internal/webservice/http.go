@@ -5,17 +5,26 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/votable"
 )
 
 // ServiceStats is the observability snapshot /stats returns: cumulative
 // request-level accounting (for requests made through Submit) plus the live
-// catalog and cache counters the throughput work optimizes.
+// catalog and cache counters the throughput work optimizes, plus the
+// fabric's fleet-wide admission/fair-share counters.
 type ServiceStats struct {
 	Requests  int
 	Completed int
 	Failed    int
+
+	// Fleet is the fabric's admission-control and fair-share snapshot:
+	// admitted/shed/queued/running fleet-wide and per tenant, with each
+	// tenant's charged model time and fair-share debt.
+	Fleet fabric.FleetSnapshot
 
 	RLSRoundTrips      int64 // catalog read round trips since process start
 	ReplicaCacheHits   int64
@@ -53,6 +62,7 @@ func (s *Service) Stats() ServiceStats {
 	}
 	out.RLSRoundTrips = s.cfg.RLS.RoundTrips()
 	out.ReplicaCacheHits, out.ReplicaCacheMisses = s.replicas.Stats()
+	out.Fleet = s.cfg.Fabric.Snapshot()
 	return out
 }
 
@@ -61,7 +71,11 @@ func (s *Service) Stats() ServiceStats {
 // client polls it until a "job completed" message appears together with the
 // result URL.
 //
-//	POST /galmorph?cluster=NAME   body: VOTable       -> text: status URL path
+//	POST /galmorph?cluster=NAME[&tenant=T&priority=N]  -> text: status URL path
+//	                              body: VOTable
+//	       202 Accepted: admitted (running or queued under fair share)
+//	       429 + Retry-After: tenant over its workflow-queue quota
+//	       503 + Retry-After: fabric queue full or shutting down
 //	GET  /status?id=req-000001                        -> JSON Status
 //	GET  /result?lfn=NAME.vot                          -> VOTable
 //	POST /cancel?id=req-000001                         -> 202 Accepted
@@ -100,8 +114,24 @@ func (s *Service) Handler() http.Handler {
 			http.Error(w, "bad VOTable: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		id, err := s.Submit(tab, cluster)
+		priority, _ := strconv.Atoi(req.URL.Query().Get("priority"))
+		id, err := s.SubmitFor(tab, cluster, RequestOptions{
+			Tenant:   req.URL.Query().Get("tenant"),
+			Priority: priority,
+		})
 		if err != nil {
+			// Overload shedding is deterministic and typed: tell the client
+			// whether its own quota (429) or the fleet (503) refused it, and
+			// when to come back.
+			if shed, ok := fabric.AsShed(err); ok {
+				secs := int((shed.RetryAfter + time.Second - 1) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				http.Error(w, err.Error(), shed.HTTPStatus)
+				return
+			}
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

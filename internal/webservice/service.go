@@ -42,6 +42,7 @@ import (
 	"repro/internal/chimera"
 	"repro/internal/condor"
 	"repro/internal/dagman"
+	"repro/internal/fabric"
 	"repro/internal/faults"
 	"repro/internal/fits"
 	"repro/internal/gridftp"
@@ -64,6 +65,9 @@ type State string
 
 // Request states published on the status URL.
 const (
+	// StateQueued means the request was admitted but is waiting for the
+	// fabric's fair-share scheduler to grant it a workflow slot.
+	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateCompleted State = "completed"
 	StateFailed    State = "failed"
@@ -121,6 +125,7 @@ const (
 type Status struct {
 	ID        string
 	Cluster   string
+	Tenant    string
 	State     State
 	Message   string
 	ResultLFN string
@@ -134,7 +139,16 @@ type Config struct {
 	RLS     *rls.RLS
 	TC      *tcat.Catalog
 	GridFTP *gridftp.Service
-	Pools   []condor.Pool
+	// Pools is the Condor pool set. When Fabric is nil the service builds a
+	// private permissive fabric over these pools (the single-tenant
+	// prototype behaviour); when Fabric is set, Pools may be left empty and
+	// the fabric's shared pool set governs.
+	Pools []condor.Pool
+	// Fabric, when set, is the shared multi-tenant execution fabric every
+	// workflow is admitted to and scheduled on: many services (or many
+	// tenants of one service) multiplex over its pools under admission
+	// control, quotas and fair-share ordering.
+	Fabric *fabric.Fabric
 
 	// CacheSite is where downloaded images and the final tables live
 	// (the web server's local storage; "isi" in the paper's deployment).
@@ -187,6 +201,12 @@ type Config struct {
 	// Faults, when set, is installed on every Condor simulator the service
 	// creates, making job execution a fault point (op "condor.exec").
 	Faults *faults.Injector
+	// FaultsFor, when set, supplies a per-workflow fault injector (nil
+	// return falls back to Faults). A shared Injector draws probability
+	// rules from one rng, so concurrent workflows would perturb each
+	// other's fault schedules; per-workflow injectors keep every tenant's
+	// chaos deterministic however workflows interleave on the fabric.
+	FaultsFor func(tenant, cluster string) *faults.Injector
 	// Workers bounds the side-effect concurrency of one request: the Condor
 	// simulator's leaf-job Run bodies and the image-staging fetches fan out
 	// to at most this many goroutines. <= 1 (the default) is fully serial;
@@ -257,27 +277,37 @@ func (s *Service) workers() int {
 	return s.cfg.Workers
 }
 
-// newSim builds one Condor simulator under the service's scheduler model:
-// fault injection, side-effect fan-out, dedicated transfer lanes and the
-// serialized per-task submission overhead.
-func (s *Service) newSim() (*condor.Simulator, error) {
-	pools := make([]condor.Pool, len(s.cfg.Pools))
-	copy(pools, s.cfg.Pools)
-	if s.cfg.TransferSlots > 0 {
-		for i := range pools {
-			if pools[i].TransferSlots == 0 {
-				pools[i].TransferSlots = s.cfg.TransferSlots
-			}
+// injectorFor resolves one workflow's fault injector: the per-workflow
+// hook when configured, else the shared service-wide injector.
+func (s *Service) injectorFor(tenant, cluster string) *faults.Injector {
+	if s.cfg.FaultsFor != nil {
+		if inj := s.cfg.FaultsFor(tenant, cluster); inj != nil {
+			return inj
 		}
 	}
-	sim, err := condor.NewSimulator(pools...)
-	if err != nil {
-		return nil, err
+	return s.cfg.Faults
+}
+
+// simFactory builds one workflow's simulator factory: every scheduler is
+// stamped by the fabric from the shared pool set, under the service's
+// execution model (fault injection, side-effect fan-out, dedicated
+// transfer lanes, serialized submission overhead). Rescue rounds call the
+// factory again, reusing the same lease — a rescue is still the same
+// workflow occupying the same fabric slot.
+func (s *Service) simFactory(lease *fabric.Lease, tenant, cluster string) func() (*condor.Simulator, error) {
+	inj := s.injectorFor(tenant, cluster)
+	return func() (*condor.Simulator, error) {
+		sim, err := lease.NewSimulator(fabric.SimOptions{
+			Workers:        s.workers(),
+			SubmitOverhead: s.cfg.SchedOverhead,
+			TransferSlots:  s.cfg.TransferSlots,
+			Injector:       inj,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sim, nil
 	}
-	sim.SetInjector(s.cfg.Faults)
-	sim.SetWorkers(s.workers())
-	sim.SetSubmitOverhead(s.cfg.SchedOverhead)
-	return sim, nil
 }
 
 // registerReplica publishes one replica and invalidates the read-through
@@ -299,8 +329,23 @@ var (
 
 // New validates the configuration and builds a service.
 func New(cfg Config) (*Service, error) {
-	if cfg.RLS == nil || cfg.TC == nil || cfg.GridFTP == nil || len(cfg.Pools) == 0 {
-		return nil, errors.New("webservice: RLS, TC, GridFTP and Pools are required")
+	if cfg.RLS == nil || cfg.TC == nil || cfg.GridFTP == nil {
+		return nil, errors.New("webservice: RLS, TC and GridFTP are required")
+	}
+	if cfg.Fabric == nil {
+		if len(cfg.Pools) == 0 {
+			return nil, errors.New("webservice: Pools (or a Fabric) are required")
+		}
+		// Private permissive fabric: no quotas, no queue bounds — exactly
+		// the single-tenant prototype, so every admission grants instantly.
+		f, err := fabric.New(fabric.Config{Pools: cfg.Pools})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Fabric = f
+	}
+	if len(cfg.Pools) == 0 {
+		cfg.Pools = cfg.Fabric.Pools()
 	}
 	if cfg.CacheSite == "" {
 		cfg.CacheSite = "isi"
@@ -327,25 +372,80 @@ func New(cfg Config) (*Service, error) {
 	return svc, nil
 }
 
+// DefaultTenant is the accounting principal of requests that carry no
+// tenant — the single-tenant prototype's implicit user.
+const DefaultTenant = "default"
+
+// RequestOptions identify the principal a workflow is admitted, scheduled
+// and accounted as on the fabric.
+type RequestOptions struct {
+	// Tenant names the accounting principal ("" = DefaultTenant).
+	Tenant string
+	// Priority is the fabric scheduling class (higher runs first).
+	Priority int
+}
+
+func (o RequestOptions) tenant() string {
+	if o.Tenant == "" {
+		return DefaultTenant
+	}
+	return o.Tenant
+}
+
 // Submit registers a new request and starts the computation in the
 // background, returning the request ID the status URL embeds. The request
 // can be stopped mid-flight with Cancel, which aborts the workflow at the
 // next scheduler step and journals a clean abort record.
 func (s *Service) Submit(tab *votable.Table, cluster string) (string, error) {
+	return s.SubmitFor(tab, cluster, RequestOptions{})
+}
+
+// SubmitFor is Submit on behalf of a tenant. The fabric's admission
+// decision happens here, synchronously: a granted or queued request
+// returns an ID to poll; an over-quota request is shed with a
+// fabric.ShedError (mapped to 429/503 + Retry-After by the HTTP layer)
+// and never occupies service state. Canceling a queued request dequeues
+// it before it ever runs.
+func (s *Service) SubmitFor(tab *votable.Table, cluster string, opt RequestOptions) (string, error) {
 	if err := validateInput(tab); err != nil {
+		return "", err
+	}
+	ticket, err := s.cfg.Fabric.Admit(opt.tenant(), opt.Priority)
+	if err != nil {
 		return "", err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("req-%06d", s.nextID)
-	st := &Status{ID: id, Cluster: cluster, State: StateRunning, Message: "accepted"}
+	st := &Status{ID: id, Cluster: cluster, Tenant: opt.tenant(),
+		State: StateQueued, Message: "queued for fair-share scheduling"}
+	if ticket.Granted() {
+		st.State = StateRunning
+		st.Message = "accepted"
+	}
 	s.requests[id] = st
 	s.cancels[id] = cancel
 	s.mu.Unlock()
 
 	go func() {
-		out, stats, err := s.ComputeWithContext(ctx, tab, cluster, func(done, total int) {
+		lease, werr := ticket.Wait(ctx)
+		if werr != nil {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			delete(s.cancels, id)
+			cancel()
+			st.State = StateFailed
+			st.Message = "canceled while queued: " + werr.Error()
+			return
+		}
+		s.mu.Lock()
+		if st.State == StateQueued {
+			st.State = StateRunning
+			st.Message = "running"
+		}
+		s.mu.Unlock()
+		out, stats, err := s.computeGranted(ctx, lease, tab, cluster, opt, func(done, total int) {
 			s.mu.Lock()
 			st.JobsDone = done
 			st.JobsTotal = total
@@ -404,6 +504,14 @@ func (s *Service) Pools() []string {
 	return out
 }
 
+// Fabric returns the execution fabric the service admits and schedules
+// workflows on.
+func (s *Service) Fabric() *fabric.Fabric { return s.cfg.Fabric }
+
+// Fleet returns the fabric's fleet-wide and per-tenant admission,
+// shedding and fair-share counters.
+func (s *Service) Fleet() fabric.FleetSnapshot { return s.cfg.Fabric.Snapshot() }
+
 // Status returns a snapshot of a request's state.
 func (s *Service) Status(id string) (Status, error) {
 	s.mu.Lock()
@@ -449,18 +557,41 @@ func (s *Service) ComputeWithProgress(tab *votable.Table, cluster string,
 	return s.ComputeWithContext(context.Background(), tab, cluster, onProgress)
 }
 
-// Per-cluster recovery artifacts under JournalDir.
-func (s *Service) journalPath(cluster string) string {
-	return filepath.Join(s.cfg.JournalDir, cluster+".journal")
+// wfScope names one workflow for journal-record stamping: the scope every
+// record of the run carries and a resume must present.
+func wfScope(tenant, cluster string) string { return tenant + "/" + cluster }
+
+// wfBase is the on-disk artifact basename of one workflow. The default
+// tenant keeps the historic bare-cluster names, so journals written before
+// multi-tenancy resume unchanged; other tenants get namespaced files so
+// two tenants computing the same cluster name cannot collide on disk.
+func wfBase(tenant, cluster string) string {
+	if tenant == DefaultTenant {
+		return cluster
+	}
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			return r
+		}
+		return '_'
+	}, tenant)
+	return safe + "__" + cluster
 }
-func (s *Service) dagPath(cluster string) string {
-	return filepath.Join(s.cfg.JournalDir, cluster+".dag")
+
+// Per-workflow recovery artifacts under JournalDir.
+func (s *Service) journalPath(tenant, cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, wfBase(tenant, cluster)+".journal")
 }
-func (s *Service) vdlPath(cluster string) string {
-	return filepath.Join(s.cfg.JournalDir, cluster+".vdl")
+func (s *Service) dagPath(tenant, cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, wfBase(tenant, cluster)+".dag")
 }
-func (s *Service) rescuePath(cluster string) string {
-	return filepath.Join(s.cfg.JournalDir, cluster+".rescue.dag")
+func (s *Service) vdlPath(tenant, cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, wfBase(tenant, cluster)+".vdl")
+}
+func (s *Service) rescuePath(tenant, cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, wfBase(tenant, cluster)+".rescue.dag")
 }
 
 // ComputeWithContext is ComputeWithProgress under a cancellation context:
@@ -468,11 +599,40 @@ func (s *Service) rescuePath(cluster string) string {
 // journaling a clean "aborted" record so a later Resume picks up exactly
 // where the run stopped.
 func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cluster string,
-	onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
+	onProgress func(done, total int)) (string, RunStats, error) {
+	return s.ComputeFor(ctx, tab, cluster, RequestOptions{}, onProgress)
+}
+
+// ComputeFor is ComputeWithContext on behalf of a tenant: the workflow is
+// admitted to the fabric (an over-quota admission returns the
+// fabric.ShedError without queueing), waits under ctx for its fair-share
+// slot, and executes under the granted lease. Canceling ctx while queued
+// dequeues the workflow before it runs.
+func (s *Service) ComputeFor(ctx context.Context, tab *votable.Table, cluster string,
+	opt RequestOptions, onProgress func(done, total int)) (string, RunStats, error) {
 	var stats RunStats
 	if err := validateInput(tab); err != nil {
 		return "", stats, err
 	}
+	ticket, err := s.cfg.Fabric.Admit(opt.tenant(), opt.Priority)
+	if err != nil {
+		return "", stats, err
+	}
+	lease, err := ticket.Wait(ctx)
+	if err != nil {
+		return "", stats, fmt.Errorf("webservice: canceled while queued: %w", err)
+	}
+	return s.computeGranted(ctx, lease, tab, cluster, opt, onProgress)
+}
+
+// computeGranted runs the full §4.3 pipeline under a granted fabric lease.
+// However it exits, the lease is released and the workflow's model-time
+// makespan is charged to the tenant's fair-share account.
+func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *votable.Table,
+	cluster string, opt RequestOptions, onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
+	var stats RunStats
+	defer func() { lease.Done(stats.Makespan, retErr != nil) }()
+	tenant := opt.tenant()
 	if s.cfg.Proxy != nil {
 		proxy, err := s.cfg.Proxy()
 		if err != nil {
@@ -550,6 +710,7 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 	opts := dagman.Options{
 		MaxRetries:  s.cfg.MaxRetries,
 		ClusterSize: s.cfg.ClusterSize,
+		MaxInFlight: lease.MaxRunningJobs(),
 		Check:       func() error { return ctx.Err() },
 	}
 	if s.cfg.RetryPolicy != nil {
@@ -565,13 +726,13 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 		if err := os.MkdirAll(s.cfg.JournalDir, 0o755); err != nil {
 			return "", stats, err
 		}
-		if err := os.WriteFile(s.vdlPath(cluster), []byte(vdlText), 0o644); err != nil {
+		if err := os.WriteFile(s.vdlPath(tenant, cluster), []byte(vdlText), 0o644); err != nil {
 			return "", stats, err
 		}
-		if err := dagman.WriteDAGFile(s.dagPath(cluster), plan.Concrete, nil); err != nil {
+		if err := dagman.WriteDAGFile(s.dagPath(tenant, cluster), plan.Concrete, nil); err != nil {
 			return "", stats, err
 		}
-		jw, err = journal.Create(s.journalPath(cluster))
+		jw, err = journal.CreateScoped(s.journalPath(tenant, cluster), wfScope(tenant, cluster))
 		if err != nil {
 			return "", stats, err
 		}
@@ -612,7 +773,8 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 			}
 		}
 	}
-	rep, err := dagman.ExecuteWithRescue(plan.Concrete, runner, s.newSim, opts, s.cfg.RescueRounds)
+	rep, err := dagman.ExecuteWithRescue(plan.Concrete, runner,
+		s.simFactory(lease, tenant, cluster), opts, s.cfg.RescueRounds)
 	if err != nil {
 		return "", stats, err
 	}
@@ -624,7 +786,7 @@ func (s *Service) ComputeWithContext(ctx context.Context, tab *votable.Table, cl
 		if jw != nil {
 			// Serialize the rescue DAG — the classic on-disk artifact naming
 			// exactly the nodes a resubmission must run.
-			if rerr := dagman.WriteRescueFile(s.rescuePath(cluster), plan.Concrete, rep); rerr != nil {
+			if rerr := dagman.WriteRescueFile(s.rescuePath(tenant, cluster), plan.Concrete, rep); rerr != nil {
 				return "", stats, rerr
 			}
 		}
@@ -651,19 +813,45 @@ func (s *Service) Resume(cluster string) (string, RunStats, error) {
 // ResumeWithContext is Resume under a cancellation context and an optional
 // progress callback (restored nodes count as already done).
 func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
-	onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
+	onProgress func(done, total int)) (string, RunStats, error) {
+	return s.ResumeFor(ctx, cluster, RequestOptions{}, onProgress)
+}
+
+// ResumeFor is ResumeWithContext on behalf of a tenant. A resumed
+// workflow consumes fabric capacity like a fresh one, so it passes
+// admission and fair-share scheduling first; its journal must carry the
+// resuming workflow's scope — resuming one tenant's journal as another
+// fails with journal.ErrScope instead of bleeding state across workflows.
+func (s *Service) ResumeFor(ctx context.Context, cluster string, opt RequestOptions,
+	onProgress func(done, total int)) (string, RunStats, error) {
 	var stats RunStats
 	if s.cfg.JournalDir == "" {
 		return "", stats, errors.New("webservice: resume requires JournalDir")
 	}
+	ticket, err := s.cfg.Fabric.Admit(opt.tenant(), opt.Priority)
+	if err != nil {
+		return "", stats, err
+	}
+	lease, err := ticket.Wait(ctx)
+	if err != nil {
+		return "", stats, fmt.Errorf("webservice: canceled while queued: %w", err)
+	}
+	return s.resumeGranted(ctx, lease, cluster, opt, onProgress)
+}
+
+func (s *Service) resumeGranted(ctx context.Context, lease *fabric.Lease, cluster string,
+	opt RequestOptions, onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
+	var stats RunStats
+	defer func() { lease.Done(stats.Makespan, retErr != nil) }()
+	tenant := opt.tenant()
 	outLFN := outputLFN(cluster)
 
 	// Reload the exact planned graph and the catalog behind its derivations.
-	g, _, err := dagman.ReadDAGFile(s.dagPath(cluster))
+	g, _, err := dagman.ReadDAGFile(s.dagPath(tenant, cluster))
 	if err != nil {
 		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
 	}
-	vdlText, err := os.ReadFile(s.vdlPath(cluster))
+	vdlText, err := os.ReadFile(s.vdlPath(tenant, cluster))
 	if err != nil {
 		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
 	}
@@ -674,7 +862,7 @@ func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
 
 	// Reopen the journal: its intact prefix is the authoritative history (a
 	// torn final line is the crash signature and is discarded by CRC check).
-	jw, recs, err := journal.OpenAppend(s.journalPath(cluster))
+	jw, recs, err := journal.OpenAppendScoped(s.journalPath(tenant, cluster), wfScope(tenant, cluster))
 	if err != nil {
 		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
 	}
@@ -695,6 +883,7 @@ func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
 	opts := dagman.Options{
 		MaxRetries:  s.cfg.MaxRetries,
 		ClusterSize: s.cfg.ClusterSize,
+		MaxInFlight: lease.MaxRunningJobs(),
 		Completed:   done,
 		Check:       func() error { return ctx.Err() },
 		Journal:     journal.Sink(jw),
@@ -721,7 +910,8 @@ func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
 			}
 		}
 	}
-	rep, err := dagman.ExecuteWithRescue(g, runner, s.newSim, opts, s.cfg.RescueRounds)
+	rep, err := dagman.ExecuteWithRescue(g, runner,
+		s.simFactory(lease, tenant, cluster), opts, s.cfg.RescueRounds)
 	if err != nil {
 		return "", stats, err
 	}
@@ -731,7 +921,7 @@ func (s *Service) ResumeWithContext(ctx context.Context, cluster string,
 	stats.ClusteredTasks = rep.ClusteredTasks
 	stats.ClusteredNodes = rep.ClusteredNodes
 	if !rep.Succeeded() {
-		if rerr := dagman.WriteRescueFile(s.rescuePath(cluster), g, rep); rerr != nil {
+		if rerr := dagman.WriteRescueFile(s.rescuePath(tenant, cluster), g, rep); rerr != nil {
 			return "", stats, rerr
 		}
 		return "", stats, fmt.Errorf("webservice: resumed workflow failed: %d failed, %d unrun", rep.Failed, rep.Unrun)
