@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint chaos bench emit-bench recovery fuzz tenants verify
+.PHONY: build test vet lint chaos bench emit-bench recovery fuzz tenants survey verify
 
 build:
 	$(GO) build ./...
@@ -59,13 +59,21 @@ tenants:
 	$(GO) test -race -run 'TestDeterministicSheddingUnderOverload|TestFabricKillResumeNoJournalBleed|TestCancelIsolationAcrossWorkflows|TestQueuedStatusAndCancelWhileQueued' -v ./internal/webservice/
 	$(GO) test -race ./internal/fabric/
 
+# The survey-scale smoke, race-enabled: a 1000-galaxy request in wave mode
+# must be byte-identical to the monolithic path with the scheduler's live
+# graph bounded by the wave size, plus the wave-mode kill/resume sweep.
+survey:
+	$(GO) test -race -run 'TestSurveyWave' -v .
+	$(GO) test -race -run 'TestWaveComputeByteIdentical|TestWaveKillAndResume' -v ./internal/webservice/
+
 # Full verification gate: vet, build, the nvolint invariants, the
 # race-enabled suite, the chaos campaign under the race detector,
-# journal-replay idempotence, the multi-tenant fabric campaign, and the
-# codec fuzz smoke.
+# journal-replay idempotence, the multi-tenant fabric campaign, the
+# survey-scale streaming smoke, and the codec fuzz smoke.
 verify: vet build lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) recovery
 	$(MAKE) tenants
+	$(MAKE) survey
 	$(MAKE) fuzz

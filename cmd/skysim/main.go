@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/catalog"
 	"repro/internal/fits"
 	"repro/internal/skysim"
 	"repro/internal/votable"
@@ -44,8 +45,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Stream the catalog row by row: survey-scale clusters never hold a
+	// full VOTable (or a second copy of the record slice) in memory.
 	cat := cl.Catalog()
-	if err := votable.WriteTable(f, cat.ToVOTable(cat.All())); err != nil {
+	enc := votable.NewEncoder(f)
+	if err := enc.BeginDocument(""); err != nil {
+		fatal(err)
+	}
+	if err := enc.BeginResource(cat.Name()); err != nil {
+		fatal(err)
+	}
+	if err := enc.BeginTable(cat.TableMeta()); err != nil {
+		fatal(err)
+	}
+	var row []string
+	cat.Visit(func(r catalog.Record) bool {
+		row = cat.AppendRowCells(row[:0], r)
+		return enc.Row(row) == nil
+	})
+	if err := enc.EndTable(); err != nil {
+		fatal(err)
+	}
+	if err := enc.EndResource(); err != nil {
+		fatal(err)
+	}
+	if err := enc.End(); err != nil {
 		fatal(err)
 	}
 	f.Close()

@@ -68,6 +68,11 @@ func (c *Catalog) Name() string { return c.name }
 // Columns returns the exported property column names.
 func (c *Catalog) Columns() []string { return append([]string(nil), c.cols...) }
 
+// AppendColumns appends the exported property column names to dst and
+// returns the extended slice — the allocation-free variant of Columns for
+// hot paths that already hold a scratch slice.
+func (c *Catalog) AppendColumns(dst []string) []string { return append(dst, c.cols...) }
+
 // Len returns the number of records.
 func (c *Catalog) Len() int {
 	c.mu.RLock()
@@ -115,28 +120,28 @@ func (c *Catalog) Get(id string) (Record, bool) {
 	return c.recs[i], true
 }
 
-// ConeSearch returns all records within radiusDeg of center, sorted by
-// increasing angular separation (ties broken by ID for determinism).
-func (c *Catalog) ConeSearch(center wcs.SkyCoord, radiusDeg float64) []Record {
+// hit is an index into recs plus its angular separation from a search
+// center — the unit the cone-search index works in so sorting and paging
+// never copy Records around.
+type hit struct {
+	idx int
+	sep float64
+}
+
+// coneHits returns the sorted hit list for a cone. Callers must hold at
+// least a read lock.
+func (c *Catalog) coneHits(center wcs.SkyCoord, radiusDeg float64) []hit {
 	if radiusDeg < 0 {
 		return nil
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-
 	loBand := bandOf(center.Dec - radiusDeg)
 	hiBand := bandOf(center.Dec + radiusDeg)
 
-	type hit struct {
-		rec Record
-		sep float64
-	}
 	var hits []hit
 	for b := loBand; b <= hiBand; b++ {
 		for _, i := range c.bands[b] {
-			rec := c.recs[i]
-			if sep := center.Separation(rec.Pos); sep <= radiusDeg {
-				hits = append(hits, hit{rec, sep})
+			if sep := center.Separation(c.recs[i].Pos); sep <= radiusDeg {
+				hits = append(hits, hit{i, sep})
 			}
 		}
 	}
@@ -144,13 +149,65 @@ func (c *Catalog) ConeSearch(center wcs.SkyCoord, radiusDeg float64) []Record {
 		if hits[i].sep != hits[j].sep {
 			return hits[i].sep < hits[j].sep
 		}
-		return hits[i].rec.ID < hits[j].rec.ID
+		return c.recs[hits[i].idx].ID < c.recs[hits[j].idx].ID
 	})
+	return hits
+}
+
+// ConeSearch returns all records within radiusDeg of center, sorted by
+// increasing angular separation (ties broken by ID for determinism).
+func (c *Catalog) ConeSearch(center wcs.SkyCoord, radiusDeg float64) []Record {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	hits := c.coneHits(center, radiusDeg)
+	if len(hits) == 0 {
+		return nil
+	}
 	out := make([]Record, len(hits))
 	for i, h := range hits {
-		out[i] = h.rec
+		out[i] = c.recs[h.idx]
 	}
 	return out
+}
+
+// ConeSearchVisit streams the cone-search hits in the same deterministic
+// (separation, ID) order as ConeSearch without materializing the record
+// slice; iteration stops early when fn returns false. fn must not mutate
+// the catalog (the read lock is held across calls).
+func (c *Catalog) ConeSearchVisit(center wcs.SkyCoord, radiusDeg float64, fn func(rec Record, sepDeg float64) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, h := range c.coneHits(center, radiusDeg) {
+		if !fn(c.recs[h.idx], h.sep) {
+			return
+		}
+	}
+}
+
+// ConeSearchPage returns the [offset, offset+limit) slice of the full
+// sorted cone-search hit list plus the total hit count, so paged services
+// can bound each response while keeping the global deterministic order. A
+// negative limit means "to the end".
+func (c *Catalog) ConeSearchPage(center wcs.SkyCoord, radiusDeg float64, offset, limit int) ([]Record, int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	hits := c.coneHits(center, radiusDeg)
+	total := len(hits)
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= total {
+		return nil, total
+	}
+	end := total
+	if limit >= 0 && offset+limit < end {
+		end = offset + limit
+	}
+	out := make([]Record, 0, end-offset)
+	for _, h := range hits[offset:end] {
+		out = append(out, c.recs[h.idx])
+	}
+	return out, total
 }
 
 // All returns every record in insertion order.
@@ -160,6 +217,19 @@ func (c *Catalog) All() []Record {
 	return append([]Record(nil), c.recs...)
 }
 
+// Visit calls fn for every record in insertion order, stopping early when
+// fn returns false. It is the copy-free alternative to All; fn must not
+// mutate the catalog (the read lock is held across calls).
+func (c *Catalog) Visit(fn func(Record) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, r := range c.recs {
+		if !fn(r) {
+			return
+		}
+	}
+}
+
 // standard field declarations for exported tables.
 var baseFields = []votable.Field{
 	{Name: "id", Datatype: votable.TypeChar, UCD: "meta.id;meta.main"},
@@ -167,21 +237,36 @@ var baseFields = []votable.Field{
 	{Name: "dec", Datatype: votable.TypeDouble, Unit: "deg", UCD: "pos.eq.dec"},
 }
 
-// ToVOTable renders records as a VOTable with columns id, ra, dec followed by
-// the catalog's property columns.
-func (c *Catalog) ToVOTable(recs []Record) *votable.Table {
+// TableMeta returns the VOTable metadata ToVOTable would emit — the field
+// declarations a streaming producer hands to a votable.Encoder before
+// streaming rows built with AppendRowCells.
+func (c *Catalog) TableMeta() votable.TableMeta {
 	fields := append([]votable.Field(nil), baseFields...)
 	for _, col := range c.cols {
 		fields = append(fields, votable.Field{Name: col, Datatype: votable.TypeChar})
 	}
-	t := votable.NewTable(c.name, fields...)
+	return votable.TableMeta{Name: c.name, Fields: fields}
+}
+
+// AppendRowCells appends rec's exported cells (id, ra, dec, then the
+// property columns) to dst and returns the extended slice, so streaming
+// producers can reuse one scratch row across a whole survey.
+func (c *Catalog) AppendRowCells(dst []string, r Record) []string {
+	dst = append(dst, r.ID, formatDeg(r.Pos.RA), formatDeg(r.Pos.Dec))
+	for _, col := range c.cols {
+		dst = append(dst, r.Props[col])
+	}
+	return dst
+}
+
+// ToVOTable renders records as a VOTable with columns id, ra, dec followed by
+// the catalog's property columns.
+func (c *Catalog) ToVOTable(recs []Record) *votable.Table {
+	meta := c.TableMeta()
+	t := votable.NewTable(c.name, meta.Fields...)
 	for _, r := range recs {
-		row := []string{r.ID, formatDeg(r.Pos.RA), formatDeg(r.Pos.Dec)}
-		for _, col := range c.cols {
-			row = append(row, r.Props[col])
-		}
 		// Row width is fields by construction; ignore the impossible error.
-		_ = t.AppendRow(row...)
+		_ = t.AppendRow(c.AppendRowCells(nil, r)...)
 	}
 	return t
 }

@@ -114,6 +114,15 @@ type Config struct {
 	// TransferSlots gives every pool that many dedicated data-movement
 	// slots so stage-ins overlap computation.
 	TransferSlots int
+	// WaveSize, when > 0, switches the compute service to survey-scale wave
+	// execution: images are staged, planned and executed in waves of at most
+	// this many galaxies, bounding peak memory by the wave rather than the
+	// request. Output bytes are identical to the monolithic path.
+	WaveSize int
+	// PageSize, when > 0, makes the portal consume the archives' cone-search
+	// and SIA endpoints in pages of this many rows instead of one unbounded
+	// response per archive.
+	PageSize int
 }
 
 // Testbed is the fully wired end-to-end system.
@@ -248,6 +257,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		ClusterSize:   cfg.ClusterSize,
 		SchedOverhead: cfg.SchedOverhead,
 		TransferSlots: cfg.TransferSlots,
+		WaveSize:      cfg.WaveSize,
 	}
 	if cfg.LocalityPlanning {
 		wsCfg.Selection = pegasus.SelectLocality
@@ -322,6 +332,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		}
 		pCfg.CacheImageSearch = cfg.CacheImageSearch
 		pCfg.MaxParallelQueries = cfg.MaxParallelQueries
+		pCfg.PageSize = cfg.PageSize
 		if cfg.Resilience {
 			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}
 			pCfg.Breakers = tb.Breakers
@@ -346,6 +357,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			HTTPClient:         tb.Client,
 			CacheImageSearch:   cfg.CacheImageSearch,
 			MaxParallelQueries: cfg.MaxParallelQueries,
+			PageSize:           cfg.PageSize,
 		}
 		if cfg.Resilience {
 			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}

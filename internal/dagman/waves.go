@@ -1,0 +1,105 @@
+package dagman
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/condor"
+	"repro/internal/dag"
+)
+
+// WaveStats aggregates execution across sequentially released waves. Unlike
+// Report it carries no per-node results map — the whole point of wave
+// execution is that scheduler state stays bounded by the largest single wave,
+// not by the request.
+type WaveStats struct {
+	// Waves counts the graphs the source yielded (empty ones included).
+	Waves int
+	// Nodes counts concrete nodes across all waves.
+	Nodes int
+	// MaxWaveNodes is the largest single wave released to the scheduler —
+	// the executor's peak live-graph footprint, the quantity the bounded-
+	// memory design caps.
+	MaxWaveNodes int
+
+	Done     int
+	Failed   int
+	Unrun    int
+	Restored int
+
+	Makespan       time.Duration
+	ScheduleEvents int
+	ClusteredTasks int
+	ClusteredNodes int
+}
+
+// WaveError reports a wave whose workflow failed permanently (after retries
+// and rescue rounds), carrying the wave's graph and report so the caller can
+// serialize a rescue DAG for exactly the nodes a resubmission must run.
+type WaveError struct {
+	Wave   int
+	Graph  *dag.Graph
+	Report *Report
+}
+
+func (e *WaveError) Error() string {
+	return fmt.Sprintf("dagman: wave %d failed permanently: %d failed, %d unrun",
+		e.Wave, e.Report.Failed, e.Report.Unrun)
+}
+
+// ExecuteWaves runs a sequence of bounded workflow waves back to back: next
+// is called with 0, 1, 2, ... and returns each wave's concrete graph, or nil
+// when the sequence is exhausted. Each wave executes to completion (with
+// per-wave rescue rounds) before the next is even planned, so at most one
+// wave's graph, report and scheduler state are live at a time — next can
+// plan lazily and release memory behind itself.
+//
+// The Options are shared across waves: the same journal sink receives every
+// wave's records in order, and Options.Completed restores finished nodes in
+// whichever wave they reappear (IDs absent from a wave's graph are ignored,
+// which is what makes one flat completed-set from a crashed run's journal
+// safe to apply to every wave of the resumed run). Counters aggregate across
+// waves; per-node Results are discarded wave by wave.
+//
+// A permanent wave failure stops the sequence with a *WaveError wrapping the
+// failed wave's graph and report. Hard executor errors (an abort, a journal
+// crash) propagate wrapped with the wave index, preserving errors.Is.
+func ExecuteWaves(next func(wave int) (*dag.Graph, error), runner Runner,
+	newSim func() (*condor.Simulator, error), opt Options, maxRounds int) (*WaveStats, error) {
+	if next == nil || runner == nil || newSim == nil {
+		return nil, ErrNilInput
+	}
+	ws := &WaveStats{}
+	for w := 0; ; w++ {
+		g, err := next(w)
+		if err != nil {
+			return ws, fmt.Errorf("dagman: planning wave %d: %w", w, err)
+		}
+		if g == nil {
+			return ws, nil
+		}
+		ws.Waves++
+		ws.Nodes += g.Len()
+		if g.Len() > ws.MaxWaveNodes {
+			ws.MaxWaveNodes = g.Len()
+		}
+		if g.Len() == 0 {
+			continue // fully reduced away (e.g. a resumed wave already done)
+		}
+		rep, err := ExecuteWithRescue(g, runner, newSim, opt, maxRounds)
+		if err != nil {
+			return ws, fmt.Errorf("dagman: wave %d: %w", w, err)
+		}
+		ws.Done += rep.Done
+		ws.Failed += rep.Failed
+		ws.Unrun += rep.Unrun
+		ws.Restored += rep.Restored
+		ws.Makespan += rep.Makespan
+		ws.ScheduleEvents += rep.ScheduleEvents
+		ws.ClusteredTasks += rep.ClusteredTasks
+		ws.ClusteredNodes += rep.ClusteredNodes
+		if !rep.Succeeded() {
+			return ws, &WaveError{Wave: w, Graph: g, Report: rep}
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package fits
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
@@ -406,39 +407,56 @@ func formatFloat(v float64) string {
 
 // writeData emits the big-endian data array with BSCALE/BZERO applied
 // inversely (physical = BZERO + BSCALE*stored, so stored = (physical-BZERO)/BSCALE).
+// Pixels are encoded one 2880-byte logical record at a time — every legal
+// pixel width divides BlockSize, so no pixel straddles a record — keeping
+// the encoder's memory constant regardless of image size.
 func writeData(w io.Writer, im *Image) error {
 	bscale := im.Header.Float("BSCALE", 1)
 	bzero := im.Header.Float("BZERO", 0)
 	if bscale == 0 {
 		return fmt.Errorf("%w: BSCALE = 0", ErrBadHeader)
 	}
+	switch im.Bitpix {
+	case 8, 16, 32, -32, -64:
+	default:
+		return fmt.Errorf("%w: BITPIX %d", ErrUnsupported, im.Bitpix)
+	}
 
 	bytesPerPix := abs(im.Bitpix) / 8
-	n := im.Nx * im.Ny
-	buf := make([]byte, n*bytesPerPix)
-	for i, phys := range im.Data {
+	block := make([]byte, BlockSize)
+	fill := 0
+	for _, phys := range im.Data {
 		stored := (phys - bzero) / bscale
-		off := i * bytesPerPix
 		switch im.Bitpix {
 		case 8:
-			buf[off] = uint8(clampRound(stored, 0, 255))
+			block[fill] = uint8(clampRound(stored, 0, 255))
 		case 16:
-			binary.BigEndian.PutUint16(buf[off:], uint16(int16(clampRound(stored, math.MinInt16, math.MaxInt16))))
+			binary.BigEndian.PutUint16(block[fill:], uint16(int16(clampRound(stored, math.MinInt16, math.MaxInt16))))
 		case 32:
-			binary.BigEndian.PutUint32(buf[off:], uint32(int32(clampRound(stored, math.MinInt32, math.MaxInt32))))
+			binary.BigEndian.PutUint32(block[fill:], uint32(int32(clampRound(stored, math.MinInt32, math.MaxInt32))))
 		case -32:
-			binary.BigEndian.PutUint32(buf[off:], math.Float32bits(float32(stored)))
+			binary.BigEndian.PutUint32(block[fill:], math.Float32bits(float32(stored)))
 		case -64:
-			binary.BigEndian.PutUint64(buf[off:], math.Float64bits(stored))
-		default:
-			return fmt.Errorf("%w: BITPIX %d", ErrUnsupported, im.Bitpix)
+			binary.BigEndian.PutUint64(block[fill:], math.Float64bits(stored))
+		}
+		fill += bytesPerPix
+		if fill == BlockSize {
+			if _, err := w.Write(block); err != nil {
+				return err
+			}
+			fill = 0
 		}
 	}
-	if rem := len(buf) % BlockSize; rem != 0 {
-		buf = append(buf, make([]byte, BlockSize-rem)...)
+	if fill > 0 {
+		// Zero-pad the final partial record.
+		for i := fill; i < BlockSize; i++ {
+			block[i] = 0
+		}
+		if _, err := w.Write(block); err != nil {
+			return err
+		}
 	}
-	_, err := w.Write(buf)
-	return err
+	return nil
 }
 
 func clampRound(v, lo, hi float64) int64 {
@@ -462,22 +480,98 @@ func abs(v int) int {
 // SplitStream cuts a concatenation of FITS files into the raw byte segments
 // of its constituents, using the format's self-delimiting 2880-byte record
 // structure. Each returned segment decodes independently. Batched image
-// services deliver many cutouts as one such stream.
+// services deliver many cutouts as one such stream. Segments are delimited
+// by walking headers only — the geometry keywords give each data array's
+// extent — so splitting never decodes a pixel.
 func SplitStream(data []byte) ([][]byte, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("%w: empty stream", ErrShortData)
 	}
 	var out [][]byte
-	r := bytes.NewReader(data)
-	for r.Len() > 0 {
-		start := len(data) - r.Len()
-		if _, err := Decode(r); err != nil {
+	offset := 0
+	for offset < len(data) {
+		n, err := segmentLen(data[offset:])
+		if err != nil {
 			return nil, fmt.Errorf("fits: stream segment %d: %w", len(out), err)
 		}
-		end := len(data) - r.Len()
-		out = append(out, data[start:end])
+		out = append(out, data[offset:offset+n])
+		offset += n
 	}
 	return out, nil
+}
+
+// segmentLen measures the first FITS file in rest, running exactly the
+// validation Decode would so malformed streams fail with the same errors.
+// A truncated trailing padding record is tolerated, like Decode's lenient
+// padding read.
+func segmentLen(rest []byte) (int, error) {
+	r := bytes.NewReader(rest)
+	h, err := readHeader(r)
+	if err != nil {
+		return 0, err
+	}
+	if !h.Bool("SIMPLE", false) {
+		return 0, ErrNotFITS
+	}
+	naxis := h.Int("NAXIS", 0)
+	if naxis != 2 {
+		return 0, fmt.Errorf("%w: NAXIS=%d (only 2-D images supported)", ErrUnsupported, naxis)
+	}
+	nx := int(h.Int("NAXIS1", 0))
+	ny := int(h.Int("NAXIS2", 0))
+	bitpix := int(h.Int("BITPIX", 0))
+	if nx <= 0 || ny <= 0 {
+		return 0, fmt.Errorf("%w: NAXIS1=%d NAXIS2=%d", ErrBadHeader, nx, ny)
+	}
+	switch bitpix {
+	case 8, 16, 32, -32, -64:
+	default:
+		return 0, fmt.Errorf("%w: BITPIX %d", ErrUnsupported, bitpix)
+	}
+	headerLen := len(rest) - r.Len()
+	dataLen := nx * ny * (abs(bitpix) / 8)
+	padded := ((dataLen + BlockSize - 1) / BlockSize) * BlockSize
+	if avail := len(rest) - headerLen; avail < dataLen {
+		cause := io.ErrUnexpectedEOF
+		if avail == 0 {
+			cause = io.EOF
+		}
+		return 0, fmt.Errorf("%w: %v", ErrShortData, cause)
+	}
+	end := headerLen + padded
+	if end > len(rest) {
+		end = len(rest)
+	}
+	return end, nil
+}
+
+// DecodeStream decodes a concatenation of FITS files from r, calling fn
+// with each image in stream order — the incremental counterpart of
+// SplitStream+Decode that never buffers the stream. fn errors abort the
+// scan and are returned verbatim.
+func DecodeStream(r io.Reader, fn func(index int, im *Image) error) error {
+	br := bufio.NewReaderSize(r, BlockSize)
+	if _, err := br.Peek(1); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("%w: empty stream", ErrShortData)
+		}
+		return err
+	}
+	for i := 0; ; i++ {
+		im, err := Decode(br)
+		if err != nil {
+			return fmt.Errorf("fits: stream segment %d: %w", i, err)
+		}
+		if err := fn(i, im); err != nil {
+			return err
+		}
+		if _, err := br.Peek(1); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
 }
 
 // DecodeHeader reads only the header of a FITS file — the cheap metadata
@@ -522,33 +616,51 @@ func Decode(r io.Reader) (*Image, error) {
 	n := nx * ny
 	dataLen := n * bytesPerPix
 	padded := ((dataLen + BlockSize - 1) / BlockSize) * BlockSize
-	buf := make([]byte, padded)
-	if _, err := io.ReadFull(r, buf[:dataLen]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrShortData, err)
-	}
-	// Trailing padding may be absent in lenient writers; ignore errors here.
-	_, _ = io.ReadFull(r, buf[dataLen:])
 
 	bscale := h.Float("BSCALE", 1)
 	bzero := h.Float("BZERO", 0)
 
+	// Read the data array one 2880-byte logical record at a time — every
+	// legal pixel width divides BlockSize, so no pixel straddles a record —
+	// instead of materializing the whole (padded) array before decoding.
 	im := &Image{Header: h, Nx: nx, Ny: ny, Bitpix: bitpix, Data: make([]float64, n)}
-	for i := 0; i < n; i++ {
-		off := i * bytesPerPix
-		var stored float64
-		switch bitpix {
-		case 8:
-			stored = float64(buf[off])
-		case 16:
-			stored = float64(int16(binary.BigEndian.Uint16(buf[off:])))
-		case 32:
-			stored = float64(int32(binary.BigEndian.Uint32(buf[off:])))
-		case -32:
-			stored = float64(math.Float32frombits(binary.BigEndian.Uint32(buf[off:])))
-		case -64:
-			stored = math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+	block := make([]byte, BlockSize)
+	i := 0
+	for read := 0; read < dataLen; {
+		chunk := dataLen - read
+		if chunk > BlockSize {
+			chunk = BlockSize
 		}
-		im.Data[i] = bzero + bscale*stored
+		if _, err := io.ReadFull(r, block[:chunk]); err != nil {
+			if err == io.EOF && read > 0 {
+				// The whole-array read reported any mid-array truncation as
+				// an unexpected EOF; keep that contract across record reads.
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("%w: %v", ErrShortData, err)
+		}
+		for off := 0; off < chunk; off += bytesPerPix {
+			var stored float64
+			switch bitpix {
+			case 8:
+				stored = float64(block[off])
+			case 16:
+				stored = float64(int16(binary.BigEndian.Uint16(block[off:])))
+			case 32:
+				stored = float64(int32(binary.BigEndian.Uint32(block[off:])))
+			case -32:
+				stored = float64(math.Float32frombits(binary.BigEndian.Uint32(block[off:])))
+			case -64:
+				stored = math.Float64frombits(binary.BigEndian.Uint64(block[off:]))
+			}
+			im.Data[i] = bzero + bscale*stored
+			i++
+		}
+		read += chunk
+	}
+	// Trailing padding may be absent in lenient writers; ignore errors here.
+	if pad := padded - dataLen; pad > 0 {
+		_, _ = io.ReadFull(r, block[:pad])
 	}
 	return im, nil
 }

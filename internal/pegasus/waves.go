@@ -1,0 +1,294 @@
+package pegasus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/chimera"
+	"repro/internal/dag"
+	"repro/internal/gridftp"
+)
+
+// WaveJob describes one abstract job a WaveSource yields. The ID doubles as
+// the derivation name, exactly as on chimera-composed graphs (where every
+// node's ID is its DV name), so downstream runners dispatch identically on
+// wave-planned and monolithically-planned nodes.
+type WaveJob struct {
+	ID             string
+	Transformation string
+	Inputs         []string
+	Outputs        []string
+}
+
+// WaveSource yields a request's leaf jobs on demand, so a survey-scale
+// request never materializes a per-job list (let alone a per-job DAG node)
+// for the whole workload at once.
+type WaveSource struct {
+	// Jobs is the number of leaf jobs.
+	Jobs int
+	// Job returns the i-th leaf job (0 <= i < Jobs). It is called once per
+	// job per planned wave, in index order.
+	Job func(i int) WaveJob
+	// Collector is the fan-in job consuming the leaves' outputs (the
+	// concatVOT derivation of the morphology workload). A zero ID means the
+	// request has no collector wave.
+	Collector WaveJob
+}
+
+// WavePlanner plans one request as a sequence of bounded concrete workflows
+// ("waves") instead of a single monolithic DAG: each leaf wave covers at most
+// waveSize jobs and is planned with the ordinary Map — RLS reduction, site
+// selection, transfer and registration nodes — while the collector wave is a
+// hand-built single-job plan pinned to a deterministic collector site.
+//
+// Leaf waves deliver and register their outputs at the collector site, so by
+// the time the collector wave is planned every input is a local replica and
+// the collector plan stays O(1) in the request size. Because every wave is
+// reduced against the RLS, replanning a wave after a crash prunes exactly the
+// jobs whose outputs were already registered — resume falls out of the
+// paper's own reduction semantics.
+type WavePlanner struct {
+	src           WaveSource
+	cfg           Config
+	waveSize      int
+	seed          int64
+	collectorSite string
+}
+
+// NewWavePlanner validates the source and picks the collector site: the
+// configured OutputSite when the Transformation Catalog can run the collector
+// there, else the first TC site (sorted) that can — a deterministic choice a
+// resumed run recomputes identically.
+func NewWavePlanner(src WaveSource, cfg Config, waveSize int, seed int64) (*WavePlanner, error) {
+	if cfg.RLS == nil || cfg.TC == nil {
+		return nil, errors.New("pegasus: RLS and TC are required")
+	}
+	if waveSize <= 0 {
+		return nil, fmt.Errorf("pegasus: wave size %d must be positive", waveSize)
+	}
+	if src.Jobs < 0 || (src.Jobs > 0 && src.Job == nil) {
+		return nil, errors.New("pegasus: wave source needs a Job func for its jobs")
+	}
+	p := &WavePlanner{src: src, cfg: cfg, waveSize: waveSize, seed: seed}
+	if src.Collector.ID != "" {
+		entries, err := cfg.TC.Lookup(src.Collector.Transformation)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %q (%v)", ErrNoSite, src.Collector.Transformation, err)
+		}
+		p.collectorSite = entries[0].Site // Lookup sorts by site
+		for _, e := range entries {
+			if e.Site == cfg.OutputSite {
+				p.collectorSite = e.Site
+				break
+			}
+		}
+	}
+	return p, nil
+}
+
+// LeafWaves is the number of bounded leaf waves.
+func (p *WavePlanner) LeafWaves() int {
+	return (p.src.Jobs + p.waveSize - 1) / p.waveSize
+}
+
+// Waves is the total wave count, collector included.
+func (p *WavePlanner) Waves() int {
+	n := p.LeafWaves()
+	if p.src.Collector.ID != "" {
+		n++
+	}
+	return n
+}
+
+// CollectorSite is the site the collector job is pinned to ("" when the
+// source has no collector).
+func (p *WavePlanner) CollectorSite() string { return p.collectorSite }
+
+// WaveBounds returns the [lo, hi) job-index window of one leaf wave.
+func (p *WavePlanner) WaveBounds(wave int) (lo, hi int) {
+	lo = wave * p.waveSize
+	hi = lo + p.waveSize
+	if hi > p.src.Jobs {
+		hi = p.src.Jobs
+	}
+	return lo, hi
+}
+
+// Plan produces the concrete plan of one wave. Leaf waves run through the
+// ordinary Map pipeline; when a collector exists they are planned with the
+// collector site as their output site (with registration forced on), so leaf
+// outputs land where the collector consumes them. The final wave is the
+// hand-built collector plan.
+func (p *WavePlanner) Plan(wave int) (*Plan, error) {
+	leaf := p.LeafWaves()
+	switch {
+	case wave < 0 || wave >= p.Waves():
+		return nil, fmt.Errorf("pegasus: wave %d out of range [0, %d)", wave, p.Waves())
+	case wave < leaf:
+		return p.leafPlan(wave)
+	default:
+		return p.collectorPlan()
+	}
+}
+
+// leafPlan assembles one wave's abstract sub-workflow and maps it. Each wave
+// draws its site-selection randomness from its own (seed, wave) stream, so a
+// wave's plan never depends on how many waves ran before it — the property
+// that lets a resume replan any single wave in isolation.
+func (p *WavePlanner) leafPlan(wave int) (*Plan, error) {
+	lo, hi := p.WaveBounds(wave)
+	g := dag.New()
+	producerOf := map[string]string{}
+	var requested []string
+	jobs := make([]WaveJob, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		j := p.src.Job(i)
+		n := &dag.Node{ID: j.ID, Type: chimera.NodeType}
+		n.SetAttr(chimera.AttrTransformation, j.Transformation)
+		n.SetAttr(chimera.AttrDerivation, j.ID)
+		n.SetAttr(chimera.AttrInputs, strings.Join(j.Inputs, ","))
+		n.SetAttr(chimera.AttrOutputs, strings.Join(j.Outputs, ","))
+		if err := g.AddNode(n); err != nil {
+			return nil, err
+		}
+		for _, out := range j.Outputs {
+			producerOf[out] = j.ID
+			requested = append(requested, out)
+		}
+		jobs = append(jobs, j)
+	}
+	// Intra-wave dependencies (leaf jobs are typically independent, but the
+	// source is free to yield small producer/consumer chains).
+	for _, j := range jobs {
+		for _, in := range j.Inputs {
+			if prod, ok := producerOf[in]; ok && prod != j.ID {
+				if err := g.AddEdge(prod, j.ID); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	wf := &chimera.Workflow{Graph: g, RequestedLFNs: requested}
+	cfg := p.cfg
+	cfg.Rand = rand.New(rand.NewSource(p.seed + int64(wave)))
+	if p.src.Collector.ID != "" {
+		cfg.OutputSite = p.collectorSite
+		cfg.RegisterOutputs = true
+	}
+	return Map(wf, cfg)
+}
+
+// collectorPlan hand-builds the fan-in wave: one compute node at the
+// collector site, stage-ins only for inputs without a local replica (none,
+// when the leaf waves delivered there), and the classic output delivery and
+// registration tail. Map cannot be used here — its site selection could map
+// the collector away from its inputs and plan one stage-in per leaf job,
+// unbounded in the request size.
+func (p *WavePlanner) collectorPlan() (*Plan, error) {
+	job := p.src.Collector
+	cfg := p.cfg
+	site := p.collectorSite
+	exe, err := cfg.TC.LookupSite(job.Transformation, site)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q at %q", ErrNoSite, job.Transformation, site)
+	}
+
+	abstract := dag.New()
+	an := &dag.Node{ID: job.ID, Type: chimera.NodeType}
+	an.SetAttr(chimera.AttrTransformation, job.Transformation)
+	an.SetAttr(chimera.AttrDerivation, job.ID)
+	an.SetAttr(chimera.AttrInputs, strings.Join(job.Inputs, ","))
+	an.SetAttr(chimera.AttrOutputs, strings.Join(job.Outputs, ","))
+	if err := abstract.AddNode(an); err != nil {
+		return nil, err
+	}
+
+	plan := &Plan{Abstract: abstract, Reduced: abstract, SiteOf: map[string]string{job.ID: site}}
+	before := cfg.RLS.RoundTrips()
+	snap := cfg.RLS.BulkLookup(job.Inputs)
+	plan.Replicas = snap
+
+	cw := dag.New()
+	cn := &dag.Node{ID: job.ID, Type: NodeCompute}
+	cn.SetAttr(AttrSite, site)
+	cn.SetAttr(AttrExecutable, exe.Path)
+	cn.SetAttr(chimera.AttrTransformation, job.Transformation)
+	cn.SetAttr(chimera.AttrDerivation, job.ID)
+	cn.SetAttr(chimera.AttrInputs, strings.Join(job.Inputs, ","))
+	cn.SetAttr(chimera.AttrOutputs, strings.Join(job.Outputs, ","))
+	if err := cw.AddNode(cn); err != nil {
+		return nil, err
+	}
+
+	for _, lfn := range job.Inputs {
+		replicas := snap[lfn]
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("%w: %q", ErrInfeasible, lfn)
+		}
+		local := false
+		for _, r := range replicas {
+			if r.Site == site {
+				local = true
+				break
+			}
+		}
+		if local {
+			continue
+		}
+		src := replicas[0] // sorted: deterministic source choice
+		txID := fmt.Sprintf("stagein_%s_to_%s", sanitize(lfn), site)
+		if _, exists := cw.Node(txID); !exists {
+			tn := &dag.Node{ID: txID, Type: NodeTransfer}
+			tn.SetAttr(AttrLFN, lfn)
+			tn.SetAttr(AttrSrcURL, src.URL)
+			tn.SetAttr(AttrDstURL, gridftp.URL(site, lfn))
+			if err := cw.AddNode(tn); err != nil {
+				return nil, err
+			}
+			plan.EstBytesMoved += cfg.sizeOf(lfn)
+		}
+		if err := cw.AddEdge(txID, job.ID); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, lfn := range job.Outputs {
+		finalSite := site
+		lastNode := job.ID
+		if cfg.OutputSite != "" && cfg.OutputSite != site {
+			txID := fmt.Sprintf("stageout_%s_to_%s", sanitize(lfn), cfg.OutputSite)
+			tn := &dag.Node{ID: txID, Type: NodeTransfer}
+			tn.SetAttr(AttrLFN, lfn)
+			tn.SetAttr(AttrSrcURL, gridftp.URL(site, lfn))
+			tn.SetAttr(AttrDstURL, gridftp.URL(cfg.OutputSite, lfn))
+			if err := cw.AddNode(tn); err != nil {
+				return nil, err
+			}
+			if err := cw.AddEdge(job.ID, txID); err != nil {
+				return nil, err
+			}
+			plan.EstBytesMoved += cfg.sizeOf(lfn)
+			finalSite = cfg.OutputSite
+			lastNode = txID
+		}
+		if cfg.RegisterOutputs {
+			regID := "reg_" + sanitize(lfn)
+			rn := &dag.Node{ID: regID, Type: NodeRegister}
+			rn.SetAttr(AttrLFN, lfn)
+			rn.SetAttr(AttrSite, finalSite)
+			rn.SetAttr(AttrPFN, gridftp.URL(finalSite, lfn))
+			if err := cw.AddNode(rn); err != nil {
+				return nil, err
+			}
+			if err := cw.AddEdge(lastNode, regID); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	plan.Concrete = cw
+	plan.RLSRoundTrips = cfg.RLS.RoundTrips() - before
+	return plan, nil
+}

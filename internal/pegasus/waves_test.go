@@ -1,0 +1,287 @@
+package pegasus
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/gridftp"
+	"repro/internal/rls"
+	"repro/internal/tcat"
+)
+
+// surveySource mimics the morphology workload: n leaf jobs j<i> turning
+// in<i> into out<i>, fanned into a single collector.
+func surveySource(n int) WaveSource {
+	inputs := make([]string, n)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("out%d", i)
+	}
+	return WaveSource{
+		Jobs: n,
+		Job: func(i int) WaveJob {
+			return WaveJob{
+				ID:             fmt.Sprintf("j%d", i),
+				Transformation: "morph",
+				Inputs:         []string{fmt.Sprintf("in%d", i)},
+				Outputs:        []string{fmt.Sprintf("out%d", i)},
+			}
+		},
+		Collector: WaveJob{
+			ID:             "collect",
+			Transformation: "concat",
+			Inputs:         inputs,
+			Outputs:        []string{"final"},
+		},
+	}
+}
+
+// surveyServices registers morph at A and B, concat at B and C, and every
+// raw input at A. The collector transformation deliberately does NOT run at
+// the output site "home", exercising the fallback collector-site choice.
+func surveyServices(t testing.TB, n int) (*rls.RLS, *tcat.Catalog) {
+	t.Helper()
+	r := rls.New()
+	for i := 0; i < n; i++ {
+		lfn := fmt.Sprintf("in%d", i)
+		if err := r.Register(lfn, rls.PFN{Site: "A", URL: gridftp.URL("A", lfn)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc := tcat.New()
+	_ = tc.Add(tcat.Entry{Transformation: "morph", Site: "A", Path: "/bin/morph"})
+	_ = tc.Add(tcat.Entry{Transformation: "morph", Site: "B", Path: "/bin/morph"})
+	_ = tc.Add(tcat.Entry{Transformation: "concat", Site: "C", Path: "/bin/concat"})
+	_ = tc.Add(tcat.Entry{Transformation: "concat", Site: "B", Path: "/bin/concat"})
+	return r, tc
+}
+
+func TestWavePlannerValidation(t *testing.T) {
+	r, tc := surveyServices(t, 1)
+	src := surveySource(1)
+	if _, err := NewWavePlanner(src, Config{}, 4, 1); err == nil {
+		t.Error("missing services must fail")
+	}
+	if _, err := NewWavePlanner(src, Config{RLS: r, TC: tc}, 0, 1); err == nil {
+		t.Error("zero wave size must fail")
+	}
+	if _, err := NewWavePlanner(WaveSource{Jobs: 3}, Config{RLS: r, TC: tc}, 4, 1); err == nil {
+		t.Error("jobs without a Job func must fail")
+	}
+	bad := src
+	bad.Collector.Transformation = "nosuch"
+	if _, err := NewWavePlanner(bad, Config{RLS: r, TC: tc}, 4, 1); !errors.Is(err, ErrNoSite) {
+		t.Errorf("unknown collector transformation = %v, want ErrNoSite", err)
+	}
+}
+
+func TestWaveMathAndCollectorSite(t *testing.T) {
+	r, tc := surveyServices(t, 10)
+	p, err := NewWavePlanner(surveySource(10), Config{RLS: r, TC: tc, OutputSite: "home"}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LeafWaves() != 3 || p.Waves() != 4 {
+		t.Fatalf("leaf=%d waves=%d, want 3/4", p.LeafWaves(), p.Waves())
+	}
+	wantBounds := [][2]int{{0, 4}, {4, 8}, {8, 10}}
+	for w, wb := range wantBounds {
+		lo, hi := p.WaveBounds(w)
+		if lo != wb[0] || hi != wb[1] {
+			t.Errorf("wave %d bounds = [%d,%d), want %v", w, lo, hi, wb)
+		}
+	}
+	// "home" cannot run concat; the deterministic fallback is the first
+	// TC site in sorted order, "B".
+	if p.CollectorSite() != "B" {
+		t.Errorf("collector site = %q, want fallback B", p.CollectorSite())
+	}
+	// When the output site can run the collector it wins.
+	_ = tc.Add(tcat.Entry{Transformation: "concat", Site: "home", Path: "/bin/concat"})
+	p2, err := NewWavePlanner(surveySource(10), Config{RLS: r, TC: tc, OutputSite: "home"}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.CollectorSite() != "home" {
+		t.Errorf("collector site = %q, want home", p2.CollectorSite())
+	}
+	if _, err := p.Plan(4); err == nil {
+		t.Error("out-of-range wave must fail")
+	}
+	if _, err := p.Plan(-1); err == nil {
+		t.Error("negative wave must fail")
+	}
+}
+
+// TestLeafWavesBoundedAndCovering verifies the two load-bearing properties
+// of leaf planning: every wave's concrete graph is bounded by a constant
+// multiple of the wave size regardless of the request size, and the union of
+// compute nodes across waves covers every job exactly once.
+func TestLeafWavesBoundedAndCovering(t *testing.T) {
+	const n, waveSize = 23, 5
+	r, tc := surveyServices(t, n)
+	p, err := NewWavePlanner(surveySource(n), Config{RLS: r, TC: tc, OutputSite: "home"}, waveSize, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for w := 0; w < p.LeafWaves(); w++ {
+		plan, err := p.Plan(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 1 compute + <=1 stage-in + <=1 stage-out + <=1 register per job.
+		if got, bound := plan.Concrete.Len(), 4*waveSize; got > bound {
+			t.Errorf("wave %d: %d concrete nodes > bound %d", w, got, bound)
+		}
+		for _, id := range plan.Concrete.Nodes() {
+			node, _ := plan.Concrete.Node(id)
+			if node.Type == NodeCompute {
+				seen[id]++
+				// Leaf outputs must be delivered to the collector site and
+				// registered there, so the collector wave plans no stage-ins.
+				if s := plan.SiteOf[id]; s == "" {
+					t.Errorf("wave %d: %s has no site", w, id)
+				}
+			}
+			if node.Type == NodeRegister && node.Attr(AttrSite) != p.CollectorSite() {
+				t.Errorf("wave %d: %s registers at %q, want collector site %q",
+					w, id, node.Attr(AttrSite), p.CollectorSite())
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("united compute nodes = %d, want %d", len(seen), n)
+	}
+	for id, count := range seen {
+		if count != 1 {
+			t.Errorf("job %s planned %d times", id, count)
+		}
+	}
+}
+
+// TestLeafWavePlansIndependently pins the per-wave rng property: a wave's
+// plan is identical whether or not other waves were planned before it.
+func TestLeafWavePlansIndependently(t *testing.T) {
+	const n, waveSize = 12, 4
+	mk := func() *WavePlanner {
+		r, tc := surveyServices(t, n)
+		p, err := NewWavePlanner(surveySource(n), Config{RLS: r, TC: tc, OutputSite: "home"}, waveSize, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	sequential := mk()
+	for w := 0; w < sequential.LeafWaves(); w++ {
+		want, err := sequential.Plan(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := mk().Plan(w) // fresh planner, no prior waves
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.SiteOf) != len(got.SiteOf) {
+			t.Fatalf("wave %d: site maps diverge", w)
+		}
+		for id, site := range want.SiteOf {
+			if got.SiteOf[id] != site {
+				t.Errorf("wave %d: %s at %q vs %q", w, id, got.SiteOf[id], site)
+			}
+		}
+	}
+}
+
+// TestWaveResumeReduction checks that replanning a wave after some outputs
+// were registered prunes exactly those jobs — the paper's RLS reduction
+// doubling as the resume mechanism.
+func TestWaveResumeReduction(t *testing.T) {
+	const n, waveSize = 8, 8
+	r, tc := surveyServices(t, n)
+	p, err := NewWavePlanner(surveySource(n), Config{RLS: r, TC: tc, OutputSite: "home"}, waveSize, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, done := range []string{"out0", "out3", "out5"} {
+		if err := r.Register(done, rls.PFN{Site: "B", URL: gridftp.URL("B", done)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := p.Plan(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PrunedJobs) != 3 {
+		t.Fatalf("pruned = %v, want j0 j3 j5", plan.PrunedJobs)
+	}
+	for _, id := range []string{"j0", "j3", "j5"} {
+		if _, ok := plan.Concrete.Node(id); ok {
+			t.Errorf("%s must be pruned from the resumed wave", id)
+		}
+	}
+}
+
+// TestCollectorPlanShape checks the hand-built fan-in wave: zero stage-ins
+// when every input has a collector-site replica, a stage-in only for the one
+// input that lives elsewhere, the output-delivery tail when the output site
+// differs, and infeasibility on a missing input.
+func TestCollectorPlanShape(t *testing.T) {
+	const n = 6
+	r, tc := surveyServices(t, n)
+	cfg := Config{RLS: r, TC: tc, OutputSite: "home", RegisterOutputs: true}
+	p, err := NewWavePlanner(surveySource(n), cfg, 3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := p.CollectorSite()
+
+	// Missing inputs: infeasible.
+	if _, err := p.Plan(p.Waves() - 1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("collector with unregistered inputs = %v, want ErrInfeasible", err)
+	}
+
+	// All inputs local to the collector site except out4, which only has a
+	// replica at A.
+	for i := 0; i < n; i++ {
+		lfn := fmt.Sprintf("out%d", i)
+		at := site
+		if i == 4 {
+			at = "A"
+		}
+		if err := r.Register(lfn, rls.PFN{Site: at, URL: gridftp.URL(at, lfn)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := p.Plan(p.Waves() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var transfers, registers, computes int
+	for _, id := range plan.Concrete.Nodes() {
+		node, _ := plan.Concrete.Node(id)
+		switch node.Type {
+		case NodeTransfer:
+			transfers++
+		case NodeRegister:
+			registers++
+			if node.Attr(AttrLFN) != "final" || node.Attr(AttrSite) != "home" {
+				t.Errorf("register node %s = %v", id, node.Attrs)
+			}
+		case NodeCompute:
+			computes++
+			if node.Attr(AttrSite) != site {
+				t.Errorf("collector at %q, want %q", node.Attr(AttrSite), site)
+			}
+		}
+	}
+	// One stage-in (out4) plus one stage-out (final to home).
+	if computes != 1 || transfers != 2 || registers != 1 {
+		t.Fatalf("collector plan: %d compute, %d transfer, %d register; want 1/2/1",
+			computes, transfers, registers)
+	}
+	if plan.Concrete.Len() != 4 {
+		t.Errorf("collector plan size = %d, want 4 — bounded regardless of %d leaves",
+			plan.Concrete.Len(), n)
+	}
+}

@@ -1,0 +1,61 @@
+package portal
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/votable"
+)
+
+// TestPagedCatalogByteIdentical checks the tentpole invariant at the portal
+// layer: with PageSize set, the catalog built from MAXREC/OFFSET pages
+// renders byte-identically to the classic one-response-per-query build, and
+// the image search returns the same records. All portals talk to the same
+// archives so only the protocol differs.
+func TestPagedCatalogByteIdentical(t *testing.T) {
+	var baseCfg Config
+	classic := newFixture(t, 25, func(c *Config) { baseCfg = *c })
+	wantCat, err := classic.portal.BuildCatalog("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := votable.WriteTable(&want, wantCat); err != nil {
+		t.Fatal(err)
+	}
+	wantImgs, err := classic.portal.FindImages("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, pageSize := range []int{1, 7, 1000} {
+		cfg := baseCfg
+		cfg.PageSize = pageSize
+		paged, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotCat, degraded, err := paged.BuildCatalogReport("COMA")
+		if err != nil {
+			t.Fatalf("page size %d: %v", pageSize, err)
+		}
+		if len(degraded) != 0 {
+			t.Fatalf("page size %d: unexpected degradations %+v", pageSize, degraded)
+		}
+		var got bytes.Buffer
+		if err := votable.WriteTable(&got, gotCat); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("page size %d: paged catalog diverges from classic build", pageSize)
+		}
+		gotImgs, err := paged.FindImages("COMA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotImgs, wantImgs) {
+			t.Fatalf("page size %d: paged image search diverges", pageSize)
+		}
+	}
+}

@@ -71,6 +71,14 @@ type Config struct {
 	// (endpoint, operation) circuit is open and records every outcome; nil
 	// disables circuit breaking.
 	Breakers *resilience.Registry
+	// PageSize, when positive, fetches every cone and SIA response in pages
+	// of at most PageSize rows (the MAXREC/OFFSET paging protocol), keeping
+	// each archive response — and the archives' own table builds — bounded
+	// at survey scale. Pages are merged client-side in the services' global
+	// result order, so catalogs, reports and science output stay
+	// byte-identical to the unpaged path. Zero keeps the classic
+	// one-response-per-query protocol.
+	PageSize int
 	// MaxParallelQueries bounds how many archive calls (cone searches, SIA
 	// image searches, the cutout query) one portal operation issues
 	// concurrently. The archives are independent services, so the fan-out
@@ -223,7 +231,7 @@ func (p *Portal) FindImagesReport(cluster string) ([]services.SIARecord, []Degra
 		base := p.cfg.SIAServices[i]
 		errs[i] = p.callService(base, "sia", func() error {
 			var e error
-			results[i], e = services.SIAQuery(p.cfg.HTTPClient, base, entry.Center, 2*entry.SearchRadiusDeg)
+			results[i], e = services.SIAQueryPaged(p.cfg.HTTPClient, base, entry.Center, 2*entry.SearchRadiusDeg, p.cfg.PageSize)
 			return e
 		})
 	})
@@ -279,14 +287,14 @@ func (p *Portal) BuildCatalogReport(cluster string) (*votable.Table, []Degradati
 			svc := p.cfg.ConeServices[i]
 			errs[i] = p.callService(svc, "cone", func() error {
 				var e error
-				tables[i], e = services.ConeSearch(p.cfg.HTTPClient, svc, entry.Center, entry.SearchRadiusDeg)
+				tables[i], e = services.ConeSearchPaged(p.cfg.HTTPClient, svc, entry.Center, entry.SearchRadiusDeg, p.cfg.PageSize)
 				return e
 			})
 			return
 		}
 		errs[nCone] = p.callService(p.cfg.CutoutService, "sia", func() error {
 			var e error
-			cuts, e = services.SIAQuery(p.cfg.HTTPClient, p.cfg.CutoutService, entry.Center, 2*entry.SearchRadiusDeg)
+			cuts, e = services.SIAQueryPaged(p.cfg.HTTPClient, p.cfg.CutoutService, entry.Center, 2*entry.SearchRadiusDeg, p.cfg.PageSize)
 			return e
 		})
 	})

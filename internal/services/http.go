@@ -57,8 +57,17 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		page, err := parsePage(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpCone, Site: a.name})
 		if !proceed {
+			return
+		}
+		if page.active {
+			writeVOTable(w, a.ConeSearchPage(pos.center, pos.radius, page.offset, page.maxrec), corrupt)
 			return
 		}
 		writeVOTable(w, a.ConeSearch(pos.center, pos.radius), corrupt)
@@ -70,11 +79,20 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		page, err := parsePage(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpSIA, Site: a.name, Key: "sia"})
 		if !proceed {
 			return
 		}
-		writeVOTable(w, a.SIAQueryFields(pos, size), corrupt)
+		t := a.SIAQueryFields(pos, size)
+		if page.active {
+			t = pageOf(t, page.offset, page.maxrec)
+		}
+		writeVOTable(w, t, corrupt)
 	})
 
 	mux.HandleFunc("/siacut", func(w http.ResponseWriter, req *http.Request) {
@@ -83,8 +101,17 @@ func (a *Archive) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		page, err := parsePage(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 		corrupt, proceed := a.faultGate(w, faults.Op{Name: OpSIA, Site: a.name, Key: "siacut"})
 		if !proceed {
+			return
+		}
+		if page.active {
+			writeVOTable(w, a.SIAQueryCutoutsPage(pos, size, page.offset, page.maxrec), corrupt)
 			return
 		}
 		writeVOTable(w, a.SIAQueryCutouts(pos, size), corrupt)
@@ -185,6 +212,57 @@ func parsePosSize(req *http.Request) (wcs.SkyCoord, float64, error) {
 	return wcs.New(ra, dec), size, nil
 }
 
+// pageParams carries the optional MAXREC/OFFSET paging window of a request.
+// active is false when neither parameter is present, in which case the
+// handler answers the classic unpaged table so existing clients keep seeing
+// byte-identical responses.
+type pageParams struct {
+	offset int
+	maxrec int // -1: unbounded (OFFSET without MAXREC)
+	active bool
+}
+
+func parsePage(req *http.Request) (pageParams, error) {
+	q := req.URL.Query()
+	mr, off := q.Get("MAXREC"), q.Get("OFFSET")
+	if mr == "" && off == "" {
+		return pageParams{}, nil
+	}
+	p := pageParams{maxrec: -1, active: true}
+	var err error
+	if mr != "" {
+		if p.maxrec, err = strconv.Atoi(mr); err != nil || p.maxrec < 0 {
+			return pageParams{}, fmt.Errorf("%w: MAXREC must be a non-negative integer", ErrBadQuery)
+		}
+	}
+	if off != "" {
+		if p.offset, err = strconv.Atoi(off); err != nil || p.offset < 0 {
+			return pageParams{}, fmt.Errorf("%w: OFFSET must be a non-negative integer", ErrBadQuery)
+		}
+	}
+	return p, nil
+}
+
+// pageOf returns a shallow copy of t restricted to the [offset,
+// offset+maxrec) rows; a negative maxrec means "to the end". It serves the
+// endpoints whose tables are already bounded (per-cluster field listings)
+// and only need protocol-level paging, not a bounded-memory build.
+func pageOf(t *votable.Table, offset, maxrec int) *votable.Table {
+	page := *t
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(t.Rows) {
+		offset = len(t.Rows)
+	}
+	end := len(t.Rows)
+	if maxrec >= 0 && offset+maxrec < end {
+		end = offset + maxrec
+	}
+	page.Rows = t.Rows[offset:end]
+	return &page
+}
+
 func writeVOTable(w http.ResponseWriter, t *votable.Table, corrupt bool) {
 	var buf bytes.Buffer
 	_ = votable.WriteTable(&buf, t)
@@ -201,6 +279,86 @@ func ConeSearch(hc *http.Client, base string, pos wcs.SkyCoord, sr float64) (*vo
 		url.QueryEscape(votable.FormatFloat(pos.Dec)),
 		url.QueryEscape(votable.FormatFloat(sr)))
 	return getVOTable(hc, u)
+}
+
+// ConeSearchPaged performs a Cone Search in pages of pageSize rows
+// (MAXREC/OFFSET) and returns the merged table. The server slices one
+// globally sorted hit list, so the merged table is byte-identical to an
+// unpaged ConeSearch while each HTTP response — and the server-side table
+// build — stays bounded by pageSize. pageSize <= 0 falls back to the
+// unpaged protocol.
+func ConeSearchPaged(hc *http.Client, base string, pos wcs.SkyCoord, sr float64, pageSize int) (*votable.Table, error) {
+	if pageSize <= 0 {
+		return ConeSearch(hc, base, pos, sr)
+	}
+	var merged *votable.Table
+	for offset := 0; ; offset += pageSize {
+		page, err := getVOTable(hc, conePageURL(base, pos, sr, offset, pageSize))
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = page
+		} else {
+			merged.Rows = append(merged.Rows, page.Rows...)
+		}
+		if page.NumRows() < pageSize {
+			return merged, nil
+		}
+	}
+}
+
+// ConeSearchRows streams a paged Cone Search row by row: fn sees the table
+// metadata plus each row's cells, in the same global order ConeSearch
+// returns, without the client ever holding a page table in memory. cells is
+// only valid for the duration of the call. pageSize <= 0 streams one
+// unpaged response.
+func ConeSearchRows(hc *http.Client, base string, pos wcs.SkyCoord, sr float64, pageSize int, fn func(meta *votable.TableMeta, cells []string) error) error {
+	if pageSize <= 0 {
+		u := fmt.Sprintf("%s?RA=%s&DEC=%s&SR=%s", base,
+			url.QueryEscape(votable.FormatFloat(pos.RA)),
+			url.QueryEscape(votable.FormatFloat(pos.Dec)),
+			url.QueryEscape(votable.FormatFloat(sr)))
+		_, err := getVOTableRows(hc, u, fn)
+		return err
+	}
+	for offset := 0; ; offset += pageSize {
+		n, err := getVOTableRows(hc, conePageURL(base, pos, sr, offset, pageSize), fn)
+		if err != nil {
+			return err
+		}
+		if n < pageSize {
+			return nil
+		}
+	}
+}
+
+func conePageURL(base string, pos wcs.SkyCoord, sr float64, offset, maxrec int) string {
+	return fmt.Sprintf("%s?RA=%s&DEC=%s&SR=%s&MAXREC=%d&OFFSET=%d", base,
+		url.QueryEscape(votable.FormatFloat(pos.RA)),
+		url.QueryEscape(votable.FormatFloat(pos.Dec)),
+		url.QueryEscape(votable.FormatFloat(sr)),
+		maxrec, offset)
+}
+
+// getVOTableRows fetches u and decodes the response incrementally through
+// votable.DecodeRows, returning the number of rows seen.
+func getVOTableRows(hc *http.Client, u string, fn func(meta *votable.TableMeta, cells []string) error) (int, error) {
+	resp, err := hc.Get(u)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return 0, fmt.Errorf("services: GET %s: status %d: %s", u, resp.StatusCode, body)
+	}
+	n := 0
+	err = votable.DecodeRows(resp.Body, nil, func(meta *votable.TableMeta, cells []string) error {
+		n++
+		return fn(meta, cells)
+	})
+	return n, err
 }
 
 // SIARecord is one parsed row of an SIA response.
@@ -224,13 +382,43 @@ func SIAQuery(hc *http.Client, base string, pos wcs.SkyCoord, sizeDeg float64) (
 	if err != nil {
 		return nil, err
 	}
+	return siaRecords(nil, t), nil
+}
+
+// SIAQueryPaged performs an SIA request in pages of pageSize rows
+// (MAXREC/OFFSET) and returns the merged record list, identical to an
+// unpaged SIAQuery while each response stays bounded by pageSize.
+// pageSize <= 0 falls back to the unpaged protocol.
+func SIAQueryPaged(hc *http.Client, base string, pos wcs.SkyCoord, sizeDeg float64, pageSize int) ([]SIARecord, error) {
+	if pageSize <= 0 {
+		return SIAQuery(hc, base, pos, sizeDeg)
+	}
 	var out []SIARecord
+	for offset := 0; ; offset += pageSize {
+		u := fmt.Sprintf("%s?POS=%s,%s&SIZE=%s&MAXREC=%d&OFFSET=%d", base,
+			url.QueryEscape(votable.FormatFloat(pos.RA)),
+			url.QueryEscape(votable.FormatFloat(pos.Dec)),
+			url.QueryEscape(votable.FormatFloat(sizeDeg)),
+			pageSize, offset)
+		t, err := getVOTable(hc, u)
+		if err != nil {
+			return nil, err
+		}
+		out = siaRecords(out, t)
+		if t.NumRows() < pageSize {
+			return out, nil
+		}
+	}
+}
+
+// siaRecords appends t's rows to dst as parsed SIA records.
+func siaRecords(dst []SIARecord, t *votable.Table) []SIARecord {
 	for i := 0; i < t.NumRows(); i++ {
 		ra, _ := t.Float(i, "ra")
 		dec, _ := t.Float(i, "dec")
 		n1, _ := t.Int(i, "naxis1")
 		n2, _ := t.Int(i, "naxis2")
-		out = append(out, SIARecord{
+		dst = append(dst, SIARecord{
 			Title:  t.Cell(i, "title"),
 			Pos:    wcs.New(ra, dec),
 			Naxis1: int(n1),
@@ -239,7 +427,7 @@ func SIAQuery(hc *http.Client, base string, pos wcs.SkyCoord, sizeDeg float64) (
 			AcRef:  t.Cell(i, "acref"),
 		})
 	}
-	return out, nil
+	return dst
 }
 
 func getVOTable(hc *http.Client, u string) (*votable.Table, error) {
@@ -267,21 +455,16 @@ func FetchFITSBatch(hc *http.Client, u string) ([]*fits.Image, error) {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return nil, fmt.Errorf("services: GET %s: status %d: %s", u, resp.StatusCode, body)
 	}
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	segments, err := fits.SplitStream(data)
+	// Decode straight off the wire: each image is parsed from its
+	// 2880-byte records as they arrive, so a survey-sized batch never
+	// buffers the whole response body.
+	var out []*fits.Image
+	err = fits.DecodeStream(resp.Body, func(_ int, im *fits.Image) error {
+		out = append(out, im)
+		return nil
+	})
 	if err != nil {
 		return nil, fmt.Errorf("services: batch from %s: %w", u, err)
-	}
-	out := make([]*fits.Image, len(segments))
-	for i, seg := range segments {
-		im, err := fits.Decode(bytes.NewReader(seg))
-		if err != nil {
-			return nil, fmt.Errorf("services: batch image %d: %w", i, err)
-		}
-		out[i] = im
 	}
 	return out, nil
 }

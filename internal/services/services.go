@@ -132,6 +132,17 @@ func (a *Archive) ConeSearch(pos wcs.SkyCoord, sr float64) *votable.Table {
 	return a.merged.ToVOTable(recs)
 }
 
+// ConeSearchPage is ConeSearch restricted to the [offset, offset+maxrec)
+// window of the globally sorted hit list, so survey-scale responses stay
+// bounded by the page size. The order is the same deterministic
+// (separation, ID) order as ConeSearch: concatenating consecutive pages
+// reproduces the unpaged table row for row. A negative maxrec means "to the
+// end".
+func (a *Archive) ConeSearchPage(pos wcs.SkyCoord, sr float64, offset, maxrec int) *votable.Table {
+	recs, _ := a.merged.ConeSearchPage(pos, sr, offset, maxrec)
+	return a.merged.ToVOTable(recs)
+}
+
 // Galaxy resolves a galaxy ID to its simulation record.
 func (a *Archive) Galaxy(id string) (skysim.Galaxy, bool) {
 	dash := strings.LastIndexByte(id, '-')
@@ -283,11 +294,34 @@ func (a *Archive) SIAQueryFields(pos wcs.SkyCoord, sizeDeg float64) *votable.Tab
 // cutout on demand. This is the interface whose one-request-per-galaxy cost
 // the paper identifies as the application's bottleneck (§4.2).
 func (a *Archive) SIAQueryCutouts(pos wcs.SkyCoord, sizeDeg float64) *votable.Table {
+	return a.SIAQueryCutoutsPage(pos, sizeDeg, 0, -1)
+}
+
+// SIAQueryCutoutsPage is SIAQueryCutouts restricted to the
+// [offset, offset+maxrec) window of the response rows. Paging is applied
+// after the unresolvable-galaxy filter, so consecutive pages concatenate
+// into exactly the unpaged table and only the final page comes up short.
+// The scan streams over the cone hits and stops as soon as the page is
+// full, so a page response never materializes the full survey. A negative
+// maxrec means "to the end".
+func (a *Archive) SIAQueryCutoutsPage(pos wcs.SkyCoord, sizeDeg float64, offset, maxrec int) *votable.Table {
 	t := votable.NewTable(a.name+"_cutouts", SIAFields...)
-	for _, rec := range a.merged.ConeSearch(pos, sizeDeg/2) {
+	if maxrec == 0 {
+		return t
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	matched := 0
+	a.merged.ConeSearchVisit(pos, sizeDeg/2, func(rec catalog.Record, _ float64) bool {
 		g, ok := a.Galaxy(rec.ID)
 		if !ok {
-			continue
+			return true
+		}
+		idx := matched
+		matched++
+		if idx < offset {
+			return true
 		}
 		size := skysim.CutoutSizePx(g)
 		_ = t.AppendRow(
@@ -299,6 +333,7 @@ func (a *Archive) SIAQueryCutouts(pos wcs.SkyCoord, sizeDeg float64) *votable.Ta
 			"image/fits",
 			"/cutout?id="+g.ID,
 		)
-	}
+		return maxrec < 0 || t.NumRows() < maxrec
+	})
 	return t
 }

@@ -443,37 +443,28 @@ type xmlTR struct {
 	Cells []string `xml:"TD"`
 }
 
-// Write serializes the document as VOTable XML.
+// Write serializes the document as VOTable XML. It streams through Encoder,
+// producing bytes identical to the historical struct-marshal path.
 func Write(w io.Writer, doc *Document) error {
-	x := xmlVOTable{Version: "1.1", Description: doc.Description}
-	for _, res := range doc.Resources {
-		xr := xmlResource{Name: res.Name}
-		for _, t := range res.Tables {
-			xt := xmlTable{Name: t.Name, Description: t.Description}
-			for _, p := range t.Params {
-				xt.Params = append(xt.Params, xmlParam(p))
-			}
-			for _, f := range t.Fields {
-				xt.Fields = append(xt.Fields, xmlField(f))
-			}
-			xt.Data = &xmlData{}
-			for _, r := range t.Rows {
-				xt.Data.TableData.Rows = append(xt.Data.TableData.Rows, xmlTR{Cells: r})
-			}
-			xr.Tables = append(xr.Tables, xt)
+	enc := NewEncoder(w)
+	if err := enc.BeginDocument(doc.Description); err != nil {
+		return err
+	}
+	for ri := range doc.Resources {
+		res := &doc.Resources[ri]
+		if err := enc.BeginResource(res.Name); err != nil {
+			return err
 		}
-		x.Resources = append(x.Resources, xr)
+		for ti := range res.Tables {
+			if err := enc.EncodeTable(&res.Tables[ti]); err != nil {
+				return err
+			}
+		}
+		if err := enc.EndResource(); err != nil {
+			return err
+		}
 	}
-	if _, err := io.WriteString(w, xml.Header); err != nil {
-		return err
-	}
-	enc := xml.NewEncoder(w)
-	enc.Indent("", "  ")
-	if err := enc.Encode(x); err != nil {
-		return err
-	}
-	_, err := io.WriteString(w, "\n")
-	return err
+	return enc.End()
 }
 
 // WriteTable serializes a single table as a one-resource document.
@@ -481,41 +472,60 @@ func WriteTable(w io.Writer, t *Table) error {
 	return Write(w, &Document{Resources: []Resource{{Name: t.Name, Tables: []Table{*t}}}})
 }
 
-// Read parses a VOTable document.
+// Read parses a VOTable document. It streams through DecodeDocument; row
+// normalization (short rows padded, over-wide rows rejected) happens after
+// the parse against each table's final field count, preserving the
+// historical struct-decode semantics even for documents that declare fields
+// after their data.
 func Read(r io.Reader) (*Document, error) {
-	var x xmlVOTable
-	dec := xml.NewDecoder(r)
-	if err := dec.Decode(&x); err != nil {
-		return nil, fmt.Errorf("votable: parse: %w", err)
+	doc := &Document{}
+	var cur *Table
+	h := &Handler{
+		Description: func(s string) error {
+			doc.Description = strings.TrimSpace(s)
+			return nil
+		},
+		StartResource: func(name string) error {
+			doc.Resources = append(doc.Resources, Resource{Name: name})
+			return nil
+		},
+		StartTable: func(name string) error {
+			res := &doc.Resources[len(doc.Resources)-1]
+			res.Tables = append(res.Tables, Table{Name: name})
+			cur = &res.Tables[len(res.Tables)-1]
+			return nil
+		},
+		TableDescription: func(s string) error {
+			cur.Description = strings.TrimSpace(s)
+			return nil
+		},
+		Param: func(p Param) error {
+			cur.Params = append(cur.Params, p)
+			return nil
+		},
+		Field: func(f Field) error {
+			cur.Fields = append(cur.Fields, f)
+			return nil
+		},
+		Row: func(cells []string) error {
+			cur.Rows = append(cur.Rows, cells)
+			return nil
+		},
 	}
-	doc := &Document{Description: strings.TrimSpace(x.Description)}
-	for _, xr := range x.Resources {
-		res := Resource{Name: xr.Name}
-		for _, xt := range xr.Tables {
-			t := Table{Name: xt.Name, Description: strings.TrimSpace(xt.Description)}
-			for _, p := range xt.Params {
-				t.Params = append(t.Params, Param(p))
-			}
-			for _, f := range xt.Fields {
-				t.Fields = append(t.Fields, Field(f))
-			}
-			if xt.Data != nil {
-				for _, tr := range xt.Data.TableData.Rows {
-					row := tr.Cells
-					// Tolerate short rows (trailing empty TDs omitted).
-					for len(row) < len(t.Fields) {
-						row = append(row, "")
-					}
-					if len(row) > len(t.Fields) {
-						return nil, fmt.Errorf("%w: table %q row has %d cells for %d fields",
-							ErrRaggedRow, t.Name, len(row), len(t.Fields))
-					}
-					t.Rows = append(t.Rows, row)
+	if err := DecodeDocument(r, h); err != nil {
+		return nil, err
+	}
+	for ri := range doc.Resources {
+		for ti := range doc.Resources[ri].Tables {
+			t := &doc.Resources[ri].Tables[ti]
+			for i, row := range t.Rows {
+				row, err := normalizeRow(t.Name, row, len(t.Fields))
+				if err != nil {
+					return nil, err
 				}
+				t.Rows[i] = row
 			}
-			res.Tables = append(res.Tables, t)
 		}
-		doc.Resources = append(doc.Resources, res)
 	}
 	return doc, nil
 }

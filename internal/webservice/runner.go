@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"strings"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/pegasus"
 	"repro/internal/resilience"
 	"repro/internal/rls"
+	"repro/internal/tableops"
 	"repro/internal/vdcache"
 	"repro/internal/vdl"
 	"repro/internal/votable"
@@ -201,6 +203,34 @@ type memoEntry struct {
 	errStr string
 }
 
+// streamResultsTable drains a spool of result rows (keyed on the galaxy ID
+// cell) into w as the cluster's output VOTable document — byte-identical to
+// WriteTable over resultsToVOTable, without ever holding the rows in one
+// table.
+func streamResultsTable(w io.Writer, cluster string, sp *tableops.Spool) error {
+	enc := votable.NewEncoder(w)
+	meta := resultsMeta(cluster, sp.Len())
+	if err := enc.BeginDocument(""); err != nil {
+		return err
+	}
+	if err := enc.BeginResource(meta.Name); err != nil {
+		return err
+	}
+	if err := enc.BeginTable(meta); err != nil {
+		return err
+	}
+	if err := sp.Merge(func(cells []string) error { return enc.Row(cells) }); err != nil {
+		return err
+	}
+	if err := enc.EndTable(); err != nil {
+		return err
+	}
+	if err := enc.EndResource(); err != nil {
+		return err
+	}
+	return enc.End()
+}
+
 // morphFingerprint renders the measurement parameters that, together with
 // the image content, determine a galMorph result.
 func morphFingerprint(cfg morphology.Config) string {
@@ -313,7 +343,11 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 
 // concatSpec assembles the per-galaxy results into the output VOTable. Every
 // input is integrity-verified before it is trusted; a corrupted result file
-// is quarantined and re-derived from its galaxy image via provenance.
+// is quarantined and re-derived from its galaxy image via provenance. The
+// rows are sorted through a spill-to-disk spool and streamed into the
+// encoder, so sorting memory stays bounded no matter how many galaxies the
+// cluster holds; the bytes written are identical to the historical
+// resultsToVOTable+WriteTable path.
 func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog, stats *RunStats, mu *sync.Mutex) dagman.Spec {
 	site := n.Attr(pegasus.AttrSite)
 	inputs := chimera.SplitLFNs(n.Attr(chimera.AttrInputs))
@@ -323,12 +357,17 @@ func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog, stats *RunStats, mu 
 
 	return dagman.Spec{
 		Cost: concatBaseCost + time.Duration(len(inputs))*concatPerRow,
-		Run: func() error {
+		Run: func() (retErr error) {
 			if len(outputs) != 1 {
 				return fmt.Errorf("webservice: concat expects 1 output, got %v", outputs)
 			}
 			store := s.cfg.GridFTP.Store(site)
-			results := make([]GalMorphResult, 0, len(inputs))
+			sp := tableops.NewSpool(0, 0) // key on the galaxy ID cell
+			defer func() {
+				if cerr := sp.Close(); cerr != nil && retErr == nil {
+					retErr = cerr
+				}
+			}()
 			for _, lfn := range inputs {
 				data, err := s.verifiedGet(cat, store, lfn, stats, mu)
 				if err != nil {
@@ -338,11 +377,12 @@ func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog, stats *RunStats, mu 
 				if err != nil {
 					return err
 				}
-				results = append(results, r)
+				if err := sp.Add(resultCells(r)...); err != nil {
+					return err
+				}
 			}
-			tab := resultsToVOTable(cluster, results)
 			var buf bytes.Buffer
-			if err := votable.WriteTable(&buf, tab); err != nil {
+			if err := streamResultsTable(&buf, cluster, sp); err != nil {
 				return err
 			}
 			return store.Put(outputs[0], buf.Bytes())

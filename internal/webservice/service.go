@@ -108,6 +108,10 @@ type RunStats struct {
 	ScheduleEvents    int   // Condor tasks submitted (a clustered batch is one event)
 	ClusteredTasks    int   // multi-node batches submitted
 	ClusteredNodes    int   // inner jobs carried by those batches
+
+	// Wave execution accounting (Config.WaveSize > 0).
+	Waves        int // concrete waves planned and released
+	MaxWaveNodes int // largest single wave — the bounded peak DAG footprint
 }
 
 // Wide-area SIA cost model (2003-era numbers): each HTTP request pays a
@@ -231,6 +235,15 @@ type Config struct {
 	// nodes with the same cluster key submit as one Condor task, amortizing
 	// per-task scheduling overhead. <= 1 keeps one task per node.
 	ClusterSize int
+	// WaveSize, when > 0, plans and executes each request as a sequence of
+	// bounded waves of this many galaxies instead of one monolithic concrete
+	// DAG: images are staged, planned and computed wave by wave, with the
+	// concatenating job pinned to a deterministic collector site the waves
+	// deliver their results to. Peak planner/scheduler memory is bounded by
+	// the wave, not the request, and the output VOTable is byte-identical to
+	// the classic path (fault injection off — the failure rng is draw-order
+	// sensitive). 0 keeps the legacy whole-request plan.
+	WaveSize int
 	// SchedOverhead models the serialized per-task submission cost of the
 	// 2003 Condor-G/GRAM stack on every simulator the service creates
 	// (zero = instant-start, the legacy model). Clustering amortizes it.
@@ -593,6 +606,9 @@ func (s *Service) vdlPath(tenant, cluster string) string {
 func (s *Service) rescuePath(tenant, cluster string) string {
 	return filepath.Join(s.cfg.JournalDir, wfBase(tenant, cluster)+".rescue.dag")
 }
+func (s *Service) wavesPath(tenant, cluster string) string {
+	return filepath.Join(s.cfg.JournalDir, wfBase(tenant, cluster)+".waves")
+}
 
 // ComputeWithContext is ComputeWithProgress under a cancellation context:
 // when ctx is canceled the workflow aborts at the next scheduler step,
@@ -651,6 +667,12 @@ func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *
 		return outLFN, stats, nil
 	}
 
+	// Survey-scale mode: stage, plan and execute in bounded waves.
+	if s.cfg.WaveSize > 0 {
+		out, err := s.computeWaves(ctx, lease, tab, cluster, tenant, &stats, onProgress)
+		return out, stats, err
+	}
+
 	// Step 3: stage galaxy images into the local cache.
 	if err := s.cacheImages(tab, &stats); err != nil {
 		return "", stats, err
@@ -677,16 +699,9 @@ func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *
 	// cluster name (not a shared stream), so concurrent requests stay
 	// individually deterministic.
 	seed := s.requestSeed(cluster)
-	plan, err := pegasus.Map(wf, pegasus.Config{
-		RLS:             s.cfg.RLS,
-		TC:              s.cfg.TC,
-		Rand:            rand.New(rand.NewSource(seed)),
-		OutputSite:      s.cfg.CacheSite,
-		RegisterOutputs: true,
-		Selection:       s.cfg.Selection,
-		Net:             s.cfg.GridFTP.Network(),
-		SizeOf:          func(lfn string) int64 { return s.cfg.GridFTP.Store(s.cfg.CacheSite).Size(lfn) },
-	})
+	pcfg := s.planConfig()
+	pcfg.Rand = rand.New(rand.NewSource(seed))
+	plan, err := pegasus.Map(wf, pcfg)
 	if err != nil {
 		return "", stats, err
 	}
@@ -801,6 +816,21 @@ func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *
 	return outLFN, stats, nil
 }
 
+// planConfig is the Pegasus configuration every plan of this service uses —
+// the classic whole-request Map and each wave of the survey-scale path draw
+// from the same substrate wiring (Rand is set per call site).
+func (s *Service) planConfig() pegasus.Config {
+	return pegasus.Config{
+		RLS:             s.cfg.RLS,
+		TC:              s.cfg.TC,
+		OutputSite:      s.cfg.CacheSite,
+		RegisterOutputs: true,
+		Selection:       s.cfg.Selection,
+		Net:             s.cfg.GridFTP.Network(),
+		SizeOf:          func(lfn string) int64 { return s.cfg.GridFTP.Store(s.cfg.CacheSite).Size(lfn) },
+	}
+}
+
 // Resume reopens a journaled run that died mid-flight — a killed web service,
 // a machine crash — and finishes it: the persisted concrete DAG is reloaded
 // (never replanned), the journal's intact prefix restores every completed
@@ -845,6 +875,14 @@ func (s *Service) resumeGranted(ctx context.Context, lease *fabric.Lease, cluste
 	defer func() { lease.Done(stats.Makespan, retErr != nil) }()
 	tenant := opt.tenant()
 	outLFN := outputLFN(cluster)
+
+	// A wave manifest marks a survey-scale run: resume it wave by wave (the
+	// classic .dag artifact is never written in that mode — a monolithic
+	// concrete graph is exactly what waves exist to avoid).
+	if _, err := os.Stat(s.wavesPath(tenant, cluster)); err == nil {
+		out, err := s.resumeWaves(ctx, lease, cluster, tenant, &stats, onProgress)
+		return out, stats, err
+	}
 
 	// Reload the exact planned graph and the catalog behind its derivations.
 	g, _, err := dagman.ReadDAGFile(s.dagPath(tenant, cluster))
@@ -951,15 +989,31 @@ func (s *Service) ResultTable(lfn string) (*votable.Table, error) {
 // ingested — accounted, split, stored, registered — strictly in request
 // order, so stats and replica registrations stay deterministic.
 func (s *Service) cacheImages(tab *votable.Table, stats *RunStats) error {
-	type missing struct{ id, acref string }
-	var todo []missing
-	for i := 0; i < tab.NumRows(); i++ {
-		id := tab.Cell(i, "id")
-		if s.cfg.RLS.Exists(id + ".fit") {
+	return s.cacheImageRefs(imageRefsFromTable(tab), stats)
+}
+
+// imageRef names one galaxy image to stage: its ID and the access URL.
+type imageRef struct{ id, acref string }
+
+// imageRefsFromTable extracts the (id, acref) staging list of a request.
+func imageRefsFromTable(tab *votable.Table) []imageRef {
+	refs := make([]imageRef, tab.NumRows())
+	for i := range refs {
+		refs[i] = imageRef{id: tab.Cell(i, "id"), acref: tab.Cell(i, "acref")}
+	}
+	return refs
+}
+
+// cacheImageRefs stages one slice of the request's images — the whole table
+// on the classic path, one wave's window on the survey-scale path.
+func (s *Service) cacheImageRefs(refs []imageRef, stats *RunStats) error {
+	var todo []imageRef
+	for _, m := range refs {
+		if s.cfg.RLS.Exists(m.id + ".fit") {
 			stats.ImagesCached++
 			continue
 		}
-		todo = append(todo, missing{id: id, acref: tab.Cell(i, "acref")})
+		todo = append(todo, m)
 	}
 	if len(todo) == 0 {
 		return nil
@@ -969,7 +1023,7 @@ func (s *Service) cacheImages(tab *votable.Table, stats *RunStats) error {
 		// Group by cutout-service base; acrefs look like
 		// "<base>/cutout?id=<galaxy>".
 		groups := map[string][]string{}
-		var singles []missing
+		var singles []imageRef
 		for _, m := range todo {
 			base, id, ok := strings.Cut(m.acref, "/cutout?id=")
 			if !ok || id != m.id {
@@ -1207,24 +1261,45 @@ var ResultFields = []votable.Field{
 	{Name: "valid", Datatype: votable.TypeBoolean},
 }
 
+// resultsMeta is the metadata of the output table: both the in-memory
+// resultsToVOTable path and the streaming concat path build from it, so the
+// two cannot drift apart.
+func resultsMeta(cluster string, n int) votable.TableMeta {
+	return votable.TableMeta{
+		Name:        cluster + "_morphology",
+		Description: "galaxy morphology parameters computed by the NVO compute service",
+		Params: []votable.Param{
+			{Name: "cluster", Datatype: votable.TypeChar, Value: cluster},
+			{Name: "n_galaxies", Datatype: votable.TypeInt, Value: fmt.Sprint(n)},
+		},
+		Fields: ResultFields,
+	}
+}
+
+// resultCells renders one result as its output-table row.
+func resultCells(r GalMorphResult) []string {
+	valid := "F"
+	if r.Valid {
+		valid = "T"
+	}
+	return []string{r.ID,
+		votable.FormatFloat(r.SurfaceBrightness),
+		votable.FormatFloat(r.Concentration),
+		votable.FormatFloat(r.Asymmetry),
+		valid}
+}
+
 // resultsToVOTable assembles the output table, sorted by galaxy ID.
 func resultsToVOTable(cluster string, results []GalMorphResult) *votable.Table {
 	sort.Slice(results, func(i, j int) bool { return results[i].ID < results[j].ID })
-	t := votable.NewTable(cluster+"_morphology", ResultFields...)
-	t.Description = "galaxy morphology parameters computed by the NVO compute service"
-	t.SetParam(votable.Param{Name: "cluster", Datatype: votable.TypeChar, Value: cluster})
-	t.SetParam(votable.Param{Name: "n_galaxies", Datatype: votable.TypeInt,
-		Value: fmt.Sprint(len(results))})
+	meta := resultsMeta(cluster, len(results))
+	t := votable.NewTable(meta.Name, meta.Fields...)
+	t.Description = meta.Description
+	for _, p := range meta.Params {
+		t.SetParam(p)
+	}
 	for _, r := range results {
-		valid := "F"
-		if r.Valid {
-			valid = "T"
-		}
-		_ = t.AppendRow(r.ID,
-			votable.FormatFloat(r.SurfaceBrightness),
-			votable.FormatFloat(r.Concentration),
-			votable.FormatFloat(r.Asymmetry),
-			valid)
+		_ = t.AppendRow(resultCells(r)...)
 	}
 	return t
 }

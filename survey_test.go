@@ -1,0 +1,78 @@
+// The survey-scale smoke: a 1000-galaxy request through the full testbed in
+// wave mode must produce output bytes identical to the monolithic path while
+// keeping the scheduler's live graph bounded by the wave size — the two
+// invariants of the bounded-memory pipeline, checked race-enabled by
+// `make survey`.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/skysim"
+	"repro/internal/wcs"
+	"repro/internal/webservice"
+)
+
+func surveySpec(n int) []skysim.Spec {
+	return []skysim.Spec{{
+		Name: "SURVEY", Center: wcs.New(150, 2), Redshift: 0.04,
+		NumGalaxies: n, Seed: 77,
+	}}
+}
+
+// surveyRun computes the SURVEY cluster end to end and returns the raw
+// output VOTable bytes plus the run stats.
+func surveyRun(t *testing.T, cfg core.Config) ([]byte, webservice.RunStats) {
+	t.Helper()
+	tb, err := core.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := tb.Portal.BuildCatalog("SURVEY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := tb.Compute.Compute(cat, "SURVEY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := tb.FTP.Store("isi").Get("SURVEY.vot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, stats
+}
+
+func TestSurveyWaveByteIdentity1k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("survey smoke skipped in -short mode")
+	}
+	const galaxies, waveSize = 1000, 100
+
+	want, classic := surveyRun(t, core.Config{
+		ClusterSpecs: surveySpec(galaxies), Seed: 5, Workers: 4,
+	})
+	got, waved := surveyRun(t, core.Config{
+		ClusterSpecs: surveySpec(galaxies), Seed: 5, Workers: 4,
+		WaveSize: waveSize, PageSize: 200,
+	})
+	if string(got) != string(want) {
+		t.Fatal("wave-mode survey output differs from the monolithic path")
+	}
+
+	// The live graph never exceeds a constant multiple of the wave size
+	// (compute + stage-in + stage-out + register per leaf job), independent
+	// of the request: the monolithic plan holds every node at once.
+	if waved.Waves != galaxies/waveSize+1 {
+		t.Errorf("waves = %d, want %d", waved.Waves, galaxies/waveSize+1)
+	}
+	if bound := 4 * waveSize; waved.MaxWaveNodes == 0 || waved.MaxWaveNodes > bound {
+		t.Errorf("max wave nodes = %d, want (0, %d]", waved.MaxWaveNodes, bound)
+	}
+	if classic.ComputeJobs != waved.ComputeJobs {
+		t.Errorf("compute jobs diverge: classic %d, waves %d", classic.ComputeJobs, waved.ComputeJobs)
+	}
+	t.Logf("1k survey: waves=%d maxWaveNodes=%d (classic plan holds all %d jobs at once)",
+		waved.Waves, waved.MaxWaveNodes, classic.ComputeJobs)
+}
