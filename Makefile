@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint chaos bench emit-bench recovery fuzz tenants survey verify
+.PHONY: build test vet lint chaos bench emit-bench recovery fuzz tenants survey soak verify
 
 build:
 	$(GO) build ./...
@@ -66,14 +66,27 @@ survey:
 	$(GO) test -race -run 'TestSurveyWave' -v .
 	$(GO) test -race -run 'TestWaveComputeByteIdentical|TestWaveKillAndResume' -v ./internal/webservice/
 
+# The preemption soak campaign, race-enabled: SOAK_WORKFLOWS checkpointable
+# workflows across priority classes on one shared fabric with runtime
+# quota/weight rebalancing, plus the end-to-end slice (preempted-and-resumed
+# workflows byte-identical under faults, zero journal bleed) and the
+# journal-event-boundary preemption sweep. Override the scale with
+# `make soak SOAK_WORKFLOWS=10000`.
+SOAK_WORKFLOWS ?= 2500
+soak:
+	SOAK_WORKFLOWS=$(SOAK_WORKFLOWS) $(GO) test -race -run 'TestSoak' -v .
+	$(GO) test -race -run 'TestPreempt' -v ./internal/webservice/
+
 # Full verification gate: vet, build, the nvolint invariants, the
 # race-enabled suite, the chaos campaign under the race detector,
 # journal-replay idempotence, the multi-tenant fabric campaign, the
-# survey-scale streaming smoke, and the codec fuzz smoke.
+# survey-scale streaming smoke, the preemption soak (scaled down for the
+# gate; `make soak` runs the full fleet), and the codec fuzz smoke.
 verify: vet build lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) recovery
 	$(MAKE) tenants
 	$(MAKE) survey
+	$(MAKE) soak SOAK_WORKFLOWS=600
 	$(MAKE) fuzz

@@ -27,6 +27,9 @@ func main() {
 	failureRate := flag.Float64("failure-rate", 0, "injected transient job failure rate")
 	discover := flag.Bool("discover", false, "portal discovers services from the resource registry")
 	batch := flag.Bool("batch", false, "compute service uses the batched cutout interface")
+	pageSize := flag.Int("page-size", 0, "paged archive queries: rows per page (0 = unpaged)")
+	waveSize := flag.Int("wave-size", 0, "survey-scale wave execution: galaxies per wave (0 = monolithic)")
+	priority := flag.Int("priority", 0, "default fabric scheduling class of portal submissions")
 	flag.Parse()
 
 	if *nClusters < 1 {
@@ -50,6 +53,9 @@ func main() {
 		CacheImageSearch:     true,
 		UseRegistryDiscovery: *discover,
 		BatchFetch:           *batch,
+		PageSize:             *pageSize,
+		WaveSize:             *waveSize,
+		Priority:             *priority,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nvo-portal:", err)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/journal"
 	"repro/internal/skysim"
+	"repro/internal/webservice"
 )
 
 func main() {
@@ -29,6 +31,9 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "scale factor on per-cluster galaxy counts")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 1, "leaf-job side-effect concurrency")
+	flag.IntVar(&waveSize, "wave-size", 0, "survey-scale wave execution: galaxies per wave (0 = monolithic)")
+	flag.IntVar(&pageSize, "page-size", 0, "paged archive queries: rows per page (0 = unpaged)")
+	flag.IntVar(&priority, "priority", 0, "fabric scheduling class of the workflow submissions")
 	flag.Parse()
 
 	specs := scaledSpecs(*scale, *seed)
@@ -76,6 +81,14 @@ func scaledSpecs(scale float64, seed int64) []skysim.Spec {
 	return specs
 }
 
+// Survey-scale and multi-tenant knobs, settable from the command line so
+// kill/resume campaigns exercise the same configurations the tests do.
+var (
+	waveSize int
+	pageSize int
+	priority int
+)
+
 func newTestbed(specs []skysim.Spec, seed int64, workers int, journalDir string, crashAfter int) (*core.Testbed, error) {
 	return core.NewTestbed(core.Config{
 		ClusterSpecs:     specs,
@@ -83,6 +96,9 @@ func newTestbed(specs []skysim.Spec, seed int64, workers int, journalDir string,
 		Workers:          workers,
 		JournalDir:       journalDir,
 		CrashAfterEvents: crashAfter,
+		WaveSize:         waveSize,
+		PageSize:         pageSize,
+		Priority:         priority,
 	})
 }
 
@@ -91,7 +107,8 @@ func runCluster(tb *core.Testbed, cluster string) error {
 	if err != nil {
 		return err
 	}
-	_, _, err = tb.Compute.Compute(cat, cluster)
+	_, _, err = tb.Compute.ComputeFor(context.Background(), cat, cluster,
+		webservice.RequestOptions{Priority: priority}, nil)
 	return err
 }
 
@@ -153,7 +170,8 @@ func killAndResume(specs []skysim.Spec, seed int64, workers int, cluster string,
 	if err != nil {
 		return res, err
 	}
-	_, stats, err := svc.Resume(cluster)
+	_, stats, err := svc.ResumeFor(context.Background(), cluster,
+		webservice.RequestOptions{Priority: priority}, nil)
 	if err != nil {
 		return res, fmt.Errorf("kill point %d: resume: %w", k, err)
 	}

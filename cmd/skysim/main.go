@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("out", ".", "output directory")
 	cutouts := flag.Bool("cutouts", false, "also write per-galaxy cutout FITS files")
+	pageSize := flag.Int("page-size", 0, "also write the catalog as page files of at most this many rows (0 = single file only)")
 	flag.Parse()
 
 	cl := skysim.Generate(skysim.Spec{
@@ -74,6 +75,18 @@ func main() {
 	}
 	f.Close()
 	fmt.Printf("wrote %s (%d galaxies)\n", catPath, len(cl.Galaxies))
+
+	// Paged catalog: the MAXREC/OFFSET paging protocol's on-disk shape —
+	// each page is a complete, independently parseable VOTable of at most
+	// page-size rows, so a survey-scale catalog can be served (or staged)
+	// page-at-a-time without the archive ever building the full table.
+	if *pageSize > 0 {
+		pages, err := writePagedCatalog(cat, *out, *name, *pageSize)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d catalog pages of <=%d rows under %s\n", pages, *pageSize, *out)
+	}
 
 	// Large-scale images.
 	const npix = 512
@@ -122,6 +135,80 @@ func main() {
 	for i := range mids {
 		fmt.Printf("  r=%5.2f rc  f(E+S0)=%.2f\n", mids[i], fracs[i])
 	}
+}
+
+// writePagedCatalog streams the catalog into NAME.pageNNNN.vot files of at
+// most pageSize rows each, one encoder open at a time, and returns how many
+// pages it wrote. Memory stays bounded by one row regardless of survey size.
+func writePagedCatalog(cat *catalog.Catalog, dir, name string, pageSize int) (int, error) {
+	var (
+		f     *os.File
+		enc   *votable.Encoder
+		page  int
+		inPg  int
+		visit error
+	)
+	closePage := func() error {
+		if enc == nil {
+			return nil
+		}
+		for _, fn := range []func() error{enc.EndTable, enc.EndResource, enc.End, f.Close} {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		enc, f = nil, nil
+		return nil
+	}
+	openPage := func() error {
+		path := filepath.Join(dir, fmt.Sprintf("%s.page%04d.vot", name, page))
+		var err error
+		if f, err = os.Create(path); err != nil {
+			return err
+		}
+		enc = votable.NewEncoder(f)
+		for _, fn := range []func() error{
+			func() error { return enc.BeginDocument("") },
+			func() error { return enc.BeginResource(cat.Name()) },
+			func() error { return enc.BeginTable(cat.TableMeta()) },
+		} {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var row []string
+	cat.Visit(func(r catalog.Record) bool {
+		if enc == nil || inPg >= pageSize {
+			if err := closePage(); err != nil {
+				visit = err
+				return false
+			}
+			if enc == nil && inPg > 0 {
+				page++
+			}
+			if err := openPage(); err != nil {
+				visit = err
+				return false
+			}
+			inPg = 0
+		}
+		row = cat.AppendRowCells(row[:0], r)
+		if err := enc.Row(row); err != nil {
+			visit = err
+			return false
+		}
+		inPg++
+		return true
+	})
+	if visit != nil {
+		return 0, visit
+	}
+	if err := closePage(); err != nil {
+		return 0, err
+	}
+	return page + 1, nil
 }
 
 func fatal(err error) {

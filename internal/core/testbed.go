@@ -123,6 +123,11 @@ type Config struct {
 	// and SIA endpoints in pages of this many rows instead of one unbounded
 	// response per archive.
 	PageSize int
+	// Priority is the default fabric scheduling class the portal stamps on
+	// its compute submissions. Meaningful on a shared Fabric with priority
+	// classes (and, when the fabric enables preemption, a higher class may
+	// checkpoint-preempt a lower one); zero is the default class.
+	Priority int
 }
 
 // Testbed is the fully wired end-to-end system.
@@ -333,6 +338,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 		pCfg.CacheImageSearch = cfg.CacheImageSearch
 		pCfg.MaxParallelQueries = cfg.MaxParallelQueries
 		pCfg.PageSize = cfg.PageSize
+		pCfg.Priority = cfg.Priority
 		if cfg.Resilience {
 			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}
 			pCfg.Breakers = tb.Breakers
@@ -358,6 +364,7 @@ func NewTestbed(cfg Config) (*Testbed, error) {
 			CacheImageSearch:   cfg.CacheImageSearch,
 			MaxParallelQueries: cfg.MaxParallelQueries,
 			PageSize:           cfg.PageSize,
+			Priority:           cfg.Priority,
 		}
 		if cfg.Resilience {
 			pCfg.Retry = resilience.Policy{MaxAttempts: 4, Seed: cfg.Seed}

@@ -128,6 +128,12 @@ type Options struct {
 	// DAGMan's -maxjobs throttle (0 = unlimited). Ready nodes beyond the
 	// cap wait in submission order.
 	MaxInFlight int
+	// MaxInFlightFn, when set, replaces the static MaxInFlight with a cap
+	// consulted at every submit and drain decision (0 = unlimited at that
+	// instant). The fabric wires a lease's JobAllowance here so idle job
+	// headroom lent by quota-blocked tenants widens the throttle while it
+	// lasts and is reclaimed at the next poll.
+	MaxInFlightFn func() int
 	// RetryPolicy, when set, replaces the fixed MaxRetries rule: after a
 	// failed attempt it decides whether the node runs again. attempt is the
 	// 1-based attempt that just failed. Use resilience.Policy.DAGManPolicy
@@ -424,9 +430,18 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 		return nil
 	}
 
+	// maxInFlight resolves the throttle for this instant: the dynamic
+	// function when present, the static option otherwise.
+	maxInFlight := func() int {
+		if opt.MaxInFlightFn != nil {
+			return opt.MaxInFlightFn()
+		}
+		return opt.MaxInFlight
+	}
+
 	// submit releases a node immediately or queues it under the throttle.
 	submit := func(id string) error {
-		if opt.MaxInFlight > 0 && inFlight >= opt.MaxInFlight {
+		if limit := maxInFlight(); limit > 0 && inFlight >= limit {
 			waiting = append(waiting, id)
 			return nil
 		}
@@ -435,7 +450,10 @@ func Execute(g *dag.Graph, runner Runner, sim *condor.Simulator, opt Options) (*
 
 	// drainWaiting releases throttled nodes as capacity frees up.
 	drainWaiting := func() error {
-		for len(waiting) > 0 && (opt.MaxInFlight == 0 || inFlight < opt.MaxInFlight) {
+		for len(waiting) > 0 {
+			if limit := maxInFlight(); limit > 0 && inFlight >= limit {
+				return nil
+			}
 			id := waiting[0]
 			waiting = waiting[1:]
 			if err := doSubmit(id); err != nil {

@@ -88,6 +88,12 @@ type Config struct {
 	// scaled by the shedding tenant's queue depth so the hint grows
 	// deterministically with pressure. Default 2s.
 	RetryAfter time.Duration
+	// Preemption lets the scheduler reclaim capacity: when a
+	// higher-priority-class ticket waits and the fleet is saturated, the
+	// lowest-priority preemptible lease (ties: highest fair-share debt,
+	// then latest arrival) is revoked. The holder checkpoint-stops and
+	// requeues via Lease.Preempted. Off by default.
+	Preemption bool
 }
 
 // ShedError is a deterministic admission rejection: the request was
@@ -133,6 +139,8 @@ type tenantState struct {
 	canceled  int
 	completed int
 	failed    int
+	preempted int // leases revoked by the scheduler
+	requeued  int // revoked workflows re-entering the queue
 }
 
 // debt is the tenant's weighted fair-share position: charged model
@@ -146,14 +154,16 @@ func (ts *tenantState) debt() float64 {
 type Fabric struct {
 	cfg Config
 
-	mu      sync.Mutex
-	closed  bool
-	held    bool
-	seq     int64
-	running int
-	queued  int
-	queue   []*Ticket // waiting tickets, arrival order
-	tenants map[string]*tenantState
+	mu       sync.Mutex
+	closed   bool
+	held     bool
+	seq      int64
+	running  int
+	queued   int
+	revoking int       // revoked leases not yet released (slots about to free)
+	queue    []*Ticket // waiting tickets, arrival order
+	leases   []*Lease  // live leases, grant order
+	tenants  map[string]*tenantState
 }
 
 // New validates the configuration and builds a fabric.
@@ -261,6 +271,7 @@ func (f *Fabric) Admit(tenant string, priority int) (*Ticket, error) {
 	ts.queued++
 	f.queued++
 	f.queue = append(f.queue, t)
+	f.preempt()
 	return t, nil
 }
 
@@ -268,7 +279,9 @@ func (f *Fabric) Admit(tenant string, priority int) (*Ticket, error) {
 func (f *Fabric) grant(t *Ticket) {
 	t.ts.running++
 	f.running++
-	t.lease = &Lease{f: f, ts: t.ts}
+	t.lease = &Lease{f: f, ts: t.ts, priority: t.priority, seq: t.seq,
+		revoke: make(chan struct{})}
+	f.leases = append(f.leases, t.lease)
 	t.granted <- t.lease
 }
 
@@ -312,6 +325,103 @@ func (f *Fabric) schedule() {
 		f.queued--
 		f.grant(t)
 	}
+	f.preempt()
+}
+
+// waitersInGrantOrder returns the queue sorted by the grant preference
+// (priority class desc, fair-share debt asc, arrival order). Caller
+// holds mu; the queue itself is left in arrival order.
+func (f *Fabric) waitersInGrantOrder() []*Ticket {
+	out := make([]*Ticket, len(f.queue))
+	copy(out, f.queue)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		if da, db := a.ts.debt(), b.ts.debt(); da != db {
+			return da < db
+		}
+		return a.seq < b.seq
+	})
+	return out
+}
+
+// preempt reclaims capacity for waiting higher-priority-class work: while
+// the fleet is saturated and a queued ticket outranks a live preemptible
+// lease, the victim — lowest priority class, then highest fair-share
+// debt, then latest arrival — is revoked. The holder observes the
+// revocation (Lease.Revoked) and checkpoint-stops into Lease.Preempted,
+// which frees the slot and requeues the workflow. Each pending revocation
+// already covers one waiter, so a saturated burst never revokes more
+// leases than it has uncovered waiters. Deterministic in the call
+// sequence: no clocks, no randomness. Caller holds mu.
+func (f *Fabric) preempt() {
+	if !f.cfg.Preemption || f.held || f.closed {
+		return
+	}
+	if f.cfg.MaxRunningWorkflows == 0 || f.running < f.cfg.MaxRunningWorkflows {
+		return // capacity free: schedule() grants without reclaiming
+	}
+	covered := f.revoking
+	for _, t := range f.waitersInGrantOrder() {
+		if q := t.ts.quota.MaxRunningWorkflows; q > 0 && t.ts.running >= q {
+			continue // a freed fleet slot would not make it runnable
+		}
+		if covered > 0 {
+			covered--
+			continue // a pending revocation already frees a slot for it
+		}
+		v := f.victimFor(t.priority)
+		if v == nil {
+			return // no lease outranked: lower-ranked waiters fare no better
+		}
+		f.revoke(v)
+	}
+}
+
+// victimFor picks the preemption victim for a waiter of the given
+// priority class: among live preemptible leases of a strictly lower
+// class, the lowest class loses first, ties broken by highest fair-share
+// debt, then latest arrival. Returns nil when no lease is outranked.
+// Caller holds mu.
+func (f *Fabric) victimFor(priority int) *Lease {
+	var best *Lease
+	for _, l := range f.leases {
+		if l.revoked || !l.preemptible || l.priority >= priority {
+			continue
+		}
+		if best == nil {
+			best = l
+			continue
+		}
+		if l.priority != best.priority {
+			if l.priority < best.priority {
+				best = l
+			}
+			continue
+		}
+		if da, db := l.ts.debt(), best.ts.debt(); da != db {
+			if da > db {
+				best = l
+			}
+			continue
+		}
+		if l.seq > best.seq {
+			best = l
+		}
+	}
+	return best
+}
+
+// revoke marks a lease for preemption and signals its holder. The slot
+// stays occupied until the holder releases it (Preempted or Done); the
+// revoking gauge covers the waiter in the meantime. Caller holds mu.
+func (f *Fabric) revoke(l *Lease) {
+	l.revoked = true
+	l.ts.preempted++
+	f.revoking++
+	close(l.revoke)
 }
 
 // Wait blocks until the ticket is granted a slot, returning the Lease the
@@ -366,19 +476,97 @@ type Context interface {
 }
 
 // Lease is one granted workflow's hold on a fabric slot. Release it with
-// Done when the workflow finishes (however it finishes).
+// Done when the workflow finishes (however it finishes), or with
+// Preempted after a checkpoint-stop answers a revocation.
 type Lease struct {
 	f        *Fabric
 	ts       *tenantState
-	released bool
+	priority int
+	seq      int64 // arrival order of the granting ticket
+
+	preemptible bool
+	revoked     bool
+	revoke      chan struct{} // closed on revocation
+	released    bool
 }
 
 // Tenant returns the tenant the lease is accounted to.
 func (l *Lease) Tenant() string { return l.ts.name }
 
+// Priority returns the scheduling class the lease was granted at.
+func (l *Lease) Priority() int { return l.priority }
+
 // MaxRunningJobs returns the tenant's per-workflow concurrent-job quota
 // (0 = unlimited) — wire it into DAGMan's MaxInFlight throttle.
 func (l *Lease) MaxRunningJobs() int { return l.ts.quota.MaxRunningJobs }
+
+// SetPreemptible marks the lease eligible (or not) for scheduler
+// revocation. Only holders that can checkpoint-stop — a journaled
+// workflow — should opt in; the default is not preemptible.
+func (l *Lease) SetPreemptible(ok bool) {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	if l.released || l.revoked {
+		return
+	}
+	l.preemptible = ok
+	if ok {
+		// Newly revocable capacity may unblock a starved waiter.
+		l.f.preempt()
+	}
+}
+
+// Revoked returns a channel closed when the scheduler revokes the lease.
+// The holder should checkpoint-stop at its next safe boundary and call
+// Preempted.
+func (l *Lease) Revoked() <-chan struct{} { return l.revoke }
+
+// IsRevoked reports whether the scheduler has revoked the lease — the
+// poll-style twin of Revoked for abort checks.
+func (l *Lease) IsRevoked() bool {
+	select {
+	case <-l.revoke:
+		return true
+	default:
+		return false
+	}
+}
+
+// JobAllowance returns the lease's current concurrent-job throttle: the
+// tenant's own MaxRunningJobs plus an equal integer share of the job
+// headroom lent by tenants whose workflows are all waiting (queued with
+// nothing running — their job quota is idle until a workflow slot frees,
+// at which point the loan is reclaimed because the allowance is
+// recomputed at every poll). 0 = unlimited. Deterministic in the
+// Admit/Done/SetQuota call sequence.
+func (l *Lease) JobAllowance() int {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	own := l.ts.quota.MaxRunningJobs
+	if own == 0 || l.released {
+		return own
+	}
+	lent := 0
+	for _, ts := range l.f.tenants {
+		// Order-insensitive sum, so map-range order cannot leak.
+		if ts.quota.MaxRunningJobs > 0 && ts.running == 0 && ts.queued > 0 {
+			lent += ts.quota.MaxRunningJobs
+		}
+	}
+	if lent == 0 {
+		return own
+	}
+	borrowers := 0
+	for _, x := range l.f.leases {
+		if x.ts.quota.MaxRunningJobs > 0 {
+			borrowers++
+		}
+	}
+	if borrowers == 0 {
+		return own
+	}
+	return own + lent/borrowers
+}
 
 // SimOptions tune one stamped simulator.
 type SimOptions struct {
@@ -428,6 +616,26 @@ func (f *Fabric) NewSimulator(opt SimOptions) (*condor.Simulator, error) {
 	return sim, nil
 }
 
+// release frees the slot and charges usage. Caller holds mu and has
+// checked l.released.
+func (l *Lease) release(usage time.Duration) {
+	l.released = true
+	l.ts.running--
+	l.f.running--
+	if l.revoked {
+		l.f.revoking--
+	}
+	for i, x := range l.f.leases {
+		if x == l {
+			l.f.leases = append(l.f.leases[:i], l.f.leases[i+1:]...)
+			break
+		}
+	}
+	if usage > 0 {
+		l.ts.usage += usage
+	}
+}
+
 // Done releases the slot, charges the workflow's model-time usage to the
 // tenant's fair-share account, and schedules waiting work. failed records
 // the outcome in the tenant counters. Done is idempotent.
@@ -437,18 +645,69 @@ func (l *Lease) Done(usage time.Duration, failed bool) {
 	if l.released {
 		return
 	}
-	l.released = true
-	l.ts.running--
-	l.f.running--
-	if usage > 0 {
-		l.ts.usage += usage
-	}
+	l.release(usage)
 	if failed {
 		l.ts.failed++
 	} else {
 		l.ts.completed++
 	}
 	l.f.schedule()
+}
+
+// Preempted is the revoked holder's half of a preemption: the workflow
+// has checkpoint-stopped, so release the slot, charge the model time
+// consumed so far, and re-enter the queue at the original priority class
+// with a fresh arrival position. The requeued ticket bypasses the
+// admission shed bounds — the workflow was already admitted once — but it
+// does count in the tenant's queue depth, so Retry-After hints and
+// 429/503 decisions for new arrivals see the displaced work. Returns the
+// ticket to Wait on (nil if the lease was already released).
+func (l *Lease) Preempted(usage time.Duration) *Ticket {
+	l.f.mu.Lock()
+	defer l.f.mu.Unlock()
+	if l.released {
+		return nil
+	}
+	f := l.f
+	l.release(usage)
+	l.ts.requeued++
+	f.seq++
+	t := &Ticket{f: f, ts: l.ts, priority: l.priority, seq: f.seq,
+		granted: make(chan *Lease, 1)}
+	l.ts.queued++
+	f.queued++
+	f.queue = append(f.queue, t)
+	f.schedule()
+	return t
+}
+
+// SetQuota replaces a tenant's quota at runtime. The new bounds apply to
+// the next scheduling decision — workflows already running keep their
+// slots (rebalancing never yanks a compliant tenant; at most the tenant
+// stops receiving new grants until it drains below the new caps). A
+// non-positive Weight is normalized to 1. Deterministic in the call
+// sequence, like every other fabric mutation.
+func (f *Fabric) SetQuota(tenant string, q Quota) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if q.Weight <= 0 {
+		q.Weight = 1
+	}
+	ts := f.tenant(tenant)
+	ts.quota = q
+	f.schedule()
+}
+
+// SetWeight adjusts only a tenant's fair-share weight at runtime,
+// re-ranking its queued work at the next scheduling decision.
+func (f *Fabric) SetWeight(tenant string, w float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if w <= 0 {
+		w = 1
+	}
+	f.tenant(tenant).quota.Weight = w
+	f.schedule()
 }
 
 // Hold pauses slot grants: admissions still queue (and shed when bounds
@@ -487,6 +746,8 @@ type TenantSnapshot struct {
 	Canceled  int // dequeued by cancellation while waiting
 	Completed int
 	Failed    int
+	Preempted int // leases revoked by the scheduler
+	Requeued  int // revoked workflows that re-entered the queue
 	// Live gauges.
 	Queued  int
 	Running int
@@ -504,6 +765,8 @@ type FleetSnapshot struct {
 	Shed      int
 	Completed int
 	Failed    int
+	Preempted int
+	Requeued  int
 	Tenants   []TenantSnapshot // sorted by tenant name
 }
 
@@ -528,6 +791,8 @@ func (f *Fabric) Snapshot() FleetSnapshot {
 			Canceled:       ts.canceled,
 			Completed:      ts.completed,
 			Failed:         ts.failed,
+			Preempted:      ts.preempted,
+			Requeued:       ts.requeued,
 			Queued:         ts.queued,
 			Running:        ts.running,
 			UsageModelTime: ts.usage,
@@ -537,6 +802,8 @@ func (f *Fabric) Snapshot() FleetSnapshot {
 		out.Shed += snap.Shed
 		out.Completed += snap.Completed
 		out.Failed += snap.Failed
+		out.Preempted += snap.Preempted
+		out.Requeued += snap.Requeued
 		out.Tenants = append(out.Tenants, snap)
 	}
 	return out

@@ -1,0 +1,294 @@
+package fabric
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// grantPreemptible admits, waits, and opts the lease into preemption —
+// the posture of every journaled workflow on a preemption-enabled fabric.
+func grantPreemptible(t *testing.T, f *Fabric, tenant string, priority int) *Lease {
+	t.Helper()
+	l := mustGrant(t, f, tenant, priority)
+	l.SetPreemptible(true)
+	return l
+}
+
+func TestPreemptRevokesLowestPriorityVictim(t *testing.T) {
+	f := newTestFabric(t, Config{MaxRunningWorkflows: 2, Preemption: true})
+	low := grantPreemptible(t, f, "bulk", 0)
+	mid := grantPreemptible(t, f, "batch", 2)
+
+	tkHigh, err := f.Admit("urgent", 5)
+	if err != nil {
+		t.Fatalf("Admit(urgent): %v", err)
+	}
+	if tkHigh.Granted() {
+		t.Fatal("urgent should queue while the fleet is saturated")
+	}
+	if !low.IsRevoked() {
+		t.Fatal("lowest-priority lease should be revoked for the urgent waiter")
+	}
+	if mid.IsRevoked() {
+		t.Fatal("higher-priority victim chosen over the lowest class")
+	}
+
+	// The victim checkpoint-stops and requeues; the urgent waiter takes
+	// the freed slot immediately.
+	tkLow := low.Preempted(3 * time.Second)
+	if tkLow == nil {
+		t.Fatal("Preempted returned no requeue ticket")
+	}
+	if !tkHigh.Granted() {
+		t.Fatal("urgent not granted after the victim released its slot")
+	}
+	if tkLow.Granted() {
+		t.Fatal("requeued victim must wait for capacity")
+	}
+
+	snap := f.Snapshot()
+	if snap.Preempted != 1 || snap.Requeued != 1 {
+		t.Fatalf("fleet preemption counters: %+v", snap)
+	}
+	for _, ts := range snap.Tenants {
+		if ts.Tenant == "bulk" && ts.UsageModelTime != 3*time.Second {
+			t.Fatalf("victim usage not charged: %+v", ts)
+		}
+	}
+
+	// Capacity frees: the victim resumes through the ordinary queue.
+	mid.Done(time.Second, false)
+	if !tkLow.Granted() {
+		t.Fatal("requeued victim not rescheduled after a slot freed")
+	}
+}
+
+func TestPreemptVictimTieBreaksDebtThenArrival(t *testing.T) {
+	// Same priority class: the highest fair-share debt loses first;
+	// equal debt (same tenant): the latest arrival loses.
+	f := newTestFabric(t, Config{MaxRunningWorkflows: 3, Preemption: true})
+	seed := grantPreemptible(t, f, "indebted", 0)
+	seed.Done(100*time.Second, false) // give "indebted" heavy debt
+
+	lean1 := grantPreemptible(t, f, "lean", 0)
+	lean2 := grantPreemptible(t, f, "lean", 0)
+	indebted := grantPreemptible(t, f, "indebted", 0)
+
+	if _, err := f.Admit("urgent", 5); err != nil {
+		t.Fatalf("Admit(urgent): %v", err)
+	}
+	if !indebted.IsRevoked() || lean1.IsRevoked() || lean2.IsRevoked() {
+		t.Fatal("highest-debt victim should lose the debt tie-break")
+	}
+
+	if _, err := f.Admit("urgent", 5); err != nil {
+		t.Fatalf("Admit(urgent): %v", err)
+	}
+	if !lean2.IsRevoked() || lean1.IsRevoked() {
+		t.Fatal("latest arrival should lose the equal-debt tie-break")
+	}
+}
+
+func TestPreemptSkipsNonPreemptibleAndEqualClass(t *testing.T) {
+	f := newTestFabric(t, Config{MaxRunningWorkflows: 2, Preemption: true})
+	pinned := mustGrant(t, f, "pinned", 0) // never opted in
+	peer := grantPreemptible(t, f, "peer", 5)
+
+	if _, err := f.Admit("urgent", 5); err != nil {
+		t.Fatalf("Admit(urgent): %v", err)
+	}
+	if pinned.IsRevoked() {
+		t.Fatal("non-preemptible lease revoked")
+	}
+	if peer.IsRevoked() {
+		t.Fatal("equal-priority lease revoked: preemption must require a strictly higher class")
+	}
+}
+
+func TestPreemptRevokesOncePerUncoveredWaiter(t *testing.T) {
+	f := newTestFabric(t, Config{MaxRunningWorkflows: 2, Preemption: true})
+	v1 := grantPreemptible(t, f, "bulk", 0)
+	v2 := grantPreemptible(t, f, "bulk", 0)
+
+	if _, err := f.Admit("urgent", 5); err != nil {
+		t.Fatalf("Admit(urgent #1): %v", err)
+	}
+	if got := f.Snapshot().Preempted; got != 1 {
+		t.Fatalf("one waiter caused %d revocations, want 1", got)
+	}
+	// A second low-priority arrival must not trigger another revocation:
+	// the pending one covers the only waiter that outranks anyone.
+	if _, err := f.Admit("bulk", 0); err != nil {
+		t.Fatalf("Admit(bulk): %v", err)
+	}
+	if got := f.Snapshot().Preempted; got != 1 {
+		t.Fatalf("covered waiter caused extra revocation: %d", got)
+	}
+	// A second urgent waiter is uncovered and claims the second victim.
+	if _, err := f.Admit("urgent", 5); err != nil {
+		t.Fatalf("Admit(urgent #2): %v", err)
+	}
+	if got := f.Snapshot().Preempted; got != 2 {
+		t.Fatalf("second waiter: %d revocations, want 2", got)
+	}
+	if !v1.IsRevoked() || !v2.IsRevoked() {
+		t.Fatal("both bulk leases should be revoked for two urgent waiters")
+	}
+}
+
+func TestSetQuotaAppliesAtNextDecisionNeverYanks(t *testing.T) {
+	f := newTestFabric(t, Config{
+		Quotas: map[string]Quota{"a": {MaxRunningWorkflows: 2}},
+	})
+	l1 := mustGrant(t, f, "a", 0)
+	l2 := mustGrant(t, f, "a", 0)
+
+	// Tighten the quota below current usage: both keep running.
+	f.SetQuota("a", Quota{MaxRunningWorkflows: 1})
+	if snap := f.Snapshot(); snap.Running != 2 {
+		t.Fatalf("SetQuota yanked a running workflow: %+v", snap)
+	}
+	tk3, _ := f.Admit("a", 0)
+	if tk3.Granted() {
+		t.Fatal("admission above the tightened quota should queue")
+	}
+	// Draining to 1 leaves the tenant at the new cap: still queued.
+	l1.Done(time.Second, false)
+	if tk3.Granted() {
+		t.Fatal("tenant at new quota: queued work must keep waiting")
+	}
+	l2.Done(time.Second, false)
+	if !tk3.Granted() {
+		t.Fatal("queued work not granted after draining below the new quota")
+	}
+}
+
+func TestSetWeightRebalancesQueuedWork(t *testing.T) {
+	f := newTestFabric(t, Config{MaxRunningWorkflows: 1})
+	blocker := mustGrant(t, f, "z", 0)
+	// Charge a and b equal prior usage, then queue them both: a arrived
+	// first and would win the next slot on the arrival tie-break.
+	chargeUsage(f, "a", 10*time.Second)
+	chargeUsage(f, "b", 10*time.Second)
+	tkA, _ := f.Admit("a", 0)
+	tkB, _ := f.Admit("b", 0)
+	f.SetWeight("b", 10) // b's debt shrinks 10x: b now outranks a
+	blocker.Done(time.Second, false)
+	if tkA.Granted() || !tkB.Granted() {
+		t.Fatalf("SetWeight did not rebalance: a=%v b=%v, want b first",
+			tkA.Granted(), tkB.Granted())
+	}
+}
+
+// chargeUsage seeds a tenant's fair-share account with prior model time.
+func chargeUsage(f *Fabric, tenant string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tenant(tenant).usage += d
+}
+
+func TestJobAllowanceLendsIdleHeadroom(t *testing.T) {
+	f := newTestFabric(t, Config{
+		MaxRunningWorkflows: 1,
+		Quotas: map[string]Quota{
+			"a": {MaxRunningJobs: 4},
+			"b": {MaxRunningJobs: 6},
+		},
+	})
+	la := mustGrant(t, f, "a", 0)
+	if got := la.JobAllowance(); got != 4 {
+		t.Fatalf("no lenders: JobAllowance = %d, want own quota 4", got)
+	}
+	// b is quota-blocked (fleet slot taken) with queued work: its idle job
+	// headroom is lent to the running lease.
+	tkB, _ := f.Admit("b", 0)
+	if got := la.JobAllowance(); got != 10 {
+		t.Fatalf("lent headroom: JobAllowance = %d, want 4+6=10", got)
+	}
+	// Reclaim on demand: the loan vanishes as soon as the lender runs.
+	la.Done(time.Second, false)
+	lb, err := tkB.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	if got := lb.JobAllowance(); got != 6 {
+		t.Fatalf("after reclaim: JobAllowance = %d, want own quota 6", got)
+	}
+	lb.Done(time.Second, false)
+	// Unlimited tenants stay unlimited and never borrow.
+	lc := mustGrant(t, f, "c", 0)
+	if got := lc.JobAllowance(); got != 0 {
+		t.Fatalf("unlimited tenant: JobAllowance = %d, want 0", got)
+	}
+}
+
+func TestSheddingDeterministicWithPreemptionEnabled(t *testing.T) {
+	// The PR 6 shedding replay must hold verbatim on a preemption-enabled
+	// fabric: a held fabric never revokes, and the admission decision
+	// remains a pure function of the call sequence.
+	run := func() []int {
+		f := newTestFabric(t, Config{
+			MaxRunningWorkflows: 2,
+			MaxQueuedWorkflows:  2,
+			DefaultQuota:        Quota{MaxRunningWorkflows: 1, MaxQueuedWorkflows: 1},
+			Preemption:          true,
+		})
+		f.Hold()
+		var outcomes []int
+		for _, tenant := range []string{"a", "a", "a", "b", "b", "c", "c", "d"} {
+			_, err := f.Admit(tenant, 0)
+			if shed, ok := AsShed(err); ok {
+				outcomes = append(outcomes, shed.HTTPStatus)
+			} else {
+				outcomes = append(outcomes, 202)
+			}
+		}
+		return outcomes
+	}
+	want := []int{202, 429, 429, 202, 429, 503, 503, 503}
+	for i := 0; i < 3; i++ {
+		got := run()
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d: outcomes = %v, want %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestRequeuedVictimCountsInShedDecisions(t *testing.T) {
+	// Satellite: Retry-After for preempted-then-requeued workflows. A
+	// requeued victim occupies its tenant's queue depth, so subsequent
+	// admissions shed against (and scale their hints by) the displaced
+	// work — not a phantom empty queue.
+	f := newTestFabric(t, Config{
+		MaxRunningWorkflows: 1,
+		DefaultQuota:        Quota{MaxQueuedWorkflows: 1},
+		RetryAfter:          2 * time.Second,
+		Preemption:          true,
+	})
+	victim := grantPreemptible(t, f, "bulk", 0)
+	tkHigh, _ := f.Admit("urgent", 5)
+	if !victim.IsRevoked() {
+		t.Fatal("victim not revoked")
+	}
+	tkV := victim.Preempted(time.Second)
+	if !tkHigh.Granted() {
+		t.Fatal("urgent not granted after preemption")
+	}
+	if tkV.Granted() {
+		t.Fatal("requeued victim should wait")
+	}
+
+	// bulk's queue depth is 1 (the requeued victim): the next bulk
+	// admission sheds 429 with the depth-scaled hint.
+	_, err := f.Admit("bulk", 0)
+	shed, ok := AsShed(err)
+	if !ok || shed.HTTPStatus != 429 {
+		t.Fatalf("admit over requeued victim: got %v, want 429", err)
+	}
+	if want := 2 * time.Second * 2; shed.RetryAfter != want {
+		t.Fatalf("Retry-After = %v, want %v (scaled by requeued depth)", shed.RetryAfter, want)
+	}
+}

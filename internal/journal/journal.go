@@ -38,6 +38,7 @@ const (
 	KindFailed    = "failed"    // node failed permanently (retries exhausted)
 	KindRestored  = "restored"  // node recovered as done from a prior journal
 	KindAborted   = "aborted"   // run stopped cleanly before completion
+	KindPreempted = "preempted" // run checkpoint-stopped: slot revoked for a higher class
 	KindEnd       = "end"       // workflow completed; Detail carries the result
 )
 

@@ -36,13 +36,20 @@ type imageRef struct {
 
 // Analyze runs the full Figure 5 flow for one cluster synchronously: find
 // images, build the catalog, submit to the compute service, poll, merge.
+// The submission carries Config.Priority as its fabric scheduling class.
 func (p *Portal) Analyze(cluster string) (*AnalysisResult, error) {
-	return p.analyzeWithProgress(cluster, nil)
+	return p.analyzeWithProgress(cluster, p.cfg.Priority, nil)
+}
+
+// AnalyzeAt is Analyze with an explicit fabric scheduling class, overriding
+// the Config.Priority default for this one submission.
+func (p *Portal) AnalyzeAt(cluster string, priority int) (*AnalysisResult, error) {
+	return p.analyzeWithProgress(cluster, priority, nil)
 }
 
 // analyzeWithProgress is Analyze with a Grid-progress callback fed from the
 // compute service's status polling.
-func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total int)) (*AnalysisResult, error) {
+func (p *Portal) analyzeWithProgress(cluster string, priority int, onProgress func(done, total int)) (*AnalysisResult, error) {
 	res := &AnalysisResult{Cluster: cluster}
 
 	t0 := p.cfg.Now()
@@ -65,7 +72,7 @@ func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total
 	res.CatalogTime = p.cfg.Now().Sub(t1)
 
 	t2 := p.cfg.Now()
-	morph, err := p.compute(cat, cluster, onProgress)
+	morph, err := p.compute(cat, cluster, priority, onProgress)
 	if err != nil {
 		return nil, err
 	}
@@ -83,12 +90,15 @@ func (p *Portal) analyzeWithProgress(cluster string, onProgress func(done, total
 // compute performs the §4.3 exchange with the web service: POST the
 // VOTable, poll the returned status URL until "job completed", fetch the
 // result table. This is the two-line .NET snippet of §4.2, spelled out.
-func (p *Portal) compute(cat *votable.Table, cluster string, onProgress func(done, total int)) (*votable.Table, error) {
+func (p *Portal) compute(cat *votable.Table, cluster string, priority int, onProgress func(done, total int)) (*votable.Table, error) {
 	var body bytes.Buffer
 	if err := votable.WriteTable(&body, cat); err != nil {
 		return nil, err
 	}
 	submitURL := fmt.Sprintf("%s/galmorph?cluster=%s", p.cfg.ComputeService, cluster)
+	if priority != 0 {
+		submitURL += fmt.Sprintf("&priority=%d", priority)
+	}
 	resp, err := p.cfg.HTTPClient.Post(submitURL, "text/xml", &body)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrComputeFailed, err)

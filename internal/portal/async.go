@@ -40,8 +40,14 @@ type jobRecord struct {
 }
 
 // StartAnalysis launches the Figure 5 flow in the background and returns a
-// job ID the caller polls with JobStatus.
+// job ID the caller polls with JobStatus. The submission carries
+// Config.Priority as its fabric scheduling class.
 func (p *Portal) StartAnalysis(cluster string) (string, error) {
+	return p.StartAnalysisAt(cluster, p.cfg.Priority)
+}
+
+// StartAnalysisAt is StartAnalysis with an explicit fabric scheduling class.
+func (p *Portal) StartAnalysisAt(cluster string, priority int) (string, error) {
 	if _, err := p.Cluster(cluster); err != nil {
 		return "", err
 	}
@@ -56,7 +62,7 @@ func (p *Portal) StartAnalysis(cluster string) (string, error) {
 	p.mu.Unlock()
 
 	go func() {
-		res, err := p.analyzeWithProgress(cluster, func(done, total int) {
+		res, err := p.analyzeWithProgress(cluster, priority, func(done, total int) {
 			p.mu.Lock()
 			rec.snap.JobsDone = done
 			rec.snap.JobsTotal = total

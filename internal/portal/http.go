@@ -3,6 +3,7 @@ package portal
 import (
 	"html/template"
 	"net/http"
+	"strconv"
 
 	"repro/internal/votable"
 )
@@ -27,7 +28,9 @@ var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
 </ul>{{end}}
 {{if .ShowAnalyze}}<p><a href="/analyze?name={{.Cluster}}">Begin morphology analysis</a>
 (synchronous, as the SC'03 prototype) or
-<a href="/start?name={{.Cluster}}">run asynchronously</a></p>{{end}}
+<a href="/start?name={{.Cluster}}">run asynchronously</a></p>
+<p><small>defaults: archive paging {{if .PageSize}}{{.PageSize}} rows/page{{else}}off{{end}}
+ | submission priority {{.Priority}} (override with ?priority=N on /analyze or /start)</small></p>{{end}}
 {{end}}
 {{if .Job}}
 <h2>Analysis job {{.Job.ID}} — {{.Job.Cluster}}</h2>
@@ -55,6 +58,10 @@ type pageData struct {
 	Columns     []string
 	Rows        [][]string
 	Error       string
+	// Operative portal defaults, shown on the cluster page so the
+	// survey-scale and multi-tenant knobs are visible without reading code.
+	PageSize int
+	Priority int
 }
 
 // Handler returns the portal's HTTP UI.
@@ -85,12 +92,24 @@ func (p *Portal) Handler() http.Handler {
 		for _, im := range images {
 			refs = append(refs, imageRef{Title: im.Title, AcRef: im.AcRef})
 		}
-		render(w, pageData{Cluster: name, Images: refs, ShowAnalyze: true})
+		render(w, pageData{Cluster: name, Images: refs, ShowAnalyze: true,
+			PageSize: p.cfg.PageSize, Priority: p.cfg.Priority})
 	})
+
+	// priorityOf resolves the fabric scheduling class for one UI request:
+	// the ?priority= query parameter when present, else the portal default.
+	priorityOf := func(req *http.Request) int {
+		if v := req.URL.Query().Get("priority"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				return n
+			}
+		}
+		return p.cfg.Priority
+	}
 
 	mux.HandleFunc("/analyze", func(w http.ResponseWriter, req *http.Request) {
 		name := req.URL.Query().Get("name")
-		res, err := p.Analyze(name)
+		res, err := p.AnalyzeAt(name, priorityOf(req))
 		if err != nil {
 			render(w, pageData{Cluster: name, Error: err.Error()})
 			return
@@ -101,7 +120,7 @@ func (p *Portal) Handler() http.Handler {
 
 	mux.HandleFunc("/start", func(w http.ResponseWriter, req *http.Request) {
 		name := req.URL.Query().Get("name")
-		id, err := p.StartAnalysis(name)
+		id, err := p.StartAnalysisAt(name, priorityOf(req))
 		if err != nil {
 			render(w, pageData{Cluster: name, Error: err.Error()})
 			return

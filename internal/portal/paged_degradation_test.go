@@ -1,0 +1,141 @@
+package portal
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/votable"
+)
+
+// flakyPages proxies an archive endpoint but fails every request from the
+// k-th onwards — an archive that dies in the middle of a MAXREC/OFFSET
+// pagination, after k-1 pages have already been served.
+type flakyPages struct {
+	target string
+	client *http.Client
+	failAt int
+	calls  int32
+}
+
+func (f *flakyPages) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if n := atomic.AddInt32(&f.calls, 1); f.failAt > 0 && int(n) >= f.failAt {
+		http.Error(w, "archive offline mid-pagination", http.StatusInternalServerError)
+		return
+	}
+	resp, err := f.client.Get(f.target + "?" + req.URL.RawQuery)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return
+	}
+}
+
+// TestPagedCatalogMidPaginationDegradation kills the secondary catalog
+// archive at page k of its paged cone search, for every k: the build must
+// complete anyway, report exactly that archive as degraded, and the partial
+// merge (primary catalog only, no secondary columns) must be byte-identical
+// to a build that never configured the secondary — deterministically, on
+// repeat builds too.
+func TestPagedCatalogMidPaginationDegradation(t *testing.T) {
+	const galaxies, pageSize = 25, 7 // 4 pages per cone query
+	var baseCfg Config
+	newFixture(t, galaxies, func(c *Config) {
+		c.PageSize = pageSize
+		baseCfg = *c
+	})
+	if len(baseCfg.ConeServices) != 2 {
+		t.Fatalf("fixture has %d cone services, want primary+secondary", len(baseCfg.ConeServices))
+	}
+
+	// The partial-merge baseline: the same portal with the secondary archive
+	// never configured. Same underlying services, so the catalog bytes
+	// (including absolute cutout URLs) are directly comparable.
+	partialCfg := baseCfg
+	partialCfg.ConeServices = baseCfg.ConeServices[:1]
+	partial, err := New(partialCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partialCat, deg, err := partial.BuildCatalogReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deg) != 0 {
+		t.Fatalf("baseline build degraded: %+v", deg)
+	}
+	var want bytes.Buffer
+	if err := votable.WriteTable(&want, partialCat); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full build through a healthy proxy as the control: no degradation,
+	// secondary columns present (differs from the partial baseline).
+	healthy := httptest.NewServer(&flakyPages{
+		target: baseCfg.ConeServices[1], client: baseCfg.HTTPClient,
+	})
+	t.Cleanup(healthy.Close)
+	fullCfg := baseCfg
+	fullCfg.ConeServices = []string{baseCfg.ConeServices[0], healthy.URL}
+	full, err := New(fullCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCat, deg, err := full.BuildCatalogReport("COMA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deg) != 0 {
+		t.Fatalf("healthy proxied build degraded: %+v", deg)
+	}
+	var fullBytes bytes.Buffer
+	if err := votable.WriteTable(&fullBytes, fullCat); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fullBytes.Bytes(), want.Bytes()) {
+		t.Fatal("secondary archive adds nothing; the degradation sweep would test nothing")
+	}
+
+	for k := 1; k <= 4; k++ {
+		// Two independent builds at the same failure page: the degradation
+		// decision and the partial merge must repeat byte-identically.
+		var prev []byte
+		for attempt := 0; attempt < 2; attempt++ {
+			flaky := httptest.NewServer(&flakyPages{
+				target: baseCfg.ConeServices[1], client: baseCfg.HTTPClient, failAt: k,
+			})
+			cfg := baseCfg
+			cfg.ConeServices = []string{baseCfg.ConeServices[0], flaky.URL}
+			p, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cat, deg, err := p.BuildCatalogReport("COMA")
+			flaky.Close()
+			if err != nil {
+				t.Fatalf("k=%d: build failed outright, want graceful degradation: %v", k, err)
+			}
+			if len(deg) != 1 || deg[0].Op != "cone" || deg[0].Service != flaky.URL {
+				t.Fatalf("k=%d: degradation report = %+v, want one cone entry for the flaky archive", k, deg)
+			}
+			var got bytes.Buffer
+			if err := votable.WriteTable(&got, cat); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("k=%d attempt %d: partial merge differs from the secondary-free baseline", k, attempt)
+			}
+			if attempt > 0 && !bytes.Equal(got.Bytes(), prev) {
+				t.Errorf("k=%d: repeat build not deterministic", k)
+			}
+			prev = got.Bytes()
+		}
+	}
+}

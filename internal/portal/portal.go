@@ -79,6 +79,12 @@ type Config struct {
 	// byte-identical to the unpaged path. Zero keeps the classic
 	// one-response-per-query protocol.
 	PageSize int
+	// Priority is the fabric scheduling class the portal stamps on every
+	// compute submission (higher classes run first and, on a
+	// preemption-enabled fabric, may checkpoint-preempt lower ones). Zero is
+	// the default class. The HTML UI accepts a per-request ?priority=
+	// override on /analyze and /start.
+	Priority int
 	// MaxParallelQueries bounds how many archive calls (cone searches, SIA
 	// image searches, the cutout query) one portal operation issues
 	// concurrently. The archives are independent services, so the fan-out

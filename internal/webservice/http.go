@@ -2,6 +2,7 @@ package webservice
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -79,7 +80,12 @@ func (s *Service) Stats() ServiceStats {
 //	GET  /status?id=req-000001                        -> JSON Status
 //	GET  /result?lfn=NAME.vot                          -> VOTable
 //	POST /cancel?id=req-000001                         -> 202 Accepted
+//	POST /requeue?id=req-000001                        -> 202 Accepted
+//	       re-admits a failed journaled request under its original tenant
+//	       and priority and resumes it from its journal; shed like a fresh
+//	       submission (429/503 + Retry-After) when over quota
 //	GET  /stats                                        -> JSON ServiceStats
+//	       includes the fabric's preemption counters (Preempted/Requeued)
 //
 // With Config.EnablePprof set, the standard net/http/pprof profiling
 // endpoints are also mounted under /debug/pprof/.
@@ -163,6 +169,31 @@ func (s *Service) Handler() http.Handler {
 		}
 		if err := s.Cancel(req.URL.Query().Get("id")); err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+
+	mux.HandleFunc("/requeue", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.Requeue(req.URL.Query().Get("id")); err != nil {
+			if shed, ok := fabric.AsShed(err); ok {
+				secs := int((shed.RetryAfter + time.Second - 1) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				http.Error(w, err.Error(), shed.HTTPStatus)
+				return
+			}
+			if errors.Is(err, ErrNotFound) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)

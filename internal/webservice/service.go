@@ -67,7 +67,12 @@ type State string
 const (
 	// StateQueued means the request was admitted but is waiting for the
 	// fabric's fair-share scheduler to grant it a workflow slot.
-	StateQueued    State = "queued"
+	StateQueued State = "queued"
+	// StatePreempted means the fabric revoked the workflow's slot for a
+	// higher-priority class: the run checkpoint-stopped at a journal event
+	// boundary and is back in the queue, resuming from its journal when a
+	// slot is granted again.
+	StatePreempted State = "preempted"
 	StateRunning   State = "running"
 	StateCompleted State = "completed"
 	StateFailed    State = "failed"
@@ -112,6 +117,16 @@ type RunStats struct {
 	// Wave execution accounting (Config.WaveSize > 0).
 	Waves        int // concrete waves planned and released
 	MaxWaveNodes int // largest single wave — the bounded peak DAG footprint
+	// ImagesEvicted counts staged cutouts deleted from the cache store
+	// once their wave's outputs were registered; PeakStagedImages is the
+	// high-water mark of live staged cutouts — bounded by the wave size
+	// instead of the whole survey when eviction is on.
+	ImagesEvicted    int
+	PeakStagedImages int
+
+	// Preemptions counts how many times the fabric revoked this request's
+	// slot mid-run (each one checkpoint-stopped, requeued and resumed).
+	Preemptions int
 }
 
 // Wide-area SIA cost model (2003-era numbers): each HTTP request pays a
@@ -130,6 +145,7 @@ type Status struct {
 	ID        string
 	Cluster   string
 	Tenant    string
+	Priority  int // fabric scheduling class the request was admitted at
 	State     State
 	Message   string
 	ResultLFN string
@@ -226,6 +242,12 @@ type Config struct {
 	// appends (the record at the crash point is never written) — the
 	// deterministic kill switch of the kill-and-resume campaign.
 	CrashAfterEvents int
+	// WrapJournal, when set, wraps each workflow leg's journal sink (applied
+	// after the crash switch when both are configured). Campaign tests
+	// interpose event-counting triggers here — e.g. admitting a
+	// higher-priority workflow after exactly k appends, so a preemption
+	// lands at a chosen journal-event boundary deterministically.
+	WrapJournal func(tenant, cluster string, sink journal.Sink) journal.Sink
 	// Selection overrides Pegasus's site-selection policy. The zero value is
 	// pegasus.SelectRandom (the paper's behaviour); pegasus.SelectLocality
 	// maps each job to the site whose replicas make its inputs cheapest to
@@ -338,6 +360,10 @@ var (
 	ErrBadTable   = errors.New("webservice: input table must have id, acref columns")
 	ErrNoGalaxies = errors.New("webservice: input table has no rows")
 	ErrNotFound   = errors.New("webservice: unknown request id")
+	// ErrPreempted marks a workflow leg that checkpoint-stopped because the
+	// fabric revoked its lease. It is not a failure: the workflow requeues
+	// and resumes from its journal when a slot is granted again.
+	ErrPreempted = errors.New("webservice: preempted by the fabric scheduler")
 )
 
 // New validates the configuration and builds a service.
@@ -431,7 +457,7 @@ func (s *Service) SubmitFor(tab *votable.Table, cluster string, opt RequestOptio
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("req-%06d", s.nextID)
-	st := &Status{ID: id, Cluster: cluster, Tenant: opt.tenant(),
+	st := &Status{ID: id, Cluster: cluster, Tenant: opt.tenant(), Priority: opt.Priority,
 		State: StateQueued, Message: "queued for fair-share scheduling"}
 	if ticket.Granted() {
 		st.State = StateRunning
@@ -458,12 +484,17 @@ func (s *Service) SubmitFor(tab *votable.Table, cluster string, opt RequestOptio
 			st.Message = "running"
 		}
 		s.mu.Unlock()
-		out, stats, err := s.computeGranted(ctx, lease, tab, cluster, opt, func(done, total int) {
+		onProgress := func(done, total int) {
 			s.mu.Lock()
 			st.JobsDone = done
 			st.JobsTotal = total
 			s.mu.Unlock()
-		})
+		}
+		out, stats, err := s.preemptible(ctx, lease, cluster, opt, onProgress,
+			s.publishState(st),
+			func(l *fabric.Lease) (string, RunStats, error) {
+				return s.computeGranted(ctx, l, tab, cluster, opt, onProgress)
+			})
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		delete(s.cancels, id)
@@ -479,6 +510,22 @@ func (s *Service) SubmitFor(tab *votable.Table, cluster string, opt RequestOptio
 		st.ResultLFN = out
 	}()
 	return id, nil
+}
+
+// publishState mirrors a preemption cycle's state flips onto a request's
+// polled status.
+func (s *Service) publishState(st *Status) func(State) {
+	return func(state State) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st.State = state
+		switch state {
+		case StatePreempted:
+			st.Message = "preempted: checkpoint-stopped, requeued for fair-share scheduling"
+		case StateRunning:
+			st.Message = "resumed after preemption"
+		}
+	}
 }
 
 // Reopen builds a fresh service on the same Grid substrate (RLS, catalogs,
@@ -504,6 +551,91 @@ func (s *Service) Cancel(id string) error {
 	if cancel, ok := s.cancels[id]; ok {
 		cancel()
 	}
+	return nil
+}
+
+// Requeue re-admits a failed journaled request — canceled, crashed or
+// shed mid-flight — under its original tenant and priority class, and
+// resumes it from its scoped journal in the background (the /cancel
+// counterpart: where Cancel stops a request, Requeue puts one back).
+// Fabric-revoked requests requeue themselves; this is the operator path
+// for everything else. Admission is not bypassed: an over-quota requeue
+// sheds like any fresh submission.
+func (s *Service) Requeue(id string) error {
+	if s.cfg.JournalDir == "" {
+		return errors.New("webservice: requeue requires JournalDir")
+	}
+	s.mu.Lock()
+	st, ok := s.requests[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if st.State != StateFailed {
+		s.mu.Unlock()
+		return fmt.Errorf("webservice: request %q is %s; only failed requests requeue", id, st.State)
+	}
+	opt := RequestOptions{Tenant: st.Tenant, Priority: st.Priority}
+	s.mu.Unlock()
+
+	ticket, err := s.cfg.Fabric.Admit(opt.tenant(), opt.Priority)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	st.State = StateQueued
+	st.Message = "requeued for fair-share scheduling"
+	if ticket.Granted() {
+		st.State = StateRunning
+		st.Message = "requeued: resuming from journal"
+	}
+	s.cancels[id] = cancel
+	cluster := st.Cluster
+	s.mu.Unlock()
+
+	go func() {
+		lease, werr := ticket.Wait(ctx)
+		if werr != nil {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			delete(s.cancels, id)
+			cancel()
+			st.State = StateFailed
+			st.Message = "canceled while requeued: " + werr.Error()
+			return
+		}
+		s.mu.Lock()
+		if st.State == StateQueued {
+			st.State = StateRunning
+			st.Message = "requeued: resuming from journal"
+		}
+		s.mu.Unlock()
+		onProgress := func(done, total int) {
+			s.mu.Lock()
+			st.JobsDone = done
+			st.JobsTotal = total
+			s.mu.Unlock()
+		}
+		out, stats, err := s.preemptible(ctx, lease, cluster, opt, onProgress,
+			s.publishState(st),
+			func(l *fabric.Lease) (string, RunStats, error) {
+				return s.resumeGranted(ctx, l, cluster, opt, onProgress)
+			})
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.cancels, id)
+		cancel()
+		st.Stats = stats
+		if err != nil {
+			st.State = StateFailed
+			st.Message = err.Error()
+			return
+		}
+		st.State = StateCompleted
+		st.Message = "job completed"
+		st.ResultLFN = out
+	}()
 	return nil
 }
 
@@ -638,7 +770,63 @@ func (s *Service) ComputeFor(ctx context.Context, tab *votable.Table, cluster st
 	if err != nil {
 		return "", stats, fmt.Errorf("webservice: canceled while queued: %w", err)
 	}
-	return s.computeGranted(ctx, lease, tab, cluster, opt, onProgress)
+	return s.preemptible(ctx, lease, cluster, opt, onProgress, nil,
+		func(l *fabric.Lease) (string, RunStats, error) {
+			return s.computeGranted(ctx, l, tab, cluster, opt, onProgress)
+		})
+}
+
+// preemptible runs one workflow leg (first) under the fabric's preemption
+// protocol: when the scheduler revokes the lease mid-run the leg
+// checkpoint-stops at the next journal event boundary (ErrPreempted); the
+// loop answers with lease.Preempted — releasing the slot, charging the
+// partial model time, and re-entering the queue at the original priority
+// class — waits for a fresh grant, and resumes from the scoped journal.
+// It repeats until the workflow finishes, fails for a real reason, or is
+// canceled while requeued. onState (optional) observes the
+// preempted/running flips of each cycle.
+func (s *Service) preemptible(ctx context.Context, lease *fabric.Lease, cluster string,
+	opt RequestOptions, onProgress func(done, total int), onState func(State),
+	first func(*fabric.Lease) (string, RunStats, error)) (string, RunStats, error) {
+	out, stats, err := first(lease)
+	preemptions := 0
+	for errors.Is(err, ErrPreempted) {
+		ticket := lease.Preempted(stats.Makespan)
+		if ticket == nil {
+			break // lease already released: surface the leg's error
+		}
+		preemptions++
+		if onState != nil {
+			onState(StatePreempted)
+		}
+		var werr error
+		lease, werr = ticket.Wait(ctx)
+		if werr != nil {
+			stats.Preemptions = preemptions
+			return "", stats, fmt.Errorf("webservice: canceled while requeued after preemption: %w", werr)
+		}
+		if onState != nil {
+			onState(StateRunning)
+		}
+		out, stats, err = s.resumeGranted(ctx, lease, cluster, opt, onProgress)
+	}
+	stats.Preemptions = preemptions
+	return out, stats, err
+}
+
+// abortCheck is the DAGMan abort poll of every fabric-backed leg: a dead
+// context aborts the workflow (cancellation), a revoked lease
+// checkpoint-stops it at the next journal event boundary (preemption).
+func abortCheck(ctx context.Context, lease *fabric.Lease) func() error {
+	return func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if lease.IsRevoked() {
+			return ErrPreempted
+		}
+		return nil
+	}
 }
 
 // computeGranted runs the full §4.3 pipeline under a granted fabric lease.
@@ -647,7 +835,18 @@ func (s *Service) ComputeFor(ctx context.Context, tab *votable.Table, cluster st
 func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *votable.Table,
 	cluster string, opt RequestOptions, onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
 	var stats RunStats
-	defer func() { lease.Done(stats.Makespan, retErr != nil) }()
+	// A preempted leg does not release the lease here: the caller answers
+	// the revocation with lease.Preempted, which requeues the workflow.
+	defer func() {
+		if !errors.Is(retErr, ErrPreempted) {
+			lease.Done(stats.Makespan, retErr != nil)
+		}
+	}()
+	// Only a journaled workflow can checkpoint-stop, so only those opt
+	// into scheduler revocation.
+	if s.cfg.JournalDir != "" {
+		lease.SetPreemptible(true)
+	}
 	tenant := opt.tenant()
 	if s.cfg.Proxy != nil {
 		proxy, err := s.cfg.Proxy()
@@ -723,10 +922,10 @@ func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *
 	var runMu sync.Mutex
 	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
 	opts := dagman.Options{
-		MaxRetries:  s.cfg.MaxRetries,
-		ClusterSize: s.cfg.ClusterSize,
-		MaxInFlight: lease.MaxRunningJobs(),
-		Check:       func() error { return ctx.Err() },
+		MaxRetries:    s.cfg.MaxRetries,
+		ClusterSize:   s.cfg.ClusterSize,
+		MaxInFlightFn: lease.JobAllowance,
+		Check:         abortCheck(ctx, lease),
 	}
 	if s.cfg.RetryPolicy != nil {
 		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
@@ -755,6 +954,12 @@ func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *
 		// disk — the journal is the crash-recovery contract, so that is a
 		// run failure, not a cleanup detail.
 		defer func() {
+			if errors.Is(retErr, ErrPreempted) {
+				// Best-effort checkpoint marker: DAGMan already journaled
+				// the abort, so replay is correct without it.
+				_ = jw.Append(journal.Record{Kind: journal.KindPreempted,
+					Detail: "lease revoked; checkpoint-stopped at event boundary"})
+			}
 			if cerr := jw.Close(); cerr != nil && retErr == nil {
 				retErr = fmt.Errorf("webservice: closing journal: %w", cerr)
 			}
@@ -770,6 +975,9 @@ func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *
 		opts.Journal = journal.Sink(jw)
 		if s.cfg.CrashAfterEvents > 0 {
 			opts.Journal = &journal.CrashSink{Sink: jw, After: s.cfg.CrashAfterEvents}
+		}
+		if s.cfg.WrapJournal != nil {
+			opts.Journal = s.cfg.WrapJournal(tenant, cluster, opts.Journal)
 		}
 	}
 	total := plan.Concrete.Len()
@@ -866,13 +1074,21 @@ func (s *Service) ResumeFor(ctx context.Context, cluster string, opt RequestOpti
 	if err != nil {
 		return "", stats, fmt.Errorf("webservice: canceled while queued: %w", err)
 	}
-	return s.resumeGranted(ctx, lease, cluster, opt, onProgress)
+	return s.preemptible(ctx, lease, cluster, opt, onProgress, nil,
+		func(l *fabric.Lease) (string, RunStats, error) {
+			return s.resumeGranted(ctx, l, cluster, opt, onProgress)
+		})
 }
 
 func (s *Service) resumeGranted(ctx context.Context, lease *fabric.Lease, cluster string,
 	opt RequestOptions, onProgress func(done, total int)) (_ string, _ RunStats, retErr error) {
 	var stats RunStats
-	defer func() { lease.Done(stats.Makespan, retErr != nil) }()
+	defer func() {
+		if !errors.Is(retErr, ErrPreempted) {
+			lease.Done(stats.Makespan, retErr != nil)
+		}
+	}()
+	lease.SetPreemptible(true) // a resumable run is by definition journaled
 	tenant := opt.tenant()
 	outLFN := outputLFN(cluster)
 
@@ -905,6 +1121,10 @@ func (s *Service) resumeGranted(ctx context.Context, lease *fabric.Lease, cluste
 		return "", stats, fmt.Errorf("webservice: resume %s: %w", cluster, err)
 	}
 	defer func() {
+		if errors.Is(retErr, ErrPreempted) {
+			_ = jw.Append(journal.Record{Kind: journal.KindPreempted,
+				Detail: "lease revoked; checkpoint-stopped at event boundary"})
+		}
 		if cerr := jw.Close(); cerr != nil && retErr == nil {
 			retErr = fmt.Errorf("webservice: closing journal: %w", cerr)
 		}
@@ -919,15 +1139,18 @@ func (s *Service) resumeGranted(ctx context.Context, lease *fabric.Lease, cluste
 	var runMu sync.Mutex
 	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
 	opts := dagman.Options{
-		MaxRetries:  s.cfg.MaxRetries,
-		ClusterSize: s.cfg.ClusterSize,
-		MaxInFlight: lease.MaxRunningJobs(),
-		Completed:   done,
-		Check:       func() error { return ctx.Err() },
-		Journal:     journal.Sink(jw),
+		MaxRetries:    s.cfg.MaxRetries,
+		ClusterSize:   s.cfg.ClusterSize,
+		MaxInFlightFn: lease.JobAllowance,
+		Completed:     done,
+		Check:         abortCheck(ctx, lease),
+		Journal:       journal.Sink(jw),
 	}
 	if s.cfg.CrashAfterEvents > 0 {
 		opts.Journal = &journal.CrashSink{Sink: jw, After: s.cfg.CrashAfterEvents}
+	}
+	if s.cfg.WrapJournal != nil {
+		opts.Journal = s.cfg.WrapJournal(tenant, cluster, opts.Journal)
 	}
 	if s.cfg.RetryPolicy != nil {
 		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
@@ -1157,6 +1380,40 @@ func (s *Service) storeImage(lfn string, data []byte) error {
 		}
 	}
 	return nil
+}
+
+// evictImage removes one staged cutout from the cache (and mirror) store
+// and withdraws its RLS registrations — the survey-scale reclamation path
+// for images whose derived outputs are already registered. Copies a
+// previous process staged and this one never saw are simply absent;
+// eviction reports whether any replica was actually removed here.
+func (s *Service) evictImage(lfn string) bool {
+	evicted := false
+	sites := []string{s.cfg.CacheSite}
+	if m := s.cfg.MirrorSite; m != "" && m != s.cfg.CacheSite {
+		sites = append(sites, m)
+	}
+	for _, site := range sites {
+		if err := s.cfg.GridFTP.Store(site).Delete(lfn); err == nil {
+			evicted = true
+		}
+		// Withdrawing a replica that was never registered is a no-op.
+		_ = s.cfg.RLS.Unregister(lfn, rls.PFN{Site: site, URL: gridftp.URL(site, lfn)})
+	}
+	s.replicas.Invalidate(lfn)
+	return evicted
+}
+
+// countStagedImages counts the cutout images currently held by the cache
+// store — the footprint wave eviction bounds.
+func (s *Service) countStagedImages() int {
+	n := 0
+	for _, name := range s.cfg.GridFTP.Store(s.cfg.CacheSite).List() {
+		if strings.HasSuffix(name, ".fit") {
+			n++
+		}
+	}
+	return n
 }
 
 // buildVDL renders the derivation file for one request: the galMorph and

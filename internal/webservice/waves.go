@@ -132,10 +132,10 @@ func (s *Service) computeWaves(ctx context.Context, lease *fabric.Lease, tab *vo
 	}
 
 	opts := dagman.Options{
-		MaxRetries:  s.cfg.MaxRetries,
-		ClusterSize: s.cfg.ClusterSize,
-		MaxInFlight: lease.MaxRunningJobs(),
-		Check:       func() error { return ctx.Err() },
+		MaxRetries:    s.cfg.MaxRetries,
+		ClusterSize:   s.cfg.ClusterSize,
+		MaxInFlightFn: lease.JobAllowance,
+		Check:         abortCheck(ctx, lease),
 	}
 	if s.cfg.RetryPolicy != nil {
 		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
@@ -157,6 +157,10 @@ func (s *Service) computeWaves(ctx context.Context, lease *fabric.Lease, tab *vo
 			return "", err
 		}
 		defer func() {
+			if errors.Is(retErr, ErrPreempted) {
+				_ = jw.Append(journal.Record{Kind: journal.KindPreempted,
+					Detail: "lease revoked; checkpoint-stopped at event boundary"})
+			}
 			if cerr := jw.Close(); cerr != nil && retErr == nil {
 				retErr = fmt.Errorf("webservice: closing journal: %w", cerr)
 			}
@@ -171,6 +175,9 @@ func (s *Service) computeWaves(ctx context.Context, lease *fabric.Lease, tab *vo
 		opts.Journal = journal.Sink(jw)
 		if s.cfg.CrashAfterEvents > 0 {
 			opts.Journal = &journal.CrashSink{Sink: jw, After: s.cfg.CrashAfterEvents}
+		}
+		if s.cfg.WrapJournal != nil {
+			opts.Journal = s.cfg.WrapJournal(tenant, cluster, opts.Journal)
 		}
 	}
 
@@ -211,6 +218,10 @@ func (s *Service) resumeWaves(ctx context.Context, lease *fabric.Lease, cluster,
 		return "", fmt.Errorf("webservice: resume %s: %w", cluster, err)
 	}
 	defer func() {
+		if errors.Is(retErr, ErrPreempted) {
+			_ = jw.Append(journal.Record{Kind: journal.KindPreempted,
+				Detail: "lease revoked; checkpoint-stopped at event boundary"})
+		}
 		if cerr := jw.Close(); cerr != nil && retErr == nil {
 			retErr = fmt.Errorf("webservice: closing journal: %w", cerr)
 		}
@@ -228,15 +239,18 @@ func (s *Service) resumeWaves(ctx context.Context, lease *fabric.Lease, cluster,
 	}
 
 	opts := dagman.Options{
-		MaxRetries:  s.cfg.MaxRetries,
-		ClusterSize: s.cfg.ClusterSize,
-		MaxInFlight: lease.MaxRunningJobs(),
-		Completed:   journal.CompletedNodes(recs),
-		Check:       func() error { return ctx.Err() },
-		Journal:     journal.Sink(jw),
+		MaxRetries:    s.cfg.MaxRetries,
+		ClusterSize:   s.cfg.ClusterSize,
+		MaxInFlightFn: lease.JobAllowance,
+		Completed:     journal.CompletedNodes(recs),
+		Check:         abortCheck(ctx, lease),
+		Journal:       journal.Sink(jw),
 	}
 	if s.cfg.CrashAfterEvents > 0 {
 		opts.Journal = &journal.CrashSink{Sink: jw, After: s.cfg.CrashAfterEvents}
+	}
+	if s.cfg.WrapJournal != nil {
+		opts.Journal = s.cfg.WrapJournal(tenant, cluster, opts.Journal)
 	}
 	if s.cfg.RetryPolicy != nil {
 		opts.RetryPolicy = s.cfg.RetryPolicy.DAGManPolicy()
@@ -276,7 +290,30 @@ func (s *Service) runWaves(planner *pegasus.WavePlanner, refs []imageRef, cat *v
 		}
 	}
 
+	// evict reclaims a completed leaf wave's staged cutouts: once a wave's
+	// derived outputs are registered in the RLS its input images are dead
+	// weight, so the store's peak footprint stays bounded by one wave
+	// instead of accumulating the whole survey. Inputs whose output is not
+	// registered (a rescue re-run may need them) are kept.
+	evict := func(w int) {
+		if w < 0 || w >= planner.LeafWaves() {
+			return
+		}
+		lo, hi := planner.WaveBounds(w)
+		for _, r := range refs[lo:hi] {
+			if !s.cfg.RLS.Exists(r.id + ".txt") {
+				continue
+			}
+			if s.evictImage(r.id + ".fit") {
+				stats.ImagesEvicted++
+			}
+		}
+	}
+
 	next := func(w int) (*dag.Graph, error) {
+		// Waves release sequentially: wave w-1 has completed (and
+		// registered its outputs) by the time wave w is staged.
+		evict(w - 1)
 		if w >= planner.Waves() {
 			return nil, nil
 		}
@@ -284,6 +321,9 @@ func (s *Service) runWaves(planner *pegasus.WavePlanner, refs []imageRef, cat *v
 			lo, hi := planner.WaveBounds(w)
 			if err := s.cacheImageRefs(refs[lo:hi], stats); err != nil {
 				return nil, err
+			}
+			if n := s.countStagedImages(); n > stats.PeakStagedImages {
+				stats.PeakStagedImages = n
 			}
 		}
 		plan, err := planner.Plan(w)

@@ -73,6 +73,21 @@ func TestSurveyWaveByteIdentity1k(t *testing.T) {
 	if classic.ComputeJobs != waved.ComputeJobs {
 		t.Errorf("compute jobs diverge: classic %d, waves %d", classic.ComputeJobs, waved.ComputeJobs)
 	}
-	t.Logf("1k survey: waves=%d maxWaveNodes=%d (classic plan holds all %d jobs at once)",
-		waved.Waves, waved.MaxWaveNodes, classic.ComputeJobs)
+
+	// Wave-cache eviction: once a wave's outputs are registered in the RLS,
+	// its staged cutouts are dropped from the GridFTP cache, so the peak
+	// number of staged images is bounded by the wave size — not the survey —
+	// and every leaf image is eventually evicted. The monolithic run keeps
+	// everything staged (no waves, nothing evicted).
+	if waved.ImagesEvicted != galaxies {
+		t.Errorf("images evicted = %d, want %d (every staged cutout)", waved.ImagesEvicted, galaxies)
+	}
+	if waved.PeakStagedImages == 0 || waved.PeakStagedImages > waveSize {
+		t.Errorf("peak staged images = %d, want (0, %d]", waved.PeakStagedImages, waveSize)
+	}
+	if classic.ImagesEvicted != 0 {
+		t.Errorf("monolithic run evicted %d images, want 0", classic.ImagesEvicted)
+	}
+	t.Logf("1k survey: waves=%d maxWaveNodes=%d peakStaged=%d evicted=%d (classic plan holds all %d jobs at once)",
+		waved.Waves, waved.MaxWaveNodes, waved.PeakStagedImages, waved.ImagesEvicted, classic.ComputeJobs)
 }
