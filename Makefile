@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint chaos bench emit-bench recovery fuzz tenants survey soak verify
+.PHONY: build test vet lint chaos bench emit-bench recovery fuzz tenants survey soak hotbench verify
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The nvolint suite: six analyzers enforcing the determinism, clock and
+# The nvolint suite: seven analyzers enforcing the determinism, clock and
 # resource-hygiene invariants (see README "Static analysis"). The binary
 # build goes through the Go build cache, so a warm rebuild is free; it
 # runs both standalone and as a go vet -vettool, which exercises the
@@ -77,11 +77,21 @@ soak:
 	SOAK_WORKFLOWS=$(SOAK_WORKFLOWS) $(GO) test -race -run 'TestSoak' -v .
 	$(GO) test -race -run 'TestPreempt' -v ./internal/webservice/
 
+# The hot-path allocation gate, race-enabled: the zero-copy + arena measure
+# pipeline must stay within its per-galaxy allocation budget and at least
+# 2x below the legacy Decode+Measure pipeline, and the two must agree
+# bit-for-bit (the equivalence pins in morphology/fits/tableops). Fails
+# fast on any AllocsPerRun regression.
+hotbench:
+	$(GO) test -race -run 'TestHotPathAllocBudget' -v .
+	$(GO) test -race -run 'TestMeasureRaw|TestParseViewAllocBudget|TestAppendResultMatchesFmt|TestSpoolIn' ./internal/morphology/ ./internal/fits/ ./internal/webservice/ ./internal/tableops/
+
 # Full verification gate: vet, build, the nvolint invariants, the
 # race-enabled suite, the chaos campaign under the race detector,
 # journal-replay idempotence, the multi-tenant fabric campaign, the
 # survey-scale streaming smoke, the preemption soak (scaled down for the
-# gate; `make soak` runs the full fleet), and the codec fuzz smoke.
+# gate; `make soak` runs the full fleet), the hot-path allocation gate,
+# and the codec fuzz smoke.
 verify: vet build lint
 	$(GO) test -race ./...
 	$(MAKE) chaos
@@ -89,4 +99,5 @@ verify: vet build lint
 	$(MAKE) tenants
 	$(MAKE) survey
 	$(MAKE) soak SOAK_WORKFLOWS=600
+	$(MAKE) hotbench
 	$(MAKE) fuzz

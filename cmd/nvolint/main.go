@@ -1,9 +1,9 @@
 // Command nvolint statically enforces the repo's determinism, clock
 // and resource-hygiene invariants — the properties the byte-identity
 // and crash-recovery campaigns (PRs 1–4) otherwise only probe
-// dynamically. It runs six analyzers (noclock, seededrand, mapiter,
-// sharedclient, errclose, fabricpool; see `nvolint -h` or the README's
-// "Static analysis" section) over package patterns:
+// dynamically. It runs seven analyzers (noclock, seededrand, mapiter,
+// sharedclient, errclose, fabricpool, hotalloc; see `nvolint -h` or the
+// README's "Static analysis" section) over package patterns:
 //
 //	nvolint ./...                               # standalone
 //	go vet -vettool=$(command -v nvolint) ./... # as a vet tool

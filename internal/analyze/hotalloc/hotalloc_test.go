@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analyzetest.Run(t, "testdata", hotalloc.Analyzer, "src/a")
+}
+
+func TestHotAllocSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", hotalloc.Analyzer, "src/sup")
+}

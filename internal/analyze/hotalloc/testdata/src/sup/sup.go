@@ -1,0 +1,21 @@
+// Package sup exercises hotalloc suppression: a directive with a
+// reason silences the finding; a reasonless one suppresses nothing and
+// is itself diagnosed.
+package sup
+
+// coldFallback documents why its one allocation is acceptable.
+//
+//nvo:hotpath
+func coldFallback(cells []string) []string {
+	//nvolint:ignore hotalloc cold fallback used only when no arena is configured
+	return append([]string(nil), cells...)
+}
+
+// reasonless shows the directive without a reason: the finding stands
+// and the directive is diagnosed.
+//
+//nvo:hotpath
+func reasonless(n int) []float64 {
+	//nvolint:ignore hotalloc // want `nvolint:ignore directive requires a reason`
+	return make([]float64, n) // want `make in hot-path function reasonless allocates per call`
+}

@@ -1,6 +1,6 @@
-// Package suite assembles the nvolint analyzer fleet — the six
-// checks that together make the repo's determinism, clock and
-// resource-hygiene invariants a compile-time property:
+// Package suite assembles the nvolint analyzer fleet — the seven
+// checks that together make the repo's determinism, clock,
+// resource-hygiene and hot-path invariants a compile-time property:
 //
 //	noclock      no wall clock in library/simulation code
 //	seededrand   no process-global math/rand
@@ -8,6 +8,7 @@
 //	sharedclient no HTTP client construction outside internal/httpclient
 //	errclose     no dropped Close/Flush/Sync errors on write paths
 //	fabricpool   no Condor simulator construction outside internal/fabric
+//	hotalloc     no per-request heap allocation in //nvo:hotpath functions
 //
 // cmd/nvolint runs this fleet standalone and as a `go vet -vettool`;
 // the suite test runs it over the whole tree and fails on any finding,
@@ -18,6 +19,7 @@ import (
 	"repro/internal/analyze"
 	"repro/internal/analyze/errclose"
 	"repro/internal/analyze/fabricpool"
+	"repro/internal/analyze/hotalloc"
 	"repro/internal/analyze/mapiter"
 	"repro/internal/analyze/noclock"
 	"repro/internal/analyze/seededrand"
@@ -33,5 +35,6 @@ func Analyzers() []*analyze.Analyzer {
 		sharedclient.Analyzer,
 		errclose.Analyzer,
 		fabricpool.Analyzer,
+		hotalloc.Analyzer,
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/wcs"
 )
@@ -32,6 +33,18 @@ const CardSize = 80
 
 // cardsPerBlock is the number of header cards per logical record.
 const cardsPerBlock = BlockSize / CardSize
+
+// blockPool recycles the 2880-byte record buffers Encode, Decode and the
+// header reader work through. Every galaxy measured and every cutout
+// written cycles at least two of these; pooling keeps the block traffic
+// off the per-request allocation budget.
+var blockPool = sync.Pool{New: func() any {
+	b := make([]byte, BlockSize)
+	return &b
+}}
+
+func getBlock() *[]byte  { return blockPool.Get().(*[]byte) }
+func putBlock(b *[]byte) { blockPool.Put(b) }
 
 // Errors returned by the decoder.
 var (
@@ -238,6 +251,10 @@ func (im *Image) Cutout(x0, y0, w, h int) (*Image, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("fits: cutout size %dx%d must be positive", w, h)
 	}
+	// Remember the requested origin: the error must name the rectangle the
+	// caller asked for, not the clipped coordinates (which degenerate to
+	// (0,0) for any fully off-image request and made the message opaque).
+	rx0, ry0 := x0, y0
 	x1 := x0 + w
 	y1 := y0 + h
 	if x0 < 0 {
@@ -253,7 +270,7 @@ func (im *Image) Cutout(x0, y0, w, h int) (*Image, error) {
 		y1 = im.Ny
 	}
 	if x0 >= x1 || y0 >= y1 {
-		return nil, fmt.Errorf("fits: cutout (%d,%d)+%dx%d outside %dx%d image", x0, y0, w, h, im.Nx, im.Ny)
+		return nil, fmt.Errorf("fits: cutout (%d,%d)+%dx%d outside %dx%d image", rx0, ry0, w, h, im.Nx, im.Ny)
 	}
 
 	out := NewImage(x1-x0, y1-y0, im.Bitpix)
@@ -423,7 +440,9 @@ func writeData(w io.Writer, im *Image) error {
 	}
 
 	bytesPerPix := abs(im.Bitpix) / 8
-	block := make([]byte, BlockSize)
+	blockBuf := getBlock()
+	defer putBlock(blockBuf)
+	block := *blockBuf
 	fill := 0
 	for _, phys := range im.Data {
 		stored := (phys - bzero) / bscale
@@ -624,7 +643,9 @@ func Decode(r io.Reader) (*Image, error) {
 	// legal pixel width divides BlockSize, so no pixel straddles a record —
 	// instead of materializing the whole (padded) array before decoding.
 	im := &Image{Header: h, Nx: nx, Ny: ny, Bitpix: bitpix, Data: make([]float64, n)}
-	block := make([]byte, BlockSize)
+	blockBuf := getBlock()
+	defer putBlock(blockBuf)
+	block := *blockBuf
 	i := 0
 	for read := 0; read < dataLen; {
 		chunk := dataLen - read
@@ -668,7 +689,9 @@ func Decode(r io.Reader) (*Image, error) {
 // readHeader consumes 2880-byte records until an END card appears.
 func readHeader(r io.Reader) (*Header, error) {
 	h := NewHeader()
-	block := make([]byte, BlockSize)
+	blockBuf := getBlock()
+	defer putBlock(blockBuf)
+	block := *blockBuf
 	for blockNum := 0; ; blockNum++ {
 		if _, err := io.ReadFull(r, block); err != nil {
 			return nil, fmt.Errorf("%w: header block %d: %v", ErrBadHeader, blockNum, err)

@@ -1,0 +1,467 @@
+// Zero-copy FITS reads. A View wraps the raw encoded bytes of one FITS
+// file and decodes pixels on demand, straight out of the 2880-byte logical
+// records — no intermediate full-image []float64, no Header allocation. It
+// is the request hot path's replacement for Decode (+ Cutout): the
+// webservice's per-galaxy measurement parses a View over the staged bytes
+// and streams the pixels into an arena-backed buffer.
+//
+// A View accepts every stream Decode accepts and produces bit-identical
+// pixel values (the physical value is computed as BZERO + BSCALE*stored
+// with the exact same floating-point expression). It is lenient only about
+// header cards it never consults: a malformed card with an irrelevant
+// keyword fails Decode but not ParseView. Errors on the shared rejection
+// domain — bad geometry, unsupported BITPIX, truncated data — carry the
+// same text as Decode's.
+package fits
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// View is a zero-copy window over one encoded FITS image. The raw bytes
+// must not be mutated while the View is in use.
+type View struct {
+	raw     []byte
+	dataOff int // offset of the data array (header blocks end here)
+
+	Nx, Ny int
+	Bitpix int     // 8, 16, 32, -32 or -64
+	Bscale float64 // linear scaling: physical = Bzero + Bscale*stored
+	Bzero  float64
+}
+
+// Header-value slots the view scan consults.
+const (
+	kwSimple = iota
+	kwBitpix
+	kwNaxis
+	kwNaxis1
+	kwNaxis2
+	kwBscale
+	kwBzero
+	numKW
+)
+
+// scanVal is one header value in the shape Header.Int/Float/Bool see it:
+// typed, with absence and type mismatches falling back to defaults.
+type scanVal struct {
+	kind byte // 0 absent/valueless, 'b' bool, 'i' int, 'f' float, 's' string
+	b    bool
+	i    int64
+	f    float64
+}
+
+func (v scanVal) toBool(def bool) bool {
+	if v.kind == 'b' {
+		return v.b
+	}
+	return def
+}
+
+func (v scanVal) toInt(def int64) int64 {
+	switch v.kind {
+	case 'i':
+		return v.i
+	case 'f':
+		return int64(v.f)
+	}
+	return def
+}
+
+func (v scanVal) toFloat(def float64) float64 {
+	switch v.kind {
+	case 'f':
+		return v.f
+	case 'i':
+		return float64(v.i)
+	}
+	return def
+}
+
+// ParseView validates raw as a single-HDU two-dimensional FITS image and
+// returns a zero-copy view over it. Validation mirrors Decode: same
+// geometry and BITPIX checks, same tolerance for absent trailing padding,
+// same error text. The scan allocates only when parsing numeric card
+// values (strconv needs a string); it never builds a Header.
+func ParseView(raw []byte) (View, error) {
+	vals, dataOff, err := scanViewHeader(raw)
+	if err != nil {
+		return View{}, err
+	}
+	if !vals[kwSimple].toBool(false) {
+		return View{}, ErrNotFITS
+	}
+	naxis := vals[kwNaxis].toInt(0)
+	if naxis != 2 {
+		return View{}, fmt.Errorf("%w: NAXIS=%d (only 2-D images supported)", ErrUnsupported, naxis)
+	}
+	nx := int(vals[kwNaxis1].toInt(0))
+	ny := int(vals[kwNaxis2].toInt(0))
+	bitpix := int(vals[kwBitpix].toInt(0))
+	if nx <= 0 || ny <= 0 {
+		return View{}, fmt.Errorf("%w: NAXIS1=%d NAXIS2=%d", ErrBadHeader, nx, ny)
+	}
+	switch bitpix {
+	case 8, 16, 32, -32, -64:
+	default:
+		return View{}, fmt.Errorf("%w: BITPIX %d", ErrUnsupported, bitpix)
+	}
+	dataLen := nx * ny * (abs(bitpix) / 8)
+	if avail := len(raw) - dataOff; avail < dataLen {
+		// Decode reads the array record by record: a completely absent
+		// array reports io.EOF, a mid-array truncation an unexpected EOF.
+		// Truncated trailing *padding* is tolerated, like Decode's lenient
+		// padding read.
+		cause := io.ErrUnexpectedEOF
+		if avail == 0 {
+			cause = io.EOF
+		}
+		return View{}, fmt.Errorf("%w: %v", ErrShortData, cause)
+	}
+	return View{
+		raw:     raw,
+		dataOff: dataOff,
+		Nx:      nx,
+		Ny:      ny,
+		Bitpix:  bitpix,
+		Bscale:  vals[kwBscale].toFloat(1),
+		Bzero:   vals[kwBzero].toFloat(0),
+	}, nil
+}
+
+// scanViewHeader walks the header records of raw, validating every card
+// exactly as readHeader+parseCard would (so malformed headers fail with
+// identical errors) while extracting only the values ParseView consults.
+// It returns the byte offset at which the data array begins.
+func scanViewHeader(raw []byte) (vals [numKW]scanVal, dataOff int, err error) {
+	for blockNum := 0; ; blockNum++ {
+		off := blockNum * BlockSize
+		if len(raw)-off < BlockSize {
+			cause := io.ErrUnexpectedEOF
+			if len(raw)-off <= 0 {
+				cause = io.EOF
+			}
+			return vals, 0, fmt.Errorf("%w: header block %d: %v", ErrBadHeader, blockNum, cause)
+		}
+		block := raw[off : off+BlockSize]
+		for i := 0; i < cardsPerBlock; i++ {
+			card := block[i*CardSize : (i+1)*CardSize]
+			// readHeader's keyword form: the 8-byte field right-trimmed of
+			// spaces (and only spaces), original case preserved.
+			kw := trimRightSpaces(card[:8])
+			if bytes.Equal(kw, kwEND) {
+				return vals, (blockNum + 1) * BlockSize, nil
+			}
+			if blockNum == 0 && i == 0 && !bytes.Equal(kw, kwSIMPLE) {
+				return vals, 0, ErrNotFITS
+			}
+			if len(kw) == 0 {
+				continue
+			}
+			sv, cerr := scanCardValue(kw, card)
+			if cerr != nil {
+				return vals, 0, cerr
+			}
+			if idx := kwIndex(kw); idx >= 0 {
+				// Header.Set replaces on duplicate keywords, so lookups see
+				// the last card's value; overwriting mirrors that.
+				vals[idx] = sv
+			}
+		}
+	}
+}
+
+var (
+	kwEND     = []byte("END")
+	kwSIMPLE  = []byte("SIMPLE")
+	kwCOMMENT = []byte("COMMENT")
+	kwHISTORY = []byte("HISTORY")
+)
+
+// trimRightSpaces mirrors strings.TrimRight(s, " "): spaces only.
+func trimRightSpaces(b []byte) []byte {
+	for len(b) > 0 && b[len(b)-1] == ' ' {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// kwIndex maps a raw keyword (readHeader form) to the value slot ParseView
+// consults, or -1. Matching applies Header.Set's normalization —
+// strings.ToUpper(strings.TrimSpace(kw)) — without allocating on the
+// all-ASCII path.
+func kwIndex(kw []byte) int {
+	var buf [8]byte
+	n := 0
+	start, end := 0, len(kw)
+	for start < end && asciiSpace(kw[start]) {
+		start++
+	}
+	for end > start && asciiSpace(kw[end-1]) {
+		end--
+	}
+	if end-start > len(buf) {
+		return -1 // longer than any target keyword
+	}
+	for _, c := range kw[start:end] {
+		if c >= 0x80 {
+			// Non-ASCII: fall back to the exact library normalization
+			// (ToUpper and TrimSpace have Unicode cases ASCII code misses).
+			return kwIndexSlow(string(kw))
+		}
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[n] = c
+		n++
+	}
+	return kwIndexNorm(string(buf[:n]))
+}
+
+func kwIndexSlow(kw string) int {
+	return kwIndexNorm(strings.ToUpper(strings.TrimSpace(kw)))
+}
+
+// kwIndexNorm matches a Set-normalized keyword against the consulted slots.
+func kwIndexNorm(kw string) int {
+	switch kw {
+	case "SIMPLE":
+		return kwSimple
+	case "BITPIX":
+		return kwBitpix
+	case "NAXIS":
+		return kwNaxis
+	case "NAXIS1":
+		return kwNaxis1
+	case "NAXIS2":
+		return kwNaxis2
+	case "BSCALE":
+		return kwBscale
+	case "BZERO":
+		return kwBzero
+	}
+	return -1
+}
+
+// asciiSpace reports the ASCII subset of unicode.IsSpace.
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
+}
+
+// scanCardValue is parseCard restricted to validation and typed-value
+// extraction: identical acceptance, identical errors, no Card, no comment
+// string, and no allocation except the string strconv needs for numeric
+// values (and the error paths).
+func scanCardValue(kw, card []byte) (scanVal, error) {
+	if bytes.Equal(kw, kwCOMMENT) || bytes.Equal(kw, kwHISTORY) {
+		return scanVal{}, nil
+	}
+	if len(card) < 10 || card[8] != '=' {
+		return scanVal{}, nil // valueless card
+	}
+	body := card[10:]
+	trimmed := body
+	for len(trimmed) > 0 && trimmed[0] == ' ' {
+		trimmed = trimmed[1:]
+	}
+	if len(trimmed) > 0 && trimmed[0] == '\'' {
+		// String value: find the closing quote, honoring '' escapes.
+		rest := trimmed[1:]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\'' {
+				if i+1 < len(rest) && rest[i+1] == '\'' {
+					i++
+					continue
+				}
+				return scanVal{kind: 's'}, nil
+			}
+		}
+		return scanVal{}, fmt.Errorf("%w: unterminated string in card %q", ErrBadHeader, string(kw))
+	}
+
+	// Non-string: value runs to '/' or end.
+	valPart := body
+	if slash := bytes.IndexByte(body, '/'); slash >= 0 {
+		valPart = body[:slash]
+	}
+	valStr := bytes.TrimSpace(valPart)
+	switch {
+	case len(valStr) == 0:
+		return scanVal{}, nil
+	case len(valStr) == 1 && valStr[0] == 'T':
+		return scanVal{kind: 'b', b: true}, nil
+	case len(valStr) == 1 && valStr[0] == 'F':
+		return scanVal{kind: 'b', b: false}, nil
+	}
+	s := string(valStr)
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return scanVal{kind: 'i', i: i}, nil
+	}
+	// FITS permits 'D' exponents in double-precision values.
+	if f, err := strconv.ParseFloat(strings.ReplaceAll(s, "D", "E"), 64); err == nil {
+		return scanVal{kind: 'f', f: f}, nil
+	}
+	return scanVal{}, fmt.Errorf("%w: unparsable value %q in card %q", ErrBadHeader, s, string(kw))
+}
+
+// NPix returns the number of pixels in the image.
+func (v *View) NPix() int { return v.Nx * v.Ny }
+
+// At returns the pixel at 0-based (x, y); out-of-range coordinates return
+// 0, like Image.At.
+//
+//nvo:hotpath
+func (v *View) At(x, y int) float64 {
+	if x < 0 || y < 0 || x >= v.Nx || y >= v.Ny {
+		return 0
+	}
+	var px [1]float64
+	v.readRange(px[:], y*v.Nx+x, 1)
+	return px[0]
+}
+
+// ReadInto decodes the full pixel array into dst, which must have capacity
+// for Nx*Ny values, and returns dst[:Nx*Ny]. Values are bit-identical to
+// Decode's Image.Data.
+//
+//nvo:hotpath
+func (v *View) ReadInto(dst []float64) []float64 {
+	return v.readRange(dst, 0, v.Nx*v.Ny)
+}
+
+// readRange decodes pixels [start, start+n) of the flat array into dst.
+// One loop per BITPIX keeps the per-pixel work branch-free; the physical
+// value uses Decode's exact expression (bzero + bscale*stored) so results
+// are bit-identical.
+//
+//nvo:hotpath
+func (v *View) readRange(dst []float64, start, n int) []float64 {
+	dst = dst[:n]
+	bs, bz := v.Bscale, v.Bzero
+	switch v.Bitpix {
+	case 8:
+		p := v.raw[v.dataOff+start:]
+		for i := 0; i < n; i++ {
+			dst[i] = bz + bs*float64(p[i])
+		}
+	case 16:
+		p := v.raw[v.dataOff+2*start:]
+		for i := 0; i < n; i++ {
+			dst[i] = bz + bs*float64(int16(binary.BigEndian.Uint16(p[2*i:])))
+		}
+	case 32:
+		p := v.raw[v.dataOff+4*start:]
+		for i := 0; i < n; i++ {
+			dst[i] = bz + bs*float64(int32(binary.BigEndian.Uint32(p[4*i:])))
+		}
+	case -32:
+		p := v.raw[v.dataOff+4*start:]
+		for i := 0; i < n; i++ {
+			dst[i] = bz + bs*float64(math.Float32frombits(binary.BigEndian.Uint32(p[4*i:])))
+		}
+	case -64:
+		p := v.raw[v.dataOff+8*start:]
+		for i := 0; i < n; i++ {
+			dst[i] = bz + bs*math.Float64frombits(binary.BigEndian.Uint64(p[8*i:]))
+		}
+	}
+	return dst
+}
+
+// Section is a zero-copy rectangular window into a View — the cutout
+// operation without the intermediate full-image decode.
+type Section struct {
+	view *View
+	// Clipped 0-based geometry, Cutout semantics.
+	X0, Y0, W, H int
+}
+
+// Section selects the w-by-h window whose lower-left corner is at 0-based
+// (x0, y0), clipping to the image bounds exactly as Image.Cutout does.
+// Regions entirely outside the image yield an error naming the requested
+// rectangle and the image dimensions.
+func (v *View) Section(x0, y0, w, h int) (Section, error) {
+	if w <= 0 || h <= 0 {
+		return Section{}, fmt.Errorf("fits: cutout size %dx%d must be positive", w, h)
+	}
+	rx0, ry0 := x0, y0
+	x1 := x0 + w
+	y1 := y0 + h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > v.Nx {
+		x1 = v.Nx
+	}
+	if y1 > v.Ny {
+		y1 = v.Ny
+	}
+	if x0 >= x1 || y0 >= y1 {
+		return Section{}, fmt.Errorf("fits: cutout (%d,%d)+%dx%d outside %dx%d image", rx0, ry0, w, h, v.Nx, v.Ny)
+	}
+	return Section{view: v, X0: x0, Y0: y0, W: x1 - x0, H: y1 - y0}, nil
+}
+
+// ReadInto decodes the section into dst, which must have capacity for W*H
+// values, and returns dst[:W*H]. Rows decode directly from the underlying
+// record bytes; the values are bit-identical to Cutout's Image.Data.
+//
+//nvo:hotpath
+func (s Section) ReadInto(dst []float64) []float64 {
+	dst = dst[:s.W*s.H]
+	for y := 0; y < s.H; y++ {
+		s.view.readRange(dst[y*s.W:(y+1)*s.W], (s.Y0+y)*s.view.Nx+s.X0, s.W)
+	}
+	return dst
+}
+
+// Image materializes the view as a decoded Image, identical (header,
+// geometry and pixel bits) to Decode over the same bytes. This is the
+// compatibility bridge for callers that need the full Header.
+func (v *View) Image() (*Image, error) {
+	h, err := readHeader(bytes.NewReader(v.raw))
+	if err != nil {
+		return nil, err
+	}
+	im := &Image{Header: h, Nx: v.Nx, Ny: v.Ny, Bitpix: v.Bitpix, Data: make([]float64, v.Nx*v.Ny)}
+	v.ReadInto(im.Data)
+	return im, nil
+}
+
+// Image materializes the section as a decoded Image, identical to
+// Decode followed by Cutout over the same bytes and rectangle: same
+// shifted WCS reference pixels, same copied cards, bit-identical pixels.
+func (s Section) Image() (*Image, error) {
+	h, err := readHeader(bytes.NewReader(s.view.raw))
+	if err != nil {
+		return nil, err
+	}
+	out := NewImage(s.W, s.H, s.view.Bitpix)
+	s.ReadInto(out.Data)
+	for _, c := range h.Cards() {
+		switch c.Keyword {
+		case "SIMPLE", "BITPIX", "NAXIS", "NAXIS1", "NAXIS2", "END":
+			continue
+		case "CRPIX1":
+			out.Header.Set("CRPIX1", h.Float("CRPIX1", 1)-float64(s.X0), c.Comment)
+		case "CRPIX2":
+			out.Header.Set("CRPIX2", h.Float("CRPIX2", 1)-float64(s.Y0), c.Comment)
+		default:
+			out.Header.Set(c.Keyword, c.Value, c.Comment)
+		}
+	}
+	return out, nil
+}

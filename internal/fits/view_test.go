@@ -1,0 +1,345 @@
+package fits
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// encodeRaw renders an image to its on-disk FITS bytes.
+func encodeRaw(t testing.TB, im *Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := im.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// testImage builds a deterministic image exercising the given encoding.
+func testImage(t testing.TB, nx, ny, bitpix int, scaled bool) *Image {
+	t.Helper()
+	im := NewImage(nx, ny, bitpix)
+	rng := rand.New(rand.NewSource(int64(nx*1000 + ny*10 + bitpix)))
+	for i := range im.Data {
+		switch {
+		case bitpix == -64:
+			im.Data[i] = rng.NormFloat64() * 1e3
+		case bitpix == -32:
+			im.Data[i] = float64(float32(rng.NormFloat64()))
+		default:
+			im.Data[i] = float64(rng.Intn(200))
+		}
+	}
+	if scaled {
+		im.Header.Set("BSCALE", 0.25, "")
+		im.Header.Set("BZERO", 50.0, "")
+	}
+	im.Header.Set("OBJECT", "view test", "with a comment")
+	return im
+}
+
+// TestViewMatchesDecodeAcrossBitpix is the core zero-copy contract: for
+// every BITPIX (with and without BSCALE/BZERO), the view reports the
+// geometry Decode reports and yields bit-identical pixels.
+func TestViewMatchesDecodeAcrossBitpix(t *testing.T) {
+	for _, bp := range []int{8, 16, 32, -32, -64} {
+		for _, scaled := range []bool{false, true} {
+			raw := encodeRaw(t, testImage(t, 17, 9, bp, scaled))
+			want, err := Decode(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatalf("bitpix %d scaled %t: Decode: %v", bp, scaled, err)
+			}
+			v, err := ParseView(raw)
+			if err != nil {
+				t.Fatalf("bitpix %d scaled %t: ParseView: %v", bp, scaled, err)
+			}
+			if v.Nx != want.Nx || v.Ny != want.Ny || v.Bitpix != want.Bitpix {
+				t.Fatalf("bitpix %d: geometry %dx%d/%d != %dx%d/%d",
+					bp, v.Nx, v.Ny, v.Bitpix, want.Nx, want.Ny, want.Bitpix)
+			}
+			got := v.ReadInto(make([]float64, v.NPix()))
+			for i := range want.Data {
+				if got[i] != want.Data[i] {
+					t.Fatalf("bitpix %d scaled %t pixel %d: view %v != decode %v",
+						bp, scaled, i, got[i], want.Data[i])
+				}
+			}
+			for y := 0; y < v.Ny; y++ {
+				for x := 0; x < v.Nx; x++ {
+					if v.At(x, y) != want.At(x, y) {
+						t.Fatalf("At(%d,%d): %v != %v", x, y, v.At(x, y), want.At(x, y))
+					}
+				}
+			}
+			if v.At(-1, 0) != 0 || v.At(v.Nx, 0) != 0 || v.At(0, v.Ny) != 0 {
+				t.Fatal("out-of-bounds At must return 0")
+			}
+		}
+	}
+}
+
+// TestViewImageEqualsDecode pins View.Image against Decode down to the
+// re-encoded bytes, so header semantics (comments, keyword order) match too.
+func TestViewImageEqualsDecode(t *testing.T) {
+	raw := encodeRaw(t, testImage(t, 8, 6, -32, true))
+	want, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ParseView(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeRaw(t, got), encodeRaw(t, want)) {
+		t.Fatal("View.Image re-encodes differently from Decode")
+	}
+}
+
+// TestSectionMatchesCutout sweeps interior, edge-clipped and
+// negative-origin rectangles: Section.Image must re-encode byte-identically
+// to the legacy Decode+Cutout pipeline.
+func TestSectionMatchesCutout(t *testing.T) {
+	im := testImage(t, 20, 14, -64, false)
+	im.Header.Set("CRPIX1", 10.0, "ref x")
+	im.Header.Set("CRPIX2", 7.0, "ref y")
+	raw := encodeRaw(t, im)
+	dec, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ParseView(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := []struct{ x0, y0, w, h int }{
+		{0, 0, 20, 14},  // identity
+		{3, 2, 5, 4},    // interior
+		{15, 10, 10, 9}, // clipped right/bottom
+		{-4, -3, 8, 7},  // clipped left/top (negative origin)
+		{-2, 5, 30, 4},  // clipped both horizontal edges
+		{19, 13, 1, 1},  // single corner pixel
+	}
+	for _, r := range rects {
+		wantIm, werr := dec.Cutout(r.x0, r.y0, r.w, r.h)
+		sec, serr := v.Section(r.x0, r.y0, r.w, r.h)
+		if werr != nil || serr != nil {
+			t.Fatalf("rect %+v: cutout err %v, section err %v", r, werr, serr)
+		}
+		gotIm, err := sec.Image()
+		if err != nil {
+			t.Fatalf("rect %+v: Section.Image: %v", r, err)
+		}
+		if !bytes.Equal(encodeRaw(t, gotIm), encodeRaw(t, wantIm)) {
+			t.Fatalf("rect %+v: section re-encodes differently from cutout", r)
+		}
+	}
+}
+
+// TestSectionErrorsMatchCutout pins the error text for degenerate and
+// fully-outside rectangles to Cutout's, including the requested (not
+// post-clip) coordinates.
+func TestSectionErrorsMatchCutout(t *testing.T) {
+	raw := encodeRaw(t, testImage(t, 10, 8, 16, false))
+	dec, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ParseView(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects := []struct{ x0, y0, w, h int }{
+		{0, 0, 0, 5},     // zero width
+		{0, 0, 5, -1},    // negative height
+		{50, 50, 3, 3},   // fully outside, positive
+		{-20, -20, 5, 5}, // fully outside, negative
+	}
+	for _, r := range rects {
+		_, werr := dec.Cutout(r.x0, r.y0, r.w, r.h)
+		_, serr := v.Section(r.x0, r.y0, r.w, r.h)
+		if werr == nil || serr == nil {
+			t.Fatalf("rect %+v: expected errors, got cutout=%v section=%v", r, werr, serr)
+		}
+		if werr.Error() != serr.Error() {
+			t.Fatalf("rect %+v: error text diverged:\ncutout:  %s\nsection: %s", r, werr, serr)
+		}
+	}
+}
+
+// TestCutoutErrorReportsRequestedRect pins the OOB message to the
+// coordinates the caller asked for — an all-negative rectangle used to be
+// reported as the clipped (0,0), hiding what the caller did wrong.
+func TestCutoutErrorReportsRequestedRect(t *testing.T) {
+	raw := encodeRaw(t, testImage(t, 10, 8, 16, false))
+	dec, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cerr := dec.Cutout(-20, -30, 5, 5)
+	const want = "fits: cutout (-20,-30)+5x5 outside 10x8 image"
+	if cerr == nil || cerr.Error() != want {
+		t.Fatalf("Cutout error = %v, want %q", cerr, want)
+	}
+}
+
+// TestViewTornTrailingBlock checks truncation semantics match Decode: lost
+// trailing padding is tolerated, truncated pixel data is the same error.
+func TestViewTornTrailingBlock(t *testing.T) {
+	im := testImage(t, 7, 5, -64, false) // 7*5*8 = 280 data bytes, 2600 padding
+	raw := encodeRaw(t, im)
+	dataBytes := im.Nx * im.Ny * 8
+
+	// Tear off the padding, down to the exact data end.
+	for _, keep := range []int{len(raw) - 1, len(raw) - BlockSize/2, len(raw) - BlockSize + dataBytes} {
+		torn := raw[:keep]
+		want, werr := Decode(bytes.NewReader(torn))
+		v, verr := ParseView(torn)
+		if werr != nil || verr != nil {
+			t.Fatalf("keep %d: decode err %v, view err %v", keep, werr, verr)
+		}
+		got := v.ReadInto(make([]float64, v.NPix()))
+		for i := range want.Data {
+			if got[i] != want.Data[i] {
+				t.Fatalf("keep %d pixel %d: %v != %v", keep, i, got[i], want.Data[i])
+			}
+		}
+	}
+
+	// Truncate into (or before) the pixel data: identical failure text,
+	// both for a partial array (unexpected EOF) and a missing one (EOF).
+	for _, keep := range []int{len(raw) - BlockSize, len(raw) - BlockSize + 1, len(raw) - BlockSize + dataBytes - 1} {
+		torn := raw[:keep]
+		_, werr := Decode(bytes.NewReader(torn))
+		_, verr := ParseView(torn)
+		if werr == nil || verr == nil {
+			t.Fatalf("keep %d: expected errors, decode=%v view=%v", keep, werr, verr)
+		}
+		if werr.Error() != verr.Error() {
+			t.Fatalf("keep %d: error text diverged:\ndecode: %s\nview:   %s", keep, werr, verr)
+		}
+	}
+}
+
+// TestViewTruncatedHeader checks header-block truncation fails like Decode.
+func TestViewTruncatedHeader(t *testing.T) {
+	raw := encodeRaw(t, testImage(t, 4, 4, 16, false))
+	for _, keep := range []int{0, 1, BlockSize - 1} {
+		_, werr := Decode(bytes.NewReader(raw[:keep]))
+		_, verr := ParseView(raw[:keep])
+		if werr == nil || verr == nil {
+			t.Fatalf("keep %d: expected errors", keep)
+		}
+		if werr.Error() != verr.Error() {
+			t.Fatalf("keep %d: error text diverged:\ndecode: %s\nview:   %s", keep, werr, verr)
+		}
+	}
+}
+
+// TestViewRejectsWhatDecodeRejects spot-checks structured corruption.
+func TestViewRejectsWhatDecodeRejects(t *testing.T) {
+	raw := encodeRaw(t, testImage(t, 4, 4, 16, false))
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), raw...)
+		mutate(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"not simple":   corrupt(func(b []byte) { copy(b, "SIMPLE  =                    F") }),
+		"wrong magic":  corrupt(func(b []byte) { copy(b, "BOGUS   = 1") }),
+		"unterminated": corrupt(func(b []byte) { copy(b[80:], `OBJECT  = 'never ends`+"          ") }),
+	}
+	for name, b := range cases {
+		_, werr := Decode(bytes.NewReader(b))
+		_, verr := ParseView(b)
+		if werr == nil {
+			t.Fatalf("%s: Decode unexpectedly succeeded", name)
+		}
+		if verr == nil {
+			t.Fatalf("%s: ParseView accepted what Decode rejected: %v", name, werr)
+		}
+		if werr.Error() != verr.Error() {
+			t.Fatalf("%s: error text diverged:\ndecode: %s\nview:   %s", name, werr, verr)
+		}
+	}
+}
+
+// TestSectionReadInto checks the row-striped section read against At.
+func TestSectionReadInto(t *testing.T) {
+	raw := encodeRaw(t, testImage(t, 12, 10, -32, false))
+	v, err := ParseView(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, err := v.Section(-3, 4, 9, 20) // clipped on two sides
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sec.ReadInto(make([]float64, sec.W*sec.H))
+	for y := 0; y < sec.H; y++ {
+		for x := 0; x < sec.W; x++ {
+			if want := v.At(sec.X0+x, sec.Y0+y); got[y*sec.W+x] != want {
+				t.Fatalf("section pixel (%d,%d): %v != %v", x, y, got[y*sec.W+x], want)
+			}
+		}
+	}
+}
+
+// FuzzView holds the zero-copy contract over arbitrary bytes: whenever
+// Decode accepts an input, the view must accept it and agree bit-for-bit;
+// whenever the view rejects an input, Decode must reject it too.
+func FuzzView(f *testing.F) {
+	f.Add(encodeRaw(f, testImage(f, 4, 3, -64, false)))
+	f.Add(encodeRaw(f, testImage(f, 3, 4, 16, true)))
+	f.Add(encodeRaw(f, testImage(f, 2, 2, 8, false)))
+	short := encodeRaw(f, testImage(f, 5, 5, -32, false))
+	f.Add(short[:len(short)-BlockSize])
+	f.Add([]byte("SIMPLE  =                    T"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		im, derr := Decode(bytes.NewReader(raw))
+		v, verr := ParseView(raw)
+		if derr == nil && verr != nil {
+			t.Fatalf("Decode accepted, ParseView rejected: %v", verr)
+		}
+		if verr != nil {
+			return // both rejected (View may accept a superset; see view.go)
+		}
+		if derr != nil {
+			return // documented leniency: malformed unconsulted cards
+		}
+		if v.Nx != im.Nx || v.Ny != im.Ny || v.Bitpix != im.Bitpix {
+			t.Fatalf("geometry: view %dx%d/%d, decode %dx%d/%d",
+				v.Nx, v.Ny, v.Bitpix, im.Nx, im.Ny, im.Bitpix)
+		}
+		got := v.ReadInto(make([]float64, v.NPix()))
+		for i := range im.Data {
+			w, g := im.Data[i], got[i]
+			if w != g && !(w != w && g != g) { // NaN-tolerant bit agreement
+				t.Fatalf("pixel %d: view %v != decode %v", i, g, w)
+			}
+		}
+	})
+}
+
+// TestParseViewAllocBudget pins the header-scan cost: parsing a view of a
+// typical image must stay within a few small allocations (the numeric
+// string conversions), never scaling with pixel count.
+func TestParseViewAllocBudget(t *testing.T) {
+	raw := encodeRaw(t, testImage(t, 64, 64, -64, true))
+	buf := make([]float64, 64*64)
+	allocs := testing.AllocsPerRun(200, func() {
+		v, err := ParseView(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = v.ReadInto(buf)
+	})
+	if allocs > 24 {
+		t.Fatalf("ParseView+ReadInto allocates %.1f times per image; want <= 24", allocs)
+	}
+}

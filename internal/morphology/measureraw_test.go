@@ -1,0 +1,145 @@
+package morphology
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/fits"
+)
+
+// rawBytes encodes an image to its on-disk FITS form.
+func rawBytes(t testing.TB, im *fits.Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := im.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestMeasureRawMatchesMeasure is the hot-path equivalence pin: for a sweep
+// of synthetic galaxies and encodings, MeasureRaw over the raw bytes must
+// reproduce Decode+Measure exactly — same Params bits, same error text.
+func TestMeasureRawMatchesMeasure(t *testing.T) {
+	images := []*fits.Image{
+		renderSersic(64, 64, 32, 32, 50000, 5, 4, 0.8, 0.5, 100, 2, 1),
+		renderSersic(48, 56, 20, 30, 20000, 3, 1, 1, 0, 50, 1, 2),
+		renderAsymmetric(64, 64, 3),
+		fits.NewImage(32, 32, -64), // flat zero image: measurement fails gracefully
+	}
+	// Integer-encoded variant: quantization changes pixels, but both paths
+	// must see the same quantized values.
+	quant := renderSersic(40, 40, 20, 20, 30000, 4, 2, 0.9, 1.0, 100, 2, 4)
+	quant.Bitpix = 16
+	quant.Header.Set("BSCALE", 0.5, "")
+	quant.Header.Set("BZERO", 500.0, "")
+	images = append(images, quant)
+
+	a := arena.Get()
+	defer arena.Put(a)
+	valid := 0
+	for i, im := range images {
+		raw := rawBytes(t, im)
+		dec, derr := fits.Decode(bytes.NewReader(raw))
+		var want Params
+		var werr error
+		if derr == nil {
+			want, werr = Measure(dec, cfg())
+		} else {
+			werr = derr
+		}
+		if want.Valid {
+			valid++
+		}
+		got, gerr := MeasureRaw(a, raw, cfg())
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("image %d: error mismatch: legacy %v, raw %v", i, werr, gerr)
+		}
+		if werr != nil && werr.Error() != gerr.Error() {
+			t.Fatalf("image %d: error text diverged:\nlegacy: %s\nraw:    %s", i, werr, gerr)
+		}
+		if got != want {
+			t.Fatalf("image %d: params diverged:\nlegacy: %+v\nraw:    %+v", i, want, got)
+		}
+		a.Reset()
+	}
+	if valid < 3 {
+		t.Fatalf("only %d sweep images measured valid; the sweep must exercise the full pipeline", valid)
+	}
+}
+
+// TestMeasureRawErrorPaths pins the precheck errors to Measure's.
+func TestMeasureRawErrorPaths(t *testing.T) {
+	a := arena.Get()
+	defer arena.Put(a)
+
+	// Garbage bytes: same error as Decode.
+	_, derr := fits.Decode(bytes.NewReader([]byte("not a fits file at all")))
+	_, gerr := MeasureRaw(a, []byte("not a fits file at all"), cfg())
+	if derr == nil || gerr == nil || derr.Error() != gerr.Error() {
+		t.Fatalf("garbage: legacy %v, raw %v", derr, gerr)
+	}
+
+	// Too-small image.
+	small := fits.NewImage(4, 4, -64)
+	_, werr := Measure(small, cfg())
+	_, gerr = MeasureRaw(a, rawBytes(t, small), cfg())
+	if werr == nil || gerr == nil || werr.Error() != gerr.Error() {
+		t.Fatalf("too small: legacy %v, raw %v", werr, gerr)
+	}
+
+	// Non-finite pixels.
+	bad := renderSersic(32, 32, 16, 16, 500, 4, 1, 1, 0, 100, 2, 9)
+	bad.Data[17] = math.NaN()
+	_, werr = Measure(bad, cfg())
+	_, gerr = MeasureRaw(a, rawBytes(t, bad), cfg())
+	if werr == nil || gerr == nil || werr.Error() != gerr.Error() {
+		t.Fatalf("NaN pixel: legacy %v, raw %v", werr, gerr)
+	}
+}
+
+// TestMeasureRawDeterministicAcrossArenas: results must not depend on arena
+// reuse state (stale slab contents must never leak into a measurement).
+func TestMeasureRawDeterministicAcrossArenas(t *testing.T) {
+	raw := rawBytes(t, renderSersic(64, 64, 32, 32, 50000, 5, 4, 0.8, 0.5, 100, 2, 11))
+	fresh := &arena.Arena{}
+	want, err := MeasureRaw(fresh, raw, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Valid {
+		t.Fatalf("reference measurement invalid: %s", want.Err)
+	}
+	dirty := arena.Get()
+	defer arena.Put(dirty)
+	// Soil the arena with unrelated garbage first.
+	g := dirty.Floats(64 * 64 * 2)
+	rng := rand.New(rand.NewSource(99))
+	for i := range g {
+		g[i] = rng.NormFloat64() * 1e9
+	}
+	dirty.Reset()
+	got, err := MeasureRaw(dirty, raw, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("params depend on arena history:\nfresh: %+v\ndirty: %+v", want, got)
+	}
+}
+
+// TestEstimateBackgroundInMatchesHeap pins the arena variant to the
+// scratch-pool one.
+func TestEstimateBackgroundInMatchesHeap(t *testing.T) {
+	im := renderSersic(48, 48, 24, 24, 900, 4, 2, 1, 0, 77, 3, 5)
+	bg1, s1 := EstimateBackground(im)
+	a := arena.Get()
+	defer arena.Put(a)
+	bg2, s2 := EstimateBackgroundIn(a, im)
+	if bg1 != bg2 || s1 != s2 {
+		t.Fatalf("background diverged: heap (%v, %v), arena (%v, %v)", bg1, s1, bg2, s2)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"slices"
 	"sync"
 
+	"repro/internal/arena"
 	"repro/internal/fits"
 )
 
@@ -33,6 +34,11 @@ import (
 // parallel leaf jobs when the compute service is configured with workers, so
 // the buffers live in a sync.Pool rather than package-level slices; each
 // in-flight measurement owns one scratch exclusively.
+//
+// The request arena (MeasureRaw) extends rather than replaces this pool:
+// float buffers whose size is known up front come from the arena, while the
+// growth-curve pixel buffer — a typed slice with its own grow policy —
+// stays here.
 type scratch struct {
 	sub  []float64 // background-subtracted working copy
 	px   []gcPixel // growth-curve pixels
@@ -47,6 +53,16 @@ func growFloats(s []float64, n int) []float64 {
 		return make([]float64, n)
 	}
 	return s[:n]
+}
+
+// pixels returns the growth-curve buffer, empty, with capacity for n
+// samples. The grow-on-demand make lives here — outside the annotated hot
+// path — so allocation policy stays in one reviewed place.
+func (sc *scratch) pixels(n int) []gcPixel {
+	if cap(sc.px) < n {
+		sc.px = make([]gcPixel, 0, n)
+	}
+	return sc.px[:0]
 }
 
 // Config carries the per-galaxy inputs of the galMorph transformation.
@@ -128,21 +144,70 @@ func Measure(im *fits.Image, cfg Config) (Params, error) {
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
 
-	bg, sigma := estimateBackground(im, sc)
+	sc.vals = growFloats(sc.vals, borderSamples(im.Nx, im.Ny))
+	bg, sigma := estimateBackground(im.Data, im.Nx, im.Ny, sc.vals)
 
-	// Background-subtracted working copy.
+	// Background-subtracted working copy — im.Data belongs to the caller
+	// and must stay physical.
 	sub := growFloats(sc.sub, len(im.Data))
 	sc.sub = sub
 	for i, v := range im.Data {
 		sub[i] = v - bg
 	}
+	return measureSub(sub, im.Nx, im.Ny, bg, sigma, cfg, sc)
+}
 
-	cx, cy, ok := centroid(sub, im.Nx, im.Ny, 2*sigma)
+// MeasureRaw measures the galaxy in an encoded FITS image without first
+// materializing a decoded Image: the pixels stream from a zero-copy
+// fits.View into an arena-backed buffer that is background-subtracted in
+// place. Results and errors are identical to fits.Decode followed by
+// Measure — the view produces bit-identical pixel values and the same
+// error text on every stream Decode accepts — while the per-galaxy heap
+// traffic drops to the handful of strings the header scan needs.
+//
+//nvo:hotpath
+func MeasureRaw(a *arena.Arena, raw []byte, cfg Config) (Params, error) {
+	v, err := fits.ParseView(raw)
+	if err != nil {
+		return invalid(err), err
+	}
+	if v.Nx < minImageDim || v.Ny < minImageDim {
+		err := fmt.Errorf("%w: %dx%d (min %d)", ErrTooSmall, v.Nx, v.Ny, minImageDim)
+		return invalid(err), err
+	}
+	data := v.ReadInto(a.Floats(v.NPix()))
+	for _, val := range data {
+		if math.IsNaN(val) || math.IsInf(val, 0) {
+			err := errors.New("morphology: non-finite pixel values")
+			return invalid(err), err
+		}
+	}
+
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	bg, sigma := estimateBackground(data, v.Nx, v.Ny, a.Floats(borderSamples(v.Nx, v.Ny)))
+	// The decoded buffer is private to this measurement: subtract in place
+	// instead of copying. data[i] -= bg is the same IEEE operation as
+	// Measure's sub[i] = v - bg, so the working pixels are bit-identical.
+	for i := range data {
+		data[i] -= bg
+	}
+	return measureSub(data, v.Nx, v.Ny, bg, sigma, cfg, sc)
+}
+
+// measureSub is the shared measurement core: sub holds background-
+// subtracted pixels (which it may reorder or reuse but never grows), and
+// the returned Params are a pure function of (sub, nx, ny, bg, sigma, cfg).
+//
+//nvo:hotpath
+func measureSub(sub []float64, nx, ny int, bg, sigma float64, cfg Config, sc *scratch) (Params, error) {
+	cx, cy, ok := centroid(sub, nx, ny, 2*sigma)
 	if !ok {
 		return invalid(ErrNoSignal), ErrNoSignal
 	}
 
-	r20, r80, total, rap := growthCurve(sub, im.Nx, im.Ny, cx, cy, sc)
+	r20, r80, total, rap := growthCurve(sub, nx, ny, cx, cy, sc)
 	if total <= 0 || r80 <= 0 {
 		return invalid(ErrNoSignal), ErrNoSignal
 	}
@@ -151,7 +216,7 @@ func Measure(im *fits.Image, cfg Config) (Params, error) {
 	// "galaxy" is just sky noise and the job should be flagged invalid
 	// rather than emitting garbage numbers (§4.3.1 item 4).
 	if sigma > 0 {
-		nAp := float64(pixelsWithin(im.Nx, im.Ny, cx, cy, rap))
+		nAp := float64(pixelsWithin(nx, ny, cx, cy, rap))
 		if snr := total / (sigma * math.Sqrt(nAp)); snr < detectionSNR {
 			return invalid(ErrNoSignal), ErrNoSignal
 		}
@@ -180,14 +245,14 @@ func Measure(im *fits.Image, cfg Config) (Params, error) {
 	p.Concentration = 5 * math.Log10(r80/r20)
 
 	// Asymmetry, minimized over a small grid of rotation centers.
-	p.Asymmetry = asymmetry(sub, im.Nx, im.Ny, cx, cy, rap, sigma)
+	p.Asymmetry = asymmetry(sub, nx, ny, cx, cy, rap, sigma)
 
 	// Average surface brightness within the aperture, mag/arcsec².
 	pixArcsec := cfg.PixScaleDeg * 3600
 	if pixArcsec <= 0 {
 		pixArcsec = 1
 	}
-	nPix := float64(pixelsWithin(im.Nx, im.Ny, cx, cy, rap))
+	nPix := float64(pixelsWithin(nx, ny, cx, cy, rap))
 	areaArcsec2 := nPix * pixArcsec * pixArcsec
 	p.SurfaceBrightness = cfg.ZeroPoint - 2.5*math.Log10(total/areaArcsec2)
 
@@ -218,38 +283,64 @@ func invalid(err error) Params {
 func EstimateBackground(im *fits.Image) (level, sigma float64) {
 	sc := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(sc)
-	return estimateBackground(im, sc)
+	sc.vals = growFloats(sc.vals, borderSamples(im.Nx, im.Ny))
+	return estimateBackground(im.Data, im.Nx, im.Ny, sc.vals)
 }
 
-// estimateBackground is EstimateBackground over caller-supplied scratch.
-func estimateBackground(im *fits.Image, sc *scratch) (level, sigma float64) {
-	border := im.Nx / 10
-	if b2 := im.Ny / 10; b2 < border {
+// EstimateBackgroundIn is EstimateBackground drawing its border buffer
+// from a request arena instead of the scratch pool — the variant for
+// callers that already hold an arena on the hot path.
+func EstimateBackgroundIn(a *arena.Arena, im *fits.Image) (level, sigma float64) {
+	return estimateBackground(im.Data, im.Nx, im.Ny, a.Floats(borderSamples(im.Nx, im.Ny)))
+}
+
+// borderWidth is the sky-border width estimateBackground samples.
+func borderWidth(nx, ny int) int {
+	border := nx / 10
+	if b2 := ny / 10; b2 < border {
 		border = b2
 	}
 	if border < 2 {
 		border = 2
 	}
+	return border
+}
+
+// borderSamples is the exact number of border pixels estimateBackground
+// collects for an nx-by-ny image — callers size the vals buffer with it.
+func borderSamples(nx, ny int) int {
+	border := borderWidth(nx, ny)
 	inner := 0
-	if w, h := im.Nx-2*border, im.Ny-2*border; w > 0 && h > 0 {
+	if w, h := nx-2*border, ny-2*border; w > 0 && h > 0 {
 		inner = w * h
 	}
-	vals := growFloats(sc.vals, len(im.Data)-inner)[:0]
-	for y := 0; y < im.Ny; y++ {
-		for x := 0; x < im.Nx; x++ {
-			if x >= border && x < im.Nx-border && y >= border && y < im.Ny-border {
+	return nx*ny - inner
+}
+
+// estimateBackground is EstimateBackground over a caller-supplied sample
+// buffer, which must have capacity for borderSamples(nx, ny) values and is
+// reordered in place by the clipping.
+//
+//nvo:hotpath
+func estimateBackground(data []float64, nx, ny int, vals []float64) (level, sigma float64) {
+	border := borderWidth(nx, ny)
+	vals = vals[:0]
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			if x >= border && x < nx-border && y >= border && y < ny-border {
 				continue
 			}
-			vals = append(vals, im.Data[y*im.Nx+x])
+			vals = append(vals, data[y*nx+x])
 		}
 	}
-	sc.vals = vals
 	return sigmaClip(vals, 3, 5)
 }
 
 // sigmaClip iteratively rejects outliers beyond k standard deviations and
 // returns the surviving mean and standard deviation. It reorders vals in
 // place (the caller's scratch buffer) instead of copying.
+//
+//nvo:hotpath
 func sigmaClip(vals []float64, k float64, iters int) (mean, sd float64) {
 	if len(vals) == 0 {
 		return 0, 0
@@ -274,6 +365,7 @@ func sigmaClip(vals []float64, k float64, iters int) (mean, sd float64) {
 	return meanStd(work)
 }
 
+//nvo:hotpath
 func meanStd(vals []float64) (mean, sd float64) {
 	if len(vals) == 0 {
 		return 0, 0
@@ -293,6 +385,8 @@ func meanStd(vals []float64) (mean, sd float64) {
 
 // centroid returns the flux-weighted center of pixels above threshold,
 // iterated once within a shrinking window for robustness against neighbors.
+//
+//nvo:hotpath
 func centroid(sub []float64, nx, ny int, threshold float64) (cx, cy float64, ok bool) {
 	cx, cy, ok = weightedCenter(sub, nx, ny, threshold, float64(nx+ny)) // whole image
 	if !ok {
@@ -306,6 +400,7 @@ func centroid(sub []float64, nx, ny int, threshold float64) (cx, cy float64, ok 
 	return cx, cy, true
 }
 
+//nvo:hotpath
 func weightedCenter(sub []float64, nx, ny int, threshold, _ float64) (float64, float64, bool) {
 	var sw, sx, sy float64
 	for y := 0; y < ny; y++ {
@@ -324,6 +419,7 @@ func weightedCenter(sub []float64, nx, ny int, threshold, _ float64) (float64, f
 	return sx / sw, sy / sw, true
 }
 
+//nvo:hotpath
 func weightedCenterAround(sub []float64, nx, ny int, threshold, cx, cy, r float64) (float64, float64, bool) {
 	var sw, sx, sy float64
 	r2 := r * r
@@ -362,14 +458,13 @@ type gcPixel struct {
 // monotone in radius, no per-pixel Hypot — with the flat index as tie-break,
 // so equal-radius pixels accumulate in a fixed raster order regardless of
 // the sorting algorithm.
+//
+//nvo:hotpath
 func growthCurve(sub []float64, nx, ny int, cx, cy float64, sc *scratch) (r20, r80, total, rap float64) {
 	maxR := maxUsableRadius(nx, ny, cx, cy)
 	maxR2 := maxR * maxR
 	xlo, xhi, ylo, yhi := boundingBox(nx, ny, cx, cy, maxR)
-	if cap(sc.px) < nx*ny {
-		sc.px = make([]gcPixel, 0, nx*ny)
-	}
-	pixels := sc.px[:0]
+	pixels := sc.pixels(nx * ny)
 	for y := ylo; y <= yhi; y++ {
 		dy := float64(y) - cy
 		dy2 := dy * dy
@@ -431,6 +526,8 @@ func growthCurve(sub []float64, nx, ny int, cx, cy float64, sc *scratch) (r20, r
 // to the image, so aperture loops skip rows and columns that cannot pass
 // the radius test. Pixels inside the box still run the exact test, so the
 // selected set — and the accumulation order — is unchanged.
+//
+//nvo:hotpath
 func boundingBox(nx, ny int, cx, cy, r float64) (xlo, xhi, ylo, yhi int) {
 	xlo = int(math.Ceil(cx - r))
 	if xlo < 0 {
@@ -452,6 +549,8 @@ func boundingBox(nx, ny int, cx, cy, r float64) (xlo, xhi, ylo, yhi int) {
 }
 
 // maxUsableRadius is the largest circle about (cx, cy) fully inside the image.
+//
+//nvo:hotpath
 func maxUsableRadius(nx, ny int, cx, cy float64) float64 {
 	r := cx
 	if v := float64(nx-1) - cx; v < r {
@@ -469,6 +568,7 @@ func maxUsableRadius(nx, ny int, cx, cy float64) float64 {
 	return r
 }
 
+//nvo:hotpath
 func pixelsWithin(nx, ny int, cx, cy, r float64) int {
 	n := 0
 	r2 := r * r
@@ -491,6 +591,8 @@ func pixelsWithin(nx, ny int, cx, cy, r float64) int {
 // analysis aperture. The minimization removes the spurious asymmetry a
 // miscentered rotation introduces (Conselice 2003 §3). A noise term measured
 // by rotating a pure-background annulus is subtracted.
+//
+//nvo:hotpath
 func asymmetry(sub []float64, nx, ny int, cx, cy, rap, sigma float64) float64 {
 	best := math.Inf(1)
 	for dy := -1; dy <= 1; dy++ {
@@ -545,6 +647,8 @@ func asymmetry(sub []float64, nx, ny int, cx, cy, rap, sigma float64) float64 {
 // backwards (floor(2cx) − x). That turns the inner loop's general bilinear
 // lookup — float floor, bounds checks, weight products per pixel — into four
 // indexed loads against precomputed weights.
+//
+//nvo:hotpath
 func asymmetryAt(sub []float64, nx, ny int, cx, cy, rap float64) float64 {
 	var num, den float64
 	r2 := rap * rap

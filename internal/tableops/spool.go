@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"repro/internal/arena"
 )
 
 // DefaultSpoolMemRows bounds how many rows a Spool holds in memory before
@@ -33,6 +35,12 @@ type Spool struct {
 	runs    []*os.File
 	rows    int
 	closed  bool
+
+	// Optional request arena for row copies. Spilled rows return to free
+	// and are recycled by later Adds, so the arena footprint stays bounded
+	// by memRows rows no matter how many rows pass through.
+	arena *arena.Arena
+	free  [][]string
 }
 
 // NewSpool returns a spool sorting on the keyCol-th cell of every row.
@@ -42,6 +50,15 @@ func NewSpool(keyCol, memRows int) *Spool {
 		memRows = DefaultSpoolMemRows
 	}
 	return &Spool{keyCol: keyCol, memRows: memRows}
+}
+
+// NewSpoolIn is NewSpool with row copies drawn from a request arena
+// instead of the heap — the hot-path variant the webservice concatenation
+// uses. The arena must outlive the spool (Put it after Close/Merge).
+func NewSpoolIn(a *arena.Arena, keyCol, memRows int) *Spool {
+	s := NewSpool(keyCol, memRows)
+	s.arena = a
+	return s
 }
 
 // Len returns the number of rows added so far.
@@ -56,12 +73,32 @@ func (s *Spool) Add(cells ...string) error {
 	if s.keyCol >= len(cells) {
 		return fmt.Errorf("tableops: spool row has %d cells, key column is %d", len(cells), s.keyCol)
 	}
-	s.mem = append(s.mem, append([]string(nil), cells...))
+	s.mem = append(s.mem, s.copyRow(cells))
 	s.rows++
 	if len(s.mem) >= s.memRows {
 		return s.spill()
 	}
 	return nil
+}
+
+// copyRow takes ownership of one row's cells: a heap copy normally, an
+// arena-backed (and spill-recycled) copy for spools built with NewSpoolIn.
+//
+//nvo:hotpath
+func (s *Spool) copyRow(cells []string) []string {
+	if s.arena == nil {
+		//nvolint:ignore hotalloc heap fallback for spools built without an arena; the webservice hot path always supplies one
+		return append([]string(nil), cells...)
+	}
+	if n := len(s.free); n > 0 && len(s.free[n-1]) == len(cells) {
+		row := s.free[n-1]
+		s.free = s.free[:n-1]
+		copy(row, cells)
+		return row
+	}
+	row := s.arena.Strings(len(cells))
+	copy(row, cells)
+	return row
 }
 
 // spill sorts the in-memory batch and writes it as one run file.
@@ -90,6 +127,11 @@ func (s *Spool) spill() error {
 		return err
 	}
 	s.runs = append(s.runs, f)
+	if s.arena != nil {
+		// The spilled rows now live in the run file; recycle their arena
+		// slots so the next batch reuses them instead of growing the arena.
+		s.free = append(s.free, s.mem...)
+	}
 	s.mem = s.mem[:0]
 	return nil
 }
@@ -180,6 +222,7 @@ func (s *Spool) Close() error {
 	}
 	s.closed = true
 	s.mem = nil
+	s.free = nil
 	var firstErr error
 	for _, f := range s.runs {
 		name := f.Name()

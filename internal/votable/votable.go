@@ -554,3 +554,12 @@ func (d *Document) FirstTable() (*Table, error) {
 func FormatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
+
+// AppendFloat appends FormatFloat(v) to dst without the intermediate
+// string — the allocation-free form hot-path row encoders use. The bytes
+// are identical to FormatFloat's (and to fmt's %g).
+//
+//nvo:hotpath
+func AppendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}

@@ -1,0 +1,74 @@
+package webservice
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// fmtEncodeResult is the frozen PR-1 rendering of a result file. The live
+// appendResult must reproduce it byte-for-byte: result files feed content
+// hashes (memo keys, integrity digests), so a single diverging byte would
+// quietly invalidate every historical digest.
+func fmtEncodeResult(r GalMorphResult) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "id %s\n", r.ID)
+	fmt.Fprintf(&b, "surface_brightness %g\n", r.SurfaceBrightness)
+	fmt.Fprintf(&b, "concentration %g\n", r.Concentration)
+	fmt.Fprintf(&b, "asymmetry %g\n", r.Asymmetry)
+	fmt.Fprintf(&b, "valid %t\n", r.Valid)
+	if r.Reason != "" {
+		fmt.Fprintf(&b, "reason %s\n", strings.ReplaceAll(r.Reason, "\n", " "))
+	}
+	return b.Bytes()
+}
+
+func TestAppendResultMatchesFmt(t *testing.T) {
+	cases := []GalMorphResult{
+		{ID: "g001", SurfaceBrightness: 21.375, Concentration: 3.2, Asymmetry: 0.04, Valid: true},
+		{ID: "g002", SurfaceBrightness: -1.5e-9, Concentration: 1e21, Asymmetry: 0.3333333333333333, Valid: true},
+		{ID: "g003", Valid: false, Reason: "morphology: no significant flux above background"},
+		{ID: "g004", Valid: false, Reason: "line one\nline two\nline three"},
+		{ID: "g005", SurfaceBrightness: math.Inf(1), Concentration: math.NaN(), Asymmetry: -0.0, Valid: true},
+		{ID: "g006", SurfaceBrightness: 100000, Concentration: 1000000, Asymmetry: 0.000001, Valid: true},
+		{},
+	}
+	for i, r := range cases {
+		want := fmtEncodeResult(r)
+		got := appendResult(nil, r)
+		if !bytes.Equal(got, want) {
+			t.Errorf("case %d: appendResult diverged:\nwant %q\ngot  %q", i, want, got)
+		}
+		if !bytes.Equal(encodeResult(r), want) {
+			t.Errorf("case %d: encodeResult diverged from frozen rendering", i)
+		}
+		// Appending after existing content must not disturb it.
+		pre := append([]byte("prefix|"), appendResult(make([]byte, 0, 256), r)...)
+		if !bytes.Equal(pre[7:], want) {
+			t.Errorf("case %d: appendResult onto sized buffer diverged", i)
+		}
+	}
+}
+
+func TestResultCellsIntoMatchesResultCells(t *testing.T) {
+	cases := []GalMorphResult{
+		{ID: "a", SurfaceBrightness: 21.4, Concentration: 3.01, Asymmetry: 0.12, Valid: true},
+		{ID: "b", Valid: false, Reason: "bad pixels"},
+		{ID: "c", SurfaceBrightness: -0.5, Concentration: 1e-7, Asymmetry: 12345.678, Valid: true},
+	}
+	row := make([]string, len(ResultFields))
+	for i, r := range cases {
+		want := resultCells(r)
+		resultCellsInto(row, r)
+		if len(want) != len(row) {
+			t.Fatalf("case %d: width %d != %d", i, len(row), len(want))
+		}
+		for j := range want {
+			if row[j] != want[j] {
+				t.Errorf("case %d cell %d: %q != %q", i, j, row[j], want[j])
+			}
+		}
+	}
+}

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/fits"
+	"repro/internal/arena"
 	"repro/internal/gridftp"
 	"repro/internal/morphology"
 	"repro/internal/resilience"
@@ -185,11 +185,9 @@ func (s *Service) rederiveConcat(cat *vdl.Catalog, dv *vdl.Derivation, stats *Ru
 // validity-flagged rows, exactly as in the live galMorph job.
 func measureGalaxy(galaxyID string, raw []byte, mcfg morphology.Config, strict bool) *GalMorphResult {
 	res := GalMorphResult{ID: galaxyID}
-	im, err := fits.Decode(bytes.NewReader(raw))
-	var p morphology.Params
-	if err == nil {
-		p, err = morphology.Measure(im, mcfg)
-	}
+	ar := arena.Get()
+	p, err := morphology.MeasureRaw(ar, raw, mcfg)
+	arena.Put(ar)
 	if err == nil && p.Valid {
 		res.Valid = true
 		res.SurfaceBrightness = p.SurfaceBrightness

@@ -2,19 +2,22 @@ package webservice
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime/pprof"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/chimera"
 	"repro/internal/condor"
 	"repro/internal/dag"
 	"repro/internal/dagman"
-	"repro/internal/fits"
 	"repro/internal/gridftp"
 	"repro/internal/morphology"
 	"repro/internal/pegasus"
@@ -44,25 +47,67 @@ const (
 // errInjected marks fault-injection failures (transient; DAGMan retries).
 var errInjected = errors.New("webservice: injected transient failure")
 
+// runLabels attaches runtime/pprof labels (tenant, cluster, wave) to every
+// node Run body, so CPU and goroutine profiles taken against a busy fabric
+// attribute samples to the request that caused them. The label set is cached
+// and rebuilt only when the wave changes (setWave is called serially between
+// waves by the wave driver), keeping the per-job overhead to one atomic load.
+type runLabels struct {
+	tenant  string
+	cluster string
+	set     atomic.Value // pprof.LabelSet
+}
+
+// newRunLabels builds the label state for one request. Monolithic (non-wave)
+// plans keep the wave label at "-".
+func newRunLabels(tenant, cluster string) *runLabels {
+	l := &runLabels{tenant: tenant, cluster: cluster}
+	l.setWave("-")
+	return l
+}
+
+// setWave rebuilds the cached label set for a new wave. Callers must not
+// invoke it concurrently with itself (the wave driver calls it between
+// waves, when no Run bodies execute).
+func (l *runLabels) setWave(wave string) {
+	l.set.Store(pprof.Labels("tenant", l.tenant, "cluster", l.cluster, "wave", wave))
+}
+
+// wrap returns run executed under the current label set.
+func (l *runLabels) wrap(run func() error) func() error {
+	if run == nil {
+		return nil
+	}
+	return func() error {
+		var err error
+		pprof.Do(context.Background(), l.set.Load().(pprof.LabelSet), func(context.Context) {
+			err = run()
+		})
+		return err
+	}
+}
+
 // runner builds the dagman Runner that gives concrete-workflow nodes their
 // behaviour: transfers move bytes through GridFTP, registrations publish
 // replicas, galMorph jobs measure morphology, and the concat job assembles
 // the output VOTable. mu serializes access to stats and rng from inside Run
 // closures, which execute concurrently on the worker pool when the service
-// is configured with Workers > 1.
-func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *sync.Mutex) dagman.Runner {
+// is configured with Workers > 1. labels tags every Run body with the
+// request's profiler labels; nil skips the wrapping.
+func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *sync.Mutex, labels *runLabels) dagman.Runner {
 	return func(n *dag.Node, attempt int) (dagman.Spec, error) {
+		var spec dagman.Spec
 		switch n.Type {
 		case pegasus.NodeTransfer:
-			return s.transferSpec(n, cat, attempt, stats, mu), nil
+			spec = s.transferSpec(n, cat, attempt, stats, mu)
 		case pegasus.NodeRegister:
-			return s.registerSpec(n), nil
+			spec = s.registerSpec(n)
 		case pegasus.NodeCompute:
 			switch n.Attr(chimera.AttrTransformation) {
 			case "galMorph":
-				return s.galMorphSpec(n, cat, rng, stats, mu), nil
+				spec = s.galMorphSpec(n, cat, rng, stats, mu)
 			case "concatVOT":
-				return s.concatSpec(n, cat, stats, mu), nil
+				spec = s.concatSpec(n, cat, stats, mu)
 			default:
 				return dagman.Spec{}, fmt.Errorf("webservice: unknown transformation %q",
 					n.Attr(chimera.AttrTransformation))
@@ -70,6 +115,10 @@ func (s *Service) runner(cat *vdl.Catalog, rng *rand.Rand, stats *RunStats, mu *
 		default:
 			return dagman.Spec{}, fmt.Errorf("webservice: unknown node type %q", n.Type)
 		}
+		if labels != nil {
+			spec.Run = labels.wrap(spec.Run)
+		}
+		return spec, nil
 	}
 }
 
@@ -287,6 +336,14 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 			galaxyID := strings.TrimSuffix(inputs[0], ".fit")
 			mcfg := morphConfigFromDV(dv)
 
+			// One request-lifetime arena backs both the measurement scratch
+			// (pixel buffer, background samples) and the encoded result
+			// below; Put recycles its slabs for the next galaxy on this
+			// worker, so a warm fabric measures without per-galaxy heap
+			// traffic.
+			ar := arena.Get()
+			defer arena.Put(ar)
+
 			var p morphology.Params
 			key := vdcache.Key(raw, []byte(morphFingerprint(mcfg)))
 			if entry, hit := s.memo.Get(key); hit {
@@ -299,11 +356,7 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 				stats.MemoHits++
 				mu.Unlock()
 			} else {
-				var im *fits.Image
-				im, err = fits.Decode(bytes.NewReader(raw))
-				if err == nil {
-					p, err = morphology.Measure(im, mcfg)
-				}
+				p, err = morphology.MeasureRaw(ar, raw, mcfg)
 				entry := memoEntry{params: p}
 				if err != nil {
 					entry.errStr = err.Error()
@@ -336,7 +389,10 @@ func (s *Service) galMorphSpec(n *dag.Node, cat *vdl.Catalog, rng *rand.Rand, st
 				stats.InvalidRows++
 				mu.Unlock()
 			}
-			return store.Put(outputs[0], encodeResult(res))
+			// Store.Put copies its argument, so handing it arena-backed
+			// bytes is safe; appendResult renders byte-identically to the
+			// historical fmt-based encoder.
+			return store.Put(outputs[0], appendResult(ar.Bytes(192)[:0], res))
 		},
 	}
 }
@@ -362,12 +418,20 @@ func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog, stats *RunStats, mu 
 				return fmt.Errorf("webservice: concat expects 1 output, got %v", outputs)
 			}
 			store := s.cfg.GridFTP.Store(site)
-			sp := tableops.NewSpool(0, 0) // key on the galaxy ID cell
+			// The arena must outlive the spool's rows: Put is deferred first
+			// so it runs after the spool Close below (deferred calls run in
+			// LIFO order).
+			ar := arena.Get()
+			defer arena.Put(ar)
+			sp := tableops.NewSpoolIn(ar, 0, 0) // key on the galaxy ID cell
 			defer func() {
 				if cerr := sp.Close(); cerr != nil && retErr == nil {
 					retErr = cerr
 				}
 			}()
+			// One reused cell buffer feeds every Add; the spool copies rows
+			// into arena-backed storage, recycling spilled rows' slots.
+			row := ar.Strings(len(ResultFields))
 			for _, lfn := range inputs {
 				data, err := s.verifiedGet(cat, store, lfn, stats, mu)
 				if err != nil {
@@ -377,7 +441,8 @@ func (s *Service) concatSpec(n *dag.Node, cat *vdl.Catalog, stats *RunStats, mu 
 				if err != nil {
 					return err
 				}
-				if err := sp.Add(resultCells(r)...); err != nil {
+				resultCellsInto(row, r)
+				if err := sp.Add(row...); err != nil {
 					return err
 				}
 			}

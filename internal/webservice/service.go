@@ -35,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -920,7 +921,8 @@ func (s *Service) computeGranted(ctx context.Context, lease *fabric.Lease, tab *
 	// — the per-request stats and the failure-injection rng — because with
 	// Workers > 1 those bodies execute concurrently on the worker pool.
 	var runMu sync.Mutex
-	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
+	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu,
+		newRunLabels(tenant, cluster))
 	opts := dagman.Options{
 		MaxRetries:    s.cfg.MaxRetries,
 		ClusterSize:   s.cfg.ClusterSize,
@@ -1137,7 +1139,8 @@ func (s *Service) resumeGranted(ctx context.Context, lease *fabric.Lease, cluste
 
 	seed := s.requestSeed(cluster)
 	var runMu sync.Mutex
-	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu)
+	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), &stats, &runMu,
+		newRunLabels(tenant, cluster))
 	opts := dagman.Options{
 		MaxRetries:    s.cfg.MaxRetries,
 		ClusterSize:   s.cfg.ClusterSize,
@@ -1464,16 +1467,40 @@ type GalMorphResult struct {
 
 // encodeResult renders a result file ("key value" lines).
 func encodeResult(r GalMorphResult) []byte {
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "id %s\n", r.ID)
-	fmt.Fprintf(&b, "surface_brightness %g\n", r.SurfaceBrightness)
-	fmt.Fprintf(&b, "concentration %g\n", r.Concentration)
-	fmt.Fprintf(&b, "asymmetry %g\n", r.Asymmetry)
-	fmt.Fprintf(&b, "valid %t\n", r.Valid)
+	return appendResult(nil, r)
+}
+
+// appendResult appends the result-file rendering to dst and returns the
+// extended slice — the allocation-free form of encodeResult the hot path
+// feeds an arena buffer. strconv.AppendFloat with 'g'/-1 and AppendBool
+// produce exactly fmt's %g and %t, so the bytes are identical to the
+// historical fmt.Fprintf encoding (pinned by TestAppendResultMatchesFmt).
+//
+//nvo:hotpath
+func appendResult(dst []byte, r GalMorphResult) []byte {
+	dst = append(dst, "id "...)
+	dst = append(dst, r.ID...)
+	dst = append(dst, "\nsurface_brightness "...)
+	dst = strconv.AppendFloat(dst, r.SurfaceBrightness, 'g', -1, 64)
+	dst = append(dst, "\nconcentration "...)
+	dst = strconv.AppendFloat(dst, r.Concentration, 'g', -1, 64)
+	dst = append(dst, "\nasymmetry "...)
+	dst = strconv.AppendFloat(dst, r.Asymmetry, 'g', -1, 64)
+	dst = append(dst, "\nvalid "...)
+	dst = strconv.AppendBool(dst, r.Valid)
+	dst = append(dst, '\n')
 	if r.Reason != "" {
-		fmt.Fprintf(&b, "reason %s\n", strings.ReplaceAll(r.Reason, "\n", " "))
+		dst = append(dst, "reason "...)
+		for i := 0; i < len(r.Reason); i++ {
+			c := r.Reason[i]
+			if c == '\n' {
+				c = ' '
+			}
+			dst = append(dst, c)
+		}
+		dst = append(dst, '\n')
 	}
-	return b.Bytes()
+	return dst
 }
 
 // decodeResult parses a result file.
@@ -1535,15 +1562,26 @@ func resultsMeta(cluster string, n int) votable.TableMeta {
 
 // resultCells renders one result as its output-table row.
 func resultCells(r GalMorphResult) []string {
+	row := make([]string, len(ResultFields))
+	resultCellsInto(row, r)
+	return row
+}
+
+// resultCellsInto fills a caller-owned row (len(ResultFields) cells) with
+// one result's output-table rendering, so the concat hot path reuses a
+// single buffer instead of allocating a row per galaxy.
+//
+//nvo:hotpath
+func resultCellsInto(row []string, r GalMorphResult) {
 	valid := "F"
 	if r.Valid {
 		valid = "T"
 	}
-	return []string{r.ID,
-		votable.FormatFloat(r.SurfaceBrightness),
-		votable.FormatFloat(r.Concentration),
-		votable.FormatFloat(r.Asymmetry),
-		valid}
+	row[0] = r.ID
+	row[1] = votable.FormatFloat(r.SurfaceBrightness)
+	row[2] = votable.FormatFloat(r.Concentration)
+	row[3] = votable.FormatFloat(r.Asymmetry)
+	row[4] = valid
 }
 
 // resultsToVOTable assembles the output table, sorted by galaxy ID.

@@ -310,9 +310,12 @@ func (s *Service) runWaves(planner *pegasus.WavePlanner, refs []imageRef, cat *v
 		}
 	}
 
+	labels := newRunLabels(tenant, cluster)
 	next := func(w int) (*dag.Graph, error) {
 		// Waves release sequentially: wave w-1 has completed (and
-		// registered its outputs) by the time wave w is staged.
+		// registered its outputs) by the time wave w is staged — no Run
+		// bodies execute while the wave label is rebuilt here.
+		labels.setWave(strconv.Itoa(w))
 		evict(w - 1)
 		if w >= planner.Waves() {
 			return nil, nil
@@ -346,7 +349,7 @@ func (s *Service) runWaves(planner *pegasus.WavePlanner, refs []imageRef, cat *v
 	}
 
 	var runMu sync.Mutex
-	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), stats, &runMu)
+	runner := s.runner(cat, rand.New(rand.NewSource(seed+1)), stats, &runMu, labels)
 	ws, err := dagman.ExecuteWaves(next, runner, s.simFactory(lease, tenant, cluster), opts, s.cfg.RescueRounds)
 	if ws != nil {
 		stats.Waves = ws.Waves

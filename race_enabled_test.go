@@ -1,0 +1,8 @@
+//go:build race
+
+package repro
+
+// raceEnabled reports whether the race detector is compiled in; the alloc
+// gates relax their byte-level assertions under race instrumentation, whose
+// shadow bookkeeping inflates measured allocation sizes.
+const raceEnabled = true
