@@ -1,11 +1,14 @@
-// Command nvolint statically enforces the repo's determinism, clock
-// and resource-hygiene invariants — the properties the byte-identity
-// and crash-recovery campaigns (PRs 1–4) otherwise only probe
-// dynamically. It runs seven analyzers (noclock, seededrand, mapiter,
-// sharedclient, errclose, fabricpool, hotalloc; see `nvolint -h` or the
-// README's "Static analysis" section) over package patterns:
+// Command nvolint statically enforces the repo's determinism, clock,
+// resource-hygiene and concurrency invariants — the properties the
+// byte-identity and crash-recovery campaigns (PRs 1–4) otherwise only
+// probe dynamically. It runs eleven analyzers: seven AST-shaped checks
+// (noclock, seededrand, mapiter, sharedclient, errclose, fabricpool,
+// hotalloc) plus four flow-sensitive ones built on the CFG/dataflow
+// engine (lockpath, goleak, selectrevoke, errpath); see `nvolint -h`
+// or the README's "Static analysis" section. Patterns:
 //
 //	nvolint ./...                               # standalone
+//	nvolint -v -budget 120s ./...               # per-analyzer wall time + latency gate
 //	go vet -vettool=$(command -v nvolint) ./... # as a vet tool
 //
 // Findings can be silenced only by an inline directive carrying a
@@ -14,6 +17,9 @@
 //	//nvolint:ignore <analyzer> <reason>
 //
 // A reasonless directive suppresses nothing and is itself a finding.
+// An optional `until=PR<N>` token at the start of the reason marks the
+// suppression for expiry: `nvolint -pr <current>` reports (without
+// failing) any directive whose PR number has passed.
 package main
 
 import (

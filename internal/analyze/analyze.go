@@ -24,6 +24,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -136,6 +137,43 @@ type directive struct {
 	line      int
 	analyzers map[string]bool
 	reason    string
+	untilPR   int // from an `until=PR<N>` token leading the reason; 0 = no expiry
+}
+
+// A Directive is one //nvolint:ignore comment as exposed to tooling
+// (the driver's stale-suppression report).
+type Directive struct {
+	Pos       token.Pos
+	File      string
+	Line      int
+	Analyzers []string
+	Reason    string
+	// UntilPR is the PR number after which the suppression should be
+	// re-audited, parsed from an `until=PR<N>` token at the start of
+	// the reason; 0 means the directive never expires.
+	UntilPR int
+}
+
+// Directives returns every suppression directive in files, in source
+// order.
+func Directives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, d := range parseDirectives(fset, files) {
+		names := make([]string, 0, len(d.analyzers))
+		for name := range d.analyzers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out = append(out, Directive{
+			Pos:       d.pos,
+			File:      d.file,
+			Line:      d.line,
+			Analyzers: names,
+			Reason:    d.reason,
+			UntilPR:   d.untilPR,
+		})
+	}
+	return out
 }
 
 // parseDirectives extracts every suppression directive from files.
@@ -165,6 +203,15 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
 						d.analyzers[name] = true
 					}
 					d.reason = strings.Join(fields[1:], " ")
+					// An optional `until=PR<N>` token opening the reason
+					// marks the suppression for expiry review.
+					if len(fields) > 1 {
+						if n, ok := strings.CutPrefix(fields[1], "until=PR"); ok {
+							if pr, err := strconv.Atoi(n); err == nil && pr > 0 {
+								d.untilPR = pr
+							}
+						}
+					}
 				}
 				ds = append(ds, d)
 			}

@@ -1,0 +1,467 @@
+// Package cfg builds a control-flow graph per function body for the
+// nvolint flow-sensitive analyzers. It is the stdlib-only counterpart
+// of golang.org/x/tools/go/cfg, trimmed to what the suite needs: basic
+// blocks of *simple* nodes (assignments, calls, channel operations,
+// conditions, defers) connected by edges that encode the structured
+// control flow of if/for/range/switch/select, labeled break/continue,
+// goto, return and explicit panic exits.
+//
+// Design rules the analyzers rely on:
+//
+//   - A block's Nodes are disjoint subtrees: compound statements (if,
+//     for, switch, select) never appear as nodes; their conditions, tags
+//     and comm statements do. A transfer function may therefore
+//     ast.Inspect each node without double-visiting a branch body.
+//   - Function literals are opaque: a FuncLit appearing inside a node is
+//     a value, not control flow of this function. Analyzers analyze each
+//     literal's body as its own graph.
+//   - defer statements are ordinary nodes in the block where they
+//     execute — a dataflow fact set at a DeferStmt is naturally
+//     path-sensitive ("an unlock is pending on exactly the paths that
+//     ran the defer"), which is how the lockpath analyzer recognizes the
+//     guarded `if ok { mu.Lock(); defer mu.Unlock() }` idiom.
+//   - Every function has one Entry and one Exit block. return edges to
+//     Exit; an explicit panic(...) statement edges to Exit with the
+//     panic call as its block's final node, so "every path to
+//     return/panic" is exactly "every path to Exit".
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Name labels the graph in dumps and diagnostics (the function
+	// name, or "func literal").
+	Name string
+	// Blocks holds every block in creation order; Blocks[0] is Entry
+	// and Blocks[1] is Exit.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// A Block is one basic block: a maximal sequence of simple nodes
+// executed in order, followed by a branch described by Succs.
+type Block struct {
+	Index int
+	// Kind names the structural role the builder gave the block
+	// ("entry", "exit", "if.then", "for.head", "select.case", ...).
+	// Analyzers use it sparingly (e.g. to recognize a range head);
+	// tests assert on it.
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// String renders the block compactly for diagnostics.
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// New builds the graph of one function body. A nil body (declaration
+// without definition) yields the trivial entry→exit graph.
+func New(name string, body *ast.BlockStmt) *Graph {
+	g := &Graph{Name: name}
+	b := &builder{g: g}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.cur = g.Entry
+	if body != nil {
+		b.stmt(body)
+	}
+	// Implicit return: falling off the end of the body reaches Exit.
+	b.edge(b.cur, g.Exit)
+	b.patchGotos()
+	return g
+}
+
+// FuncGraph builds the graph of a declared function.
+func FuncGraph(fd *ast.FuncDecl) *Graph { return New(fd.Name.Name, fd.Body) }
+
+// LitGraph builds the graph of a function literal.
+func LitGraph(lit *ast.FuncLit) *Graph { return New("func literal", lit.Body) }
+
+// frame is one enclosing breakable/continuable construct.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+// pendingGoto is a goto awaiting its label's block.
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []frame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// fallTarget is the next case block of the innermost switch clause
+	// being built — the fallthrough destination.
+	fallTarget *Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) append(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminate ends the current path: subsequent statements (dead code)
+// collect in a fresh, predecessor-less block.
+func (b *builder) terminate() {
+	b.cur = b.newBlock("unreached")
+}
+
+func (b *builder) setLabel(name string, blk *Block) {
+	if name == "" {
+		return
+	}
+	if b.labels == nil {
+		b.labels = map[string]*Block{}
+	}
+	b.labels[name] = blk
+}
+
+func (b *builder) patchGotos() {
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, target)
+		}
+	}
+}
+
+// stmt translates one statement, leaving b.cur at the fallthrough
+// block.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range s.List {
+			b.stmt(sub)
+		}
+	case *ast.LabeledStmt:
+		b.labeled(s.Label.Name, s.Stmt)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt("", s)
+	case *ast.RangeStmt:
+		b.rangeStmt("", s)
+	case *ast.SwitchStmt:
+		b.switchStmt("", s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt("", s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt("", s)
+	case *ast.ReturnStmt:
+		b.append(s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate()
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.ExprStmt:
+		b.append(s)
+		if isPanicCall(s.X) {
+			b.edge(b.cur, b.g.Exit)
+			b.terminate()
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Simple statements: assign, decl, send, incdec, defer, go.
+		b.append(s)
+	}
+}
+
+// labeled attaches a label to the statement it governs: loops, switches
+// and selects take it as their break/continue label; anything else
+// becomes a plain goto target.
+func (b *builder) labeled(name string, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		b.forStmt(name, s)
+	case *ast.RangeStmt:
+		b.rangeStmt(name, s)
+	case *ast.SwitchStmt:
+		b.switchStmt(name, s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(name, s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(name, s)
+	default:
+		target := b.newBlock("label." + name)
+		b.edge(b.cur, target)
+		b.cur = target
+		b.setLabel(name, target)
+		b.stmt(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	b.append(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	b.edge(cond, then)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	var elseEnd *Block
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	done := b.newBlock("if.done")
+	b.edge(thenEnd, done)
+	if elseEnd != nil {
+		b.edge(elseEnd, done)
+	} else {
+		b.edge(cond, done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(label string, s *ast.ForStmt) {
+	if s.Init != nil {
+		b.append(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	b.setLabel(label, head)
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+	done := b.newBlock("for.done")
+	if s.Cond != nil {
+		// for {} without a condition loops forever: done is reachable
+		// only through break.
+		b.edge(head, done)
+	}
+	contTo := head
+	if s.Post != nil {
+		post := b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.edge(post, head)
+		contTo = post
+	}
+	b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: contTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, contTo)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(label string, s *ast.RangeStmt) {
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	head.Nodes = append(head.Nodes, s.X)
+	b.setLabel(label, head)
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	done := b.newBlock("range.done")
+	b.edge(head, done)
+	b.frames = append(b.frames, frame{label: label, breakTo: done, continueTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+// switchStmt handles both value switches (tag != nil possible) and type
+// switches (assign != nil).
+func (b *builder) switchStmt(label string, init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		b.append(init)
+	}
+	if tag != nil {
+		b.append(tag)
+	}
+	if assign != nil {
+		b.append(assign)
+	}
+	head := b.cur
+	b.setLabel(label, head)
+	done := b.newBlock("switch.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+
+	var clauses []*ast.CaseClause
+	var caseBlocks []*Block
+	hasDefault := false
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		if tag != nil || assign == nil {
+			// Value-switch case expressions are evaluated; type-switch
+			// case lists are types, not runtime nodes.
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		}
+		clauses = append(clauses, cc)
+		caseBlocks = append(caseBlocks, blk)
+	}
+	if !hasDefault {
+		b.edge(head, done)
+	}
+	for i, cc := range clauses {
+		savedFall := b.fallTarget
+		b.fallTarget = nil
+		if i+1 < len(caseBlocks) {
+			b.fallTarget = caseBlocks[i+1]
+		}
+		b.cur = caseBlocks[i]
+		for _, sub := range cc.Body {
+			b.stmt(sub)
+		}
+		b.edge(b.cur, done)
+		b.fallTarget = savedFall
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(label string, s *ast.SelectStmt) {
+	head := b.cur
+	b.setLabel(label, head)
+	done := b.newBlock("select.done")
+	b.frames = append(b.frames, frame{label: label, breakTo: done})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		for _, sub := range cc.Body {
+			b.stmt(sub)
+		}
+		b.edge(b.cur, done)
+	}
+	// select{} with no cases blocks forever: done keeps no predecessor
+	// beyond the case exits, which is exactly right.
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = done
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.append(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := b.findFrame(label, false); t != nil {
+			b.edge(b.cur, t.breakTo)
+		}
+		b.terminate()
+	case token.CONTINUE:
+		if t := b.findFrame(label, true); t != nil {
+			b.edge(b.cur, t.continueTo)
+		}
+		b.terminate()
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		b.terminate()
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.edge(b.cur, b.fallTarget)
+		}
+		b.terminate()
+	}
+}
+
+// findFrame resolves a break/continue target: the innermost matching
+// frame, where continue only matches loops (continueTo != nil).
+func (b *builder) findFrame(label string, isContinue bool) *frame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if isContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a call of the panic builtin. The
+// builder has no type information, so a shadowed `panic` identifier
+// would be misread — no code in this repo (and very little anywhere)
+// shadows it.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Dump renders the graph one block per line — "index kind -> succ
+// indices" — the stable form the construction tests assert against.
+func (g *Graph) Dump() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%d %s", blk.Index, blk.Kind)
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " %d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,309 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze/cfg"
+)
+
+// build parses a function body and returns its graph.
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	return cfg.FuncGraph(fd)
+}
+
+// TestConstruction asserts exact block/edge sets for the shapes the
+// flow-sensitive analyzers depend on.
+func TestConstruction(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want []string // Dump lines
+	}{
+		{
+			name: "straight line",
+			body: "x := 1; _ = x",
+			want: []string{
+				"0 entry -> 1",
+				"1 exit",
+			},
+		},
+		{
+			name: "if without else",
+			body: "if x := 1; x > 0 { x++ }",
+			want: []string{
+				"0 entry -> 2 3",
+				"1 exit",
+				"2 if.then -> 3",
+				"3 if.done -> 1",
+			},
+		},
+		{
+			name: "if else with returns",
+			body: "if c() { return } else { return }",
+			want: []string{
+				"0 entry -> 2 4",
+				"1 exit",
+				"2 if.then -> 1",
+				"3 unreached -> 6", // dead tails keep structural edges; no preds = unreachable
+				"4 if.else -> 1",
+				"5 unreached -> 6",
+				"6 if.done -> 1", // both arms terminated: done is dead but falls to exit
+			},
+		},
+		{
+			name: "for with cond and post",
+			body: "for i := 0; i < 3; i++ { use(i) }",
+			want: []string{
+				"0 entry -> 2",
+				"1 exit",
+				"2 for.head -> 3 4",
+				"3 for.body -> 5",
+				"4 for.done -> 1",
+				"5 for.post -> 2",
+			},
+		},
+		{
+			name: "infinite for reaches done only by break",
+			body: "for { if c() { break } }",
+			want: []string{
+				"0 entry -> 2",
+				"1 exit",
+				"2 for.head -> 3",
+				"3 for.body -> 5 7",
+				"4 for.done -> 1",
+				"5 if.then -> 4",
+				"6 unreached -> 7",
+				"7 if.done -> 2",
+			},
+		},
+		{
+			name: "labeled break and continue pick the outer loop",
+			body: `
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			if c() {
+				continue outer
+			}
+			break outer
+		}
+	}`,
+			want: []string{
+				"0 entry -> 2",
+				"1 exit",
+				"2 for.head -> 3 4", // outer head
+				"3 for.body -> 6",
+				"4 for.done -> 1", // outer done
+				"5 for.post -> 2", // outer post (continue outer lands here)
+				"6 for.head -> 7", // inner head (infinite)
+				"7 for.body -> 9 11",
+				"8 for.done -> 5", // inner done: dead (both exits jump out of the outer loop)
+				"9 if.then -> 5",
+				"10 unreached -> 11",
+				"11 if.done -> 4",
+				"12 unreached -> 6", // after break outer, loop back edge from dead tail
+			},
+		},
+		{
+			name: "range",
+			body: "for _, v := range xs { use(v) }",
+			want: []string{
+				"0 entry -> 2",
+				"1 exit",
+				"2 range.head -> 3 4",
+				"3 range.body -> 2",
+				"4 range.done -> 1",
+			},
+		},
+		{
+			name: "switch with default and fallthrough",
+			body: `
+	switch x() {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		d()
+	}`,
+			want: []string{
+				"0 entry -> 3 4 5",
+				"1 exit",
+				"2 switch.done -> 1",
+				"3 switch.case -> 4", // fallthrough edge to case 2, no direct edge to done
+				"4 switch.case -> 2",
+				"5 switch.default -> 2",
+				"6 unreached -> 2", // dead tail after fallthrough
+			},
+		},
+		{
+			name: "switch without default falls through to done",
+			body: "switch c() { case true: a() }",
+			want: []string{
+				"0 entry -> 3 2",
+				"1 exit",
+				"2 switch.done -> 1",
+				"3 switch.case -> 2",
+			},
+		},
+		{
+			name: "select with default never blocks",
+			body: `
+	select {
+	case <-ch:
+		a()
+	default:
+		b()
+	}`,
+			want: []string{
+				"0 entry -> 3 4",
+				"1 exit",
+				"2 select.done -> 1",
+				"3 select.case -> 2",
+				"4 select.default -> 2",
+			},
+		},
+		{
+			name: "select without default has only comm successors",
+			body: `
+	select {
+	case v := <-ch:
+		use(v)
+	case ch2 <- 1:
+	}`,
+			want: []string{
+				"0 entry -> 3 4",
+				"1 exit",
+				"2 select.done -> 1",
+				"3 select.case -> 2",
+				"4 select.case -> 2",
+			},
+		},
+		{
+			name: "defer inside loop stays a loop-body node",
+			body: "for i := 0; i < n; i++ { defer release(i) }",
+			want: []string{
+				"0 entry -> 2",
+				"1 exit",
+				"2 for.head -> 3 4",
+				"3 for.body -> 5",
+				"4 for.done -> 1",
+				"5 for.post -> 2",
+			},
+		},
+		{
+			name: "panic is an exit edge",
+			body: "if bad() { panic(\"boom\") }; ok()",
+			want: []string{
+				"0 entry -> 2 4",
+				"1 exit",
+				"2 if.then -> 1", // panic exits
+				"3 unreached -> 4",
+				"4 if.done -> 1",
+			},
+		},
+		{
+			name: "panic recover pair: recover lives in a deferred literal, no extra edges",
+			body: "defer func() { _ = recover() }(); if bad() { panic(1) }",
+			want: []string{
+				"0 entry -> 2 4",
+				"1 exit",
+				"2 if.then -> 1", // panic edges to exit; the deferred recover is a plain entry node
+				"3 unreached -> 4",
+				"4 if.done -> 1",
+			},
+		},
+		{
+			name: "goto forward and backward",
+			body: `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	goto out
+	bad()
+out:
+	done()`,
+			want: []string{
+				"0 entry -> 2",
+				"1 exit",
+				"2 label.loop -> 3 5",
+				"3 if.then -> 2",   // goto loop (backward)
+				"4 unreached -> 5", // dead tail after goto loop
+				"5 if.done -> 7",   // goto out (forward, patched after build)
+				"6 unreached -> 7", // bad() is dead
+				"7 label.out -> 1",
+			},
+		},
+		{
+			name: "empty select blocks forever",
+			body: "select {}; never()",
+			want: []string{
+				"0 entry",
+				"1 exit",
+				"2 select.done -> 1", // unreachable: no case ever fires
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := build(t, tc.body)
+			got := strings.TrimSpace(g.Dump())
+			want := strings.Join(tc.want, "\n")
+			if got != want {
+				t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestEntryExitInvariants checks the structural promises analyzers rely
+// on: Blocks[0] is Entry, Blocks[1] is Exit, Exit has no successors.
+func TestEntryExitInvariants(t *testing.T) {
+	g := build(t, "for { if c() { return } }")
+	if g.Blocks[0] != g.Entry || g.Entry.Kind != "entry" {
+		t.Fatalf("Blocks[0] = %v, want entry", g.Blocks[0])
+	}
+	if g.Blocks[1] != g.Exit || g.Exit.Kind != "exit" {
+		t.Fatalf("Blocks[1] = %v, want exit", g.Blocks[1])
+	}
+	if len(g.Exit.Succs) != 0 {
+		t.Fatalf("exit has successors: %v", g.Exit.Succs)
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == blk {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %v->%v missing from Preds", blk, s)
+			}
+		}
+	}
+}
+
+// TestNilBody covers declarations without definitions.
+func TestNilBody(t *testing.T) {
+	g := cfg.New("external", nil)
+	if got := strings.TrimSpace(g.Dump()); got != "0 entry -> 1\n1 exit" {
+		t.Fatalf("nil body graph:\n%s", got)
+	}
+}

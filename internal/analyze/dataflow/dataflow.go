@@ -1,0 +1,107 @@
+// Package dataflow is a small forward-dataflow fixpoint solver over
+// internal/analyze/cfg graphs: the engine under the nvolint
+// flow-sensitive analyzers (lockpath, goleak, errpath).
+//
+// An analysis supplies a join semilattice over fact values F — a Join
+// that must be monotone and an Equal that decides convergence — plus a
+// block transfer function. The solver seeds the entry block and
+// iterates a worklist until the facts stop changing. Blocks that are
+// never reached from entry (dead code after return/panic) receive no
+// facts and are reported in Result.Reached, so analyzers do not
+// diagnose paths that cannot execute.
+//
+// Termination is the analysis author's contract: Join must only move
+// facts up a finite-height lattice (sets growing toward a bounded
+// universe, booleans and-ing toward false). Every analyzer in the
+// suite uses sets over the identifiers of one function body, whose
+// height is bounded by the body's size.
+package dataflow
+
+import "repro/internal/analyze/cfg"
+
+// Analysis defines one forward dataflow problem over fact type F.
+type Analysis[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Join combines facts along merging paths. It must be commutative,
+	// associative and monotone.
+	Join func(a, b F) F
+	// Equal decides convergence.
+	Equal func(a, b F) bool
+	// Transfer computes a block's out-fact from its in-fact by applying
+	// the block's nodes in order. It must not mutate in.
+	Transfer func(b *cfg.Block, in F) F
+}
+
+// Result carries the fixpoint.
+type Result[F any] struct {
+	// In and Out hold each reached block's entry and exit facts.
+	In, Out map[*cfg.Block]F
+	// Reached reports whether a block is reachable from entry — blocks
+	// absent from the map were never visited and have no facts.
+	Reached map[*cfg.Block]bool
+}
+
+// Forward solves the analysis to fixpoint over g.
+func Forward[F any](g *cfg.Graph, a Analysis[F]) Result[F] {
+	res := Result[F]{
+		In:      map[*cfg.Block]F{},
+		Out:     map[*cfg.Block]F{},
+		Reached: map[*cfg.Block]bool{},
+	}
+
+	// FIFO worklist with a membership set: a block re-enqueued while
+	// queued is processed once with its latest in-fact.
+	var queue []*cfg.Block
+	queued := map[*cfg.Block]bool{}
+	push := func(b *cfg.Block) {
+		if !queued[b] {
+			queued[b] = true
+			queue = append(queue, b)
+		}
+	}
+
+	res.In[g.Entry] = a.Entry
+	res.Reached[g.Entry] = true
+	push(g.Entry)
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+
+		out := a.Transfer(b, res.In[b])
+		if prev, ok := res.Out[b]; ok && a.Equal(prev, out) {
+			continue
+		}
+		res.Out[b] = out
+
+		for _, s := range b.Succs {
+			// Join the out-facts of every reached predecessor; never-
+			// reached preds contribute nothing (bottom).
+			joined, have := res.Out[b], true
+			for _, p := range s.Preds {
+				if p == b {
+					continue
+				}
+				pf, ok := res.Out[p]
+				if !ok {
+					continue
+				}
+				if !have {
+					joined, have = pf, true
+					continue
+				}
+				joined = a.Join(joined, pf)
+			}
+			if prev, ok := res.In[s]; !ok || !a.Equal(prev, joined) {
+				res.In[s] = joined
+				res.Reached[s] = true
+				push(s)
+			} else {
+				res.Reached[s] = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,199 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analyze/cfg"
+	"repro/internal/analyze/dataflow"
+)
+
+func build(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	return cfg.FuncGraph(file.Decls[len(file.Decls)-1].(*ast.FuncDecl))
+}
+
+// calls extracts the called function names in a block's nodes — the
+// "gen" set of the toy analyses below.
+func calls(b *cfg.Block) []string {
+	var out []string
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					out = append(out, id.Name)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type set map[string]bool
+
+func (s set) with(names ...string) set {
+	out := set{}
+	for k := range s {
+		out[k] = true
+	}
+	for _, n := range names {
+		out[n] = true
+	}
+	return out
+}
+
+func (s set) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func equal(a, b set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mayCalls is a union-join analysis: the set of functions that MAY have
+// been called on some path reaching a point.
+func mayCalls() dataflow.Analysis[set] {
+	return dataflow.Analysis[set]{
+		Entry: set{},
+		Join: func(a, b set) set {
+			out := a.with()
+			for k := range b {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: equal,
+		Transfer: func(b *cfg.Block, in set) set {
+			return in.with(calls(b)...)
+		},
+	}
+}
+
+// mustCalls is an intersection-join analysis: functions called on EVERY
+// path reaching a point.
+func mustCalls() dataflow.Analysis[set] {
+	return dataflow.Analysis[set]{
+		Entry: set{},
+		Join: func(a, b set) set {
+			out := set{}
+			for k := range a {
+				if b[k] {
+					out[k] = true
+				}
+			}
+			return out
+		},
+		Equal: equal,
+		Transfer: func(b *cfg.Block, in set) set {
+			return in.with(calls(b)...)
+		},
+	}
+}
+
+func TestMayAnalysisBranches(t *testing.T) {
+	g := build(t, "if c() { a() } else { b() }")
+	res := dataflow.Forward(g, mayCalls())
+	if got := res.In[g.Exit].String(); got != "a,b,c" {
+		t.Fatalf("may-calls at exit = %q, want a,b,c", got)
+	}
+}
+
+func TestMustAnalysisBranches(t *testing.T) {
+	// a() runs on both arms, b() on one: only a and the condition c are
+	// must-called at exit.
+	g := build(t, "if c() { a(); b() } else { a() }")
+	res := dataflow.Forward(g, mustCalls())
+	if got := res.In[g.Exit].String(); got != "a,c" {
+		t.Fatalf("must-calls at exit = %q, want a,c", got)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	// The loop body may never run: body() is a may-call, not a must-call.
+	g := build(t, "for c() { body() }; after()")
+	may := dataflow.Forward(g, mayCalls())
+	if got := may.In[g.Exit].String(); got != "after,body,c" {
+		t.Fatalf("may-calls at exit = %q, want after,body,c", got)
+	}
+	must := dataflow.Forward(g, mustCalls())
+	if got := must.In[g.Exit].String(); got != "after,c" {
+		t.Fatalf("must-calls at exit = %q, want after,c", got)
+	}
+}
+
+func TestUnreachedBlocksGetNoFacts(t *testing.T) {
+	g := build(t, "return; dead()")
+	res := dataflow.Forward(g, mayCalls())
+	for _, b := range g.Blocks {
+		if b.Kind == "unreached" {
+			if res.Reached[b] {
+				t.Errorf("dead block %v marked reached", b)
+			}
+			if _, ok := res.In[b]; ok {
+				t.Errorf("dead block %v has an in-fact", b)
+			}
+		}
+	}
+	if !res.Reached[g.Exit] {
+		t.Fatalf("exit not reached")
+	}
+}
+
+func TestInfiniteLoopLeavesExitUnreached(t *testing.T) {
+	g := build(t, "for { spin() }")
+	res := dataflow.Forward(g, mayCalls())
+	if res.Reached[g.Exit] {
+		t.Fatalf("exit reached through an infinite loop")
+	}
+}
+
+// TestMustThroughInfiniteLoopEscape checks the pattern goleak leans on:
+// an exit reachable only via a signalling case carries the signal as a
+// must-fact even when the loop itself never terminates normally.
+func TestMustThroughInfiniteLoopEscape(t *testing.T) {
+	g := build(t, `
+	for {
+		select {
+		case <-done():
+			cleanup()
+			return
+		case <-work():
+			handle()
+		}
+	}`)
+	res := dataflow.Forward(g, mustCalls())
+	if !res.Reached[g.Exit] {
+		t.Fatalf("exit should be reachable through the done case")
+	}
+	fact := res.In[g.Exit]
+	if !fact["cleanup"] || !fact["done"] {
+		t.Fatalf("exit must-calls = %q, want cleanup and done", fact)
+	}
+	if fact["handle"] {
+		t.Fatalf("handle() is not on every exit path, got %q", fact)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analyze"
 	"repro/internal/analyze/loader"
@@ -41,6 +42,9 @@ func Main(analyzers []*analyze.Analyzer) int {
 	}
 	version := fs.Bool("V", false, "print version and exit (cmd/go vettool probe)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags as JSON and exit (cmd/go vettool probe)")
+	verbose := fs.Bool("v", false, "print per-analyzer cumulative wall time after the run")
+	budget := fs.Duration("budget", 0, "fail (exit 1) if total analysis wall time exceeds this duration (0 = unbounded)")
+	pr := fs.Int("pr", 0, "current PR number; report (without failing) //nvolint:ignore directives whose until=PR<N> note has expired")
 	registerAnalyzerFlags(fs, analyzers)
 
 	// cmd/go probes with -V=full; tolerate the =full value on our bool.
@@ -65,7 +69,26 @@ func Main(analyzers []*analyze.Analyzer) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return RunVet(rest[0], analyzers)
 	}
-	return RunStandalone(".", rest, analyzers, os.Stderr)
+	return RunStandaloneOpts(".", rest, analyzers, os.Stderr, Options{
+		Verbose: *verbose,
+		Budget:  *budget,
+		PR:      *pr,
+	})
+}
+
+// Options are the standalone driver's reporting and gating knobs.
+type Options struct {
+	// Verbose prints per-analyzer cumulative wall time after the run.
+	Verbose bool
+	// Budget, when positive, turns the run into a latency gate: if the
+	// fleet's total wall time exceeds it, the driver exits 1 even on a
+	// finding-free tree, so a slow new pass cannot silently blow up
+	// verify latency.
+	Budget time.Duration
+	// PR, when positive, reports suppressions whose `until=PR<N>` note
+	// has expired (N <= PR). Stale notes never change the exit code:
+	// they are a re-audit prompt, not a failure.
+	PR int
 }
 
 // registerAnalyzerFlags exposes each analyzer flag F as -<name>.<F>.
@@ -126,18 +149,42 @@ func emitFlagDefs(analyzers []*analyze.Analyzer) int {
 // matched package, and prints suppressed-filtered findings to w. It
 // returns the process exit code.
 func RunStandalone(dir string, patterns []string, analyzers []*analyze.Analyzer, w io.Writer) int {
-	diags, errs := Analyze(dir, patterns, analyzers)
-	for _, err := range errs {
+	return RunStandaloneOpts(dir, patterns, analyzers, w, Options{})
+}
+
+// RunStandaloneOpts is RunStandalone with timing, budget and
+// stale-suppression reporting.
+func RunStandaloneOpts(dir string, patterns []string, analyzers []*analyze.Analyzer, w io.Writer, opts Options) int {
+	//nvolint:ignore noclock lint tooling measures its own wall time; never on a replayed path
+	start := time.Now()
+	res := AnalyzeOpts(dir, patterns, analyzers, opts)
+	//nvolint:ignore noclock lint tooling measures its own wall time; never on a replayed path
+	elapsed := time.Since(start)
+	for _, err := range res.Errs {
 		fmt.Fprintln(w, err)
 	}
-	if len(errs) > 0 {
+	if len(res.Errs) > 0 {
 		return 1
 	}
-	for _, d := range diags {
+	for _, s := range res.Stale {
+		fmt.Fprintf(w, "nvolint: stale suppression: %s\n", s)
+	}
+	if opts.Verbose {
+		for _, at := range res.Times {
+			fmt.Fprintf(w, "nvolint: %-14s %8.1fms\n", at.Analyzer, float64(at.Elapsed.Microseconds())/1000)
+		}
+		fmt.Fprintf(w, "nvolint: %-14s %8.1fms (load + analyze)\n", "total", float64(elapsed.Microseconds())/1000)
+	}
+	for _, d := range res.Findings {
 		fmt.Fprintln(w, d)
 	}
-	if len(diags) > 0 {
+	if len(res.Findings) > 0 {
 		return 2
+	}
+	if opts.Budget > 0 && elapsed > opts.Budget {
+		fmt.Fprintf(w, "nvolint: suite took %s, over the %s budget; speed up the slow analyzer or raise the budget deliberately\n",
+			elapsed.Round(time.Millisecond), opts.Budget)
+		return 1
 	}
 	return 0
 }
@@ -153,21 +200,49 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
 }
 
+// AnalyzerTime is one analyzer's cumulative wall time across every
+// analyzed package.
+type AnalyzerTime struct {
+	Analyzer string
+	Elapsed  time.Duration
+}
+
+// Result is everything one standalone analysis run produced.
+type Result struct {
+	Findings []Finding
+	Errs     []error
+	// Times holds per-analyzer cumulative wall time, in fleet order.
+	Times []AnalyzerTime
+	// Stale lists suppressions whose until=PR<N> note expired (only
+	// populated when Options.PR > 0).
+	Stale []string
+}
+
 // Analyze runs the fleet over the packages matched by patterns under
 // dir and returns sorted findings. Type-check errors in target
 // packages are returned as errs: analysis over a broken tree would
 // under-report, which must read as failure, not cleanliness.
 func Analyze(dir string, patterns []string, analyzers []*analyze.Analyzer) (findings []Finding, errs []error) {
+	res := AnalyzeOpts(dir, patterns, analyzers, Options{})
+	return res.Findings, res.Errs
+}
+
+// AnalyzeOpts is Analyze plus per-analyzer timing and the
+// stale-suppression scan.
+func AnalyzeOpts(dir string, patterns []string, analyzers []*analyze.Analyzer, opts Options) Result {
+	var res Result
 	pkgs, err := loader.Load(dir, patterns...)
 	if err != nil {
-		return nil, []error{err}
+		res.Errs = []error{err}
+		return res
 	}
+	elapsed := make([]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
-			errs = append(errs, fmt.Errorf("%s: %v", pkg.ImportPath, terr))
+			res.Errs = append(res.Errs, fmt.Errorf("%s: %v", pkg.ImportPath, terr))
 		}
 		var diags []analyze.Diagnostic
-		for _, a := range analyzers {
+		for i, a := range analyzers {
 			pass := &analyze.Pass{
 				Analyzer:  a,
 				Fset:      pkg.Fset,
@@ -175,25 +250,43 @@ func Analyze(dir string, patterns []string, analyzers []*analyze.Analyzer) (find
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 			}
-			if err := a.Run(pass); err != nil {
-				errs = append(errs, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err))
+			//nvolint:ignore noclock lint tooling measures its own wall time; never on a replayed path
+			start := time.Now()
+			err := a.Run(pass)
+			//nvolint:ignore noclock lint tooling measures its own wall time; never on a replayed path
+			elapsed[i] += time.Since(start)
+			if err != nil {
+				res.Errs = append(res.Errs, fmt.Errorf("%s: analyzer %s: %v", pkg.ImportPath, a.Name, err))
 				continue
 			}
 			diags = append(diags, pass.Diagnostics()...)
 		}
 		for _, d := range analyze.Suppress(pkg.Fset, pkg.Files, diags) {
-			findings = append(findings, Finding{
+			res.Findings = append(res.Findings, Finding{
 				Position: pkg.Fset.Position(d.Pos).String(),
 				Analyzer: d.Analyzer,
 				Message:  d.Message,
 			})
 		}
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].Position != findings[j].Position {
-			return findings[i].Position < findings[j].Position
+		if opts.PR > 0 {
+			for _, dir := range analyze.Directives(pkg.Fset, pkg.Files) {
+				if dir.UntilPR > 0 && dir.UntilPR <= opts.PR {
+					res.Stale = append(res.Stale, fmt.Sprintf(
+						"%s:%d: suppression of %s expired at PR %d (now PR %d), re-audit: %s",
+						dir.File, dir.Line, strings.Join(dir.Analyzers, ","), dir.UntilPR, opts.PR, dir.Reason))
+				}
+			}
 		}
-		return findings[i].Analyzer < findings[j].Analyzer
+	}
+	for i, a := range analyzers {
+		res.Times = append(res.Times, AnalyzerTime{Analyzer: a.Name, Elapsed: elapsed[i]})
+	}
+	sort.Slice(res.Findings, func(i, j int) bool {
+		if res.Findings[i].Position != res.Findings[j].Position {
+			return res.Findings[i].Position < res.Findings[j].Position
+		}
+		return res.Findings[i].Analyzer < res.Findings[j].Analyzer
 	})
-	return findings, errs
+	sort.Strings(res.Stale)
+	return res
 }

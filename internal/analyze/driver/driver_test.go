@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/analyze/driver"
 	"repro/internal/analyze/suite"
@@ -82,6 +83,72 @@ func TestGoVetVettool(t *testing.T) {
 	cmd.Dir = "../../.."
 	if out, err := cmd.CombinedOutput(); err != nil {
 		t.Fatalf("go vet -vettool: %v\n%s", err, out)
+	}
+}
+
+// TestAnalyzeOptsTimesAndStale checks the instrumented entry point: one
+// cumulative wall-time entry per analyzer in fleet order, and the
+// expired until=PR1 suppression in the stale fixture reported — without
+// unsuppressing the finding it covers.
+func TestAnalyzeOptsTimesAndStale(t *testing.T) {
+	analyzers := suite.Analyzers()
+	res := driver.AnalyzeOpts("testdata", []string{"./src/stale"}, analyzers, driver.Options{PR: 5})
+	for _, err := range res.Errs {
+		t.Fatalf("analysis error: %v", err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("finding leaked through the suppression: %s", f)
+	}
+	if len(res.Times) != len(analyzers) {
+		t.Fatalf("Times has %d entries, want one per analyzer (%d)", len(res.Times), len(analyzers))
+	}
+	for i, at := range res.Times {
+		if at.Analyzer != analyzers[i].Name {
+			t.Errorf("Times[%d] = %q, want fleet order (%q)", i, at.Analyzer, analyzers[i].Name)
+		}
+		if at.Elapsed < 0 {
+			t.Errorf("Times[%d] negative elapsed %v", i, at.Elapsed)
+		}
+	}
+	if len(res.Stale) != 1 || !strings.Contains(res.Stale[0], "expired at PR 1 (now PR 5)") {
+		t.Fatalf("Stale = %q, want the until=PR1 directive reported", res.Stale)
+	}
+	// Without -pr the scan is off entirely.
+	res = driver.AnalyzeOpts("testdata", []string{"./src/stale"}, analyzers, driver.Options{})
+	if len(res.Stale) != 0 {
+		t.Fatalf("Stale = %q without Options.PR, want none", res.Stale)
+	}
+}
+
+// TestRunStandaloneVerboseAndBudget drives the printing layer: verbose
+// mode emits per-analyzer timing lines, stale suppressions are reported
+// without changing the exit code, and an exceeded budget turns an
+// otherwise-clean run into exit 1.
+func TestRunStandaloneVerboseAndBudget(t *testing.T) {
+	var buf bytes.Buffer
+	code := driver.RunStandaloneOpts("testdata", []string{"./src/stale"}, suite.Analyzers(), &buf,
+		driver.Options{Verbose: true, Budget: time.Nanosecond, PR: 2})
+	out := buf.String()
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (budget exceeded)\n%s", code, out)
+	}
+	if !strings.Contains(out, "over the 1ns budget") {
+		t.Errorf("missing budget diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "noclock") || !strings.Contains(out, "(load + analyze)") {
+		t.Errorf("missing verbose timing lines:\n%s", out)
+	}
+	if !strings.Contains(out, "nvolint: stale suppression:") {
+		t.Errorf("missing stale-suppression report:\n%s", out)
+	}
+
+	// A generous budget over the same clean fixture exits 0: the stale
+	// report alone never fails the run.
+	buf.Reset()
+	code = driver.RunStandaloneOpts("testdata", []string{"./src/stale"}, suite.Analyzers(), &buf,
+		driver.Options{Budget: 10 * time.Minute, PR: 2})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (within budget, stale is report-only)\n%s", code, buf.String())
 	}
 }
 

@@ -1,0 +1,12 @@
+// Package stale carries a suppression whose until=PR note has expired,
+// exercising the driver's -pr stale-suppression report: the finding
+// stays suppressed (stale notes are a re-audit prompt, not a failure),
+// but `nvolint -pr <N>` for N >= 1 must surface the directive.
+package stale
+
+import "time"
+
+// Clock returns the wall time.
+//
+//nvolint:ignore noclock until=PR1 placeholder until the model clock lands
+func Clock() time.Time { return time.Now() }

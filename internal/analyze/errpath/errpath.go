@@ -1,0 +1,376 @@
+// Package errpath is the flow-sensitive upgrade of errclose: an
+// assigned `error` that can reach a return (or fall off the end of the
+// function) without being checked, returned, or otherwise consumed on
+// that path is a finding — even when some *other* path does check it,
+// which is exactly the case the AST-shaped errclose analyzer
+// structurally cannot see.
+//
+// The compiler already rejects an error variable that is never read at
+// all; what survives review is the path-shaped drop:
+//
+//	err := journal.Append(rec)
+//	if verbose { log.Printf("append: %v", err) }
+//	return nil // silent on the non-verbose path
+//
+// The analyzer tracks, per CFG path, the set of local error variables
+// holding an unconsumed result. Any read of the variable — a
+// comparison, a return, a wrap, a capture by a deferred closure —
+// consumes it on that path; paths ending in panic are exempt (the
+// error did not masquerade as success).
+package errpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyze"
+	"repro/internal/analyze/cfg"
+	"repro/internal/analyze/dataflow"
+)
+
+// Analyzer is the errpath check.
+var Analyzer = &analyze.Analyzer{
+	Name: "errpath",
+	Doc: "forbid error values that reach a return or the end of the function unchecked on some path: a dropped " +
+		"error lets a failed journal append, transfer or DAG write masquerade as success on exactly the path " +
+		"that needed it; check, return, or consume the error on every path",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.String("pkgs", "",
+		"comma-separated import paths to check (empty = every package)")
+}
+
+// fact tracks, along one path, the local error variables holding an
+// unconsumed result (pending, keyed to the assignment position) and
+// the variables some registered deferred closure will read at exit
+// (deferred) — a defer registered before the assignment still consumes
+// it, because it runs after every return on the paths that ran it.
+type fact struct {
+	pending  map[*types.Var]token.Pos
+	deferred map[*types.Var]bool
+}
+
+func newFact() fact {
+	return fact{pending: map[*types.Var]token.Pos{}, deferred: map[*types.Var]bool{}}
+}
+
+func (f fact) clone() fact {
+	out := newFact()
+	for k, v := range f.pending {
+		out.pending[k] = v
+	}
+	for k := range f.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+func run(pass *analyze.Pass) error {
+	if pkgs := analyze.CommaList(pass.Analyzer.Flags.Lookup("pkgs").Value.String()); len(pkgs) > 0 {
+		in := false
+		for _, path := range pkgs {
+			if pass.Pkg != nil && pass.Pkg.Path() == path {
+				in = true
+				break
+			}
+		}
+		if !in {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				check(pass, cfg.FuncGraph(fd), fd.Body, fd.Type.Results)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				check(pass, cfg.LitGraph(lit), lit.Body, lit.Type.Results)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type fnAnalysis struct {
+	pass    *analyze.Pass
+	body    *ast.BlockStmt
+	results []types.Object // named results, consumed by naked returns
+	// reported dedupes findings per assignment site across the paths
+	// that reach different returns.
+	reported map[token.Pos]bool
+}
+
+func check(pass *analyze.Pass, g *cfg.Graph, body *ast.BlockStmt, results *ast.FieldList) {
+	a := &fnAnalysis{pass: pass, body: body, reported: map[token.Pos]bool{}}
+	if results != nil {
+		for _, field := range results.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					a.results = append(a.results, obj)
+				}
+			}
+		}
+	}
+	res := dataflow.Forward(g, dataflow.Analysis[fact]{
+		Entry: newFact(),
+		Join: func(x, y fact) fact {
+			out := x.clone()
+			for k, v := range y.pending {
+				if prev, ok := out.pending[k]; !ok || v < prev {
+					out.pending[k] = v
+				}
+			}
+			for k := range y.deferred {
+				out.deferred[k] = true
+			}
+			return out
+		},
+		Equal: func(x, y fact) bool {
+			if len(x.pending) != len(y.pending) || len(x.deferred) != len(y.deferred) {
+				return false
+			}
+			for k, v := range x.pending {
+				if w, ok := y.pending[k]; !ok || w != v {
+					return false
+				}
+			}
+			for k := range x.deferred {
+				if !y.deferred[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *cfg.Block, in fact) fact {
+			out := in.clone()
+			for _, n := range b.Nodes {
+				a.apply(out, n)
+			}
+			return out
+		},
+	})
+
+	// Replay reached blocks and report facts that survive to a return
+	// or to the implicit return at the end of the body.
+	for _, b := range g.Blocks {
+		if !res.Reached[b] {
+			continue
+		}
+		f := res.In[b].clone()
+		exits := false
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				exits = true
+			}
+		}
+		for _, n := range b.Nodes {
+			if ret, ok := n.(*ast.ReturnStmt); ok {
+				a.apply(f, n) // the return's own operands consume
+				a.report(f, "the return at line %d", a.pass.Fset.Position(ret.Pos()).Line)
+				continue
+			}
+			a.apply(f, n)
+		}
+		if exits && !endsExplicitly(b) {
+			a.report(f, "the end of the function")
+		}
+	}
+}
+
+// endsExplicitly reports whether block b's last node is a return or a
+// panic — exits that are not the implicit fall-off-the-end return.
+// Panic paths are exempt: a panicking function does not claim success.
+func endsExplicitly(b *cfg.Block) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	switch last := b.Nodes[len(b.Nodes)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (a *fnAnalysis) report(f fact, whereFormat string, args ...any) {
+	where := fmt.Sprintf(whereFormat, args...)
+	type finding struct {
+		pos  token.Pos
+		name string
+	}
+	var fs []finding
+	for v, pos := range f.pending {
+		if f.deferred[v] || a.reported[pos] {
+			continue
+		}
+		a.reported[pos] = true
+		fs = append(fs, finding{pos: pos, name: v.Name()})
+	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i].pos < fs[j].pos })
+	for _, fd := range fs {
+		a.pass.Reportf(fd.pos,
+			"error assigned to %s here can reach %s without being checked, returned, or consumed; handle it on every path (or discard with `_ =` and a reason)",
+			fd.name, where)
+	}
+}
+
+// apply folds one node into the fact: reads consume (including reads
+// inside nested function literals — a deferred check counts), then
+// fresh error-producing assignments begin tracking.
+func (a *fnAnalysis) apply(f fact, n ast.Node) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// Argument reads happen at registration; reads inside a deferred
+		// closure happen at exit, after any later assignment — record
+		// them as exit-time consumers instead of killing now.
+		a.kill(f, d.Call, false)
+		ast.Inspect(d.Call, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				a.markDeferred(f, lit)
+				return false
+			}
+			return true
+		})
+		return
+	}
+	// Kills: every identifier read. The type checker puts `=`-LHS
+	// identifiers in Uses too, so a plain overwrite clears the previous
+	// value — deliberate noise control; the gen below re-tracks it when
+	// the new source is a call.
+	a.kill(f, n, true)
+	// Naked return in a function with named results reads them all.
+	if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 0 {
+		for _, obj := range a.results {
+			if v, ok := obj.(*types.Var); ok {
+				delete(f.pending, v)
+			}
+		}
+	}
+	// Gens.
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			} else if len(s.Rhs) == 1 {
+				rhs = s.Rhs[0]
+			}
+			a.gen(f, lhs, rhs)
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) == 0 {
+				continue
+			}
+			for i, name := range vs.Names {
+				var rhs ast.Expr
+				if len(vs.Values) == len(vs.Names) {
+					rhs = vs.Values[i]
+				} else if len(vs.Values) == 1 {
+					rhs = vs.Values[0]
+				}
+				a.gen(f, name, rhs)
+			}
+		}
+	}
+}
+
+// kill deletes every variable read in n from the pending set.
+// intoLits extends the scan into function literal bodies: a closure
+// that captures the variable may check it whenever it runs.
+func (a *fnAnalysis) kill(f fact, n ast.Node, intoLits bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && !intoLits {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				delete(f.pending, obj)
+			}
+		}
+		return true
+	})
+}
+
+// markDeferred records every variable the deferred closure reads as
+// consumed-at-exit on the paths that registered it.
+func (a *fnAnalysis) markDeferred(f fact, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := a.pass.TypesInfo.Uses[id].(*types.Var); ok {
+				f.deferred[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+// gen starts tracking lhs when it is a local error-typed variable
+// assigned from an error-producing expression (a call, a receive, a
+// type assertion).
+func (a *fnAnalysis) gen(f fact, lhs, rhs ast.Expr) {
+	if rhs == nil {
+		return
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := a.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = a.pass.TypesInfo.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return
+	}
+	// Only variables declared inside this body: writes to captured
+	// variables escape intraprocedural reasoning.
+	if !v.Pos().IsValid() || v.Pos() < a.body.Pos() || v.Pos() >= a.body.End() {
+		return
+	}
+	if !producesValue(rhs) {
+		return
+	}
+	f.pending[v] = id.Pos()
+}
+
+// producesValue reports whether e computes a fresh value worth
+// tracking: a call, a channel receive, or a type assertion. Plain
+// copies (`err2 := err`) and nil-resets are not tracked.
+func producesValue(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr, *ast.TypeAssertExpr:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

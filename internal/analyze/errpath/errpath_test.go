@@ -1,0 +1,16 @@
+package errpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/errpath"
+)
+
+func TestErrPath(t *testing.T) {
+	analyzetest.Run(t, "testdata", errpath.Analyzer, "src/a")
+}
+
+func TestErrPathSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", errpath.Analyzer, "src/sup")
+}

@@ -1,0 +1,107 @@
+// Package a exercises the errpath analyzer: path-shaped error drops
+// that the AST-level errclose check cannot see.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+func produce() error            { return nil }
+func compute() (int, error)     { return 0, nil }
+func logf(string, ...any)       {}
+func sink(error)                {}
+
+// droppedOnQuietPath reads err on one path only: the non-verbose path
+// returns nil with the error still pending.
+func droppedOnQuietPath(verbose bool) error {
+	err := produce() // want `error assigned to err here can reach the return at line \d+ without being checked`
+	if verbose {
+		logf("produce: %v", err)
+	}
+	return nil
+}
+
+// reassignedAndDropped reads the first result, then overwrites and
+// drops the second on the way out of a void function.
+func reassignedAndDropped() {
+	err := produce() // checked below: clean
+	if err != nil {
+		logf("first: %v", err)
+	}
+	err = produce() // want `error assigned to err here can reach the end of the function without being checked`
+	logf("done")
+}
+
+// tupleDrop tracks the error half of a tuple assignment.
+func tupleDrop() int {
+	n, err := compute() // want `error assigned to err here can reach the return at line \d+ without being checked`
+	if n > 0 {
+		sink(err)
+		return n
+	}
+	return 0
+}
+
+// checkedEverywhere is the canonical clean shape.
+func checkedEverywhere() error {
+	err := produce()
+	if err != nil {
+		return fmt.Errorf("produce: %w", err)
+	}
+	return nil
+}
+
+// returnedDirectly consumes by returning.
+func returnedDirectly() error {
+	err := produce()
+	return err
+}
+
+// consumedByDefer is read inside a deferred closure: every return path
+// runs it after the defer registers.
+func consumedByDefer() error {
+	var report error
+	defer func() { sink(report) }()
+	report = produce()
+	return nil
+}
+
+// namedResult is consumed by the naked return.
+func namedResult() (err error) {
+	err = produce()
+	return
+}
+
+// explicitDiscard is the reviewable opt-out.
+func explicitDiscard() {
+	err := produce()
+	_ = err
+}
+
+// panicPath does not claim success: no finding on the panic arm.
+func panicPath() error {
+	err := produce()
+	if err != nil {
+		panic(err)
+	}
+	return nil
+}
+
+// copyNotTracked: plain copies and nil resets are not fresh values.
+func copyNotTracked() error {
+	err := produce()
+	err2 := err
+	err = nil
+	_ = err
+	return err2
+}
+
+// litDrop shows function literals get their own analysis.
+var litDrop = func(deep bool) error {
+	err := errors.New("inner") // want `error assigned to err here can reach the return at line \d+ without being checked`
+	if deep {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+// Package sup exercises //nvolint:ignore handling for errpath.
+package sup
+
+func produce() error      { return nil }
+func logf(string, ...any) {}
+
+func bestEffort(verbose bool) error {
+	//nvolint:ignore errpath fixture: best-effort cache warm, failure is logged in verbose mode only
+	err := produce()
+	if verbose {
+		logf("warm: %v", err)
+	}
+	return nil
+}
+
+func reasonless(verbose bool) error {
+	//nvolint:ignore errpath // want `nvolint:ignore directive requires a reason`
+	err := produce() // want `error assigned to err here can reach the return at line \d+`
+	if verbose {
+		logf("warm: %v", err)
+	}
+	return nil
+}

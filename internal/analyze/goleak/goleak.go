@@ -1,0 +1,354 @@
+// Package goleak is the flow-sensitive goroutine-hygiene analyzer: a
+// `go` statement must launch work that is joined (WaitGroup, Future
+// completion channel, result send/close) or that observes a
+// cancellation signal (ctx.Done(), Lease.Revoked(), a fabric ticket or
+// quit channel) on every path, so the fabric can always reclaim it.
+//
+// The paper's portal is a persistent shared service: a goroutine that
+// neither finishes into a join nor watches for revocation is capacity
+// leaked until process death, invisible to admission control. The
+// analyzer resolves the spawned body (function literal or same-package
+// declaration), builds its CFG, and runs a forward must-analysis — a
+// path that reaches exit without ever touching an external join or
+// cancellation object is a finding at the `go` statement. A body that
+// never exits (server loop) must observe cancellation somewhere
+// reachable. A secondary check flags sends on external channels used
+// as blocking semaphore acquires with more work following and no
+// select alternative: that is the one place a cancellable-looking
+// goroutine can still wedge forever before reaching its cancellation
+// point.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analyze"
+	"repro/internal/analyze/cfg"
+	"repro/internal/analyze/dataflow"
+)
+
+// Analyzer is the goleak check.
+var Analyzer = &analyze.Analyzer{
+	Name: "goleak",
+	Doc: "require every goroutine launched outside the workpool to be joined (WaitGroup/Future/channel) or to " +
+		"observe cancellation (ctx.Done(), Lease.Revoked(), quit channels) on every path: an unjoined, " +
+		"uncancellable goroutine is fabric capacity leaked until process death",
+	Run: run,
+}
+
+func run(pass *analyze.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				checkGo(pass, decls, gs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *analyze.Pass, decls map[*types.Func]*ast.FuncDecl, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	name := "goroutine"
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn, ok := callee(pass, gs.Call).(*types.Func); ok {
+			if fd := decls[fn]; fd != nil && fd.Body != nil {
+				body, name = fd.Body, fn.Name()
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(),
+			"goroutine launched here runs a body nvolint cannot see (external or indirect callee), so join/cancellation cannot be proven; wrap it in a local func, route it through internal/workpool, or suppress with a reason")
+		return
+	}
+
+	a := &goAnalysis{pass: pass, body: body}
+	g := cfg.New(name, body)
+
+	// Must-analysis: true iff every path to this point has touched a
+	// join or cancellation object.
+	res := dataflow.Forward(g, dataflow.Analysis[bool]{
+		Entry: false,
+		Join:  func(x, y bool) bool { return x && y },
+		Equal: func(x, y bool) bool { return x == y },
+		Transfer: func(b *cfg.Block, in bool) bool {
+			out := in
+			for _, n := range b.Nodes {
+				c, o := a.classify(n, b.Kind)
+				if c || o {
+					out = true
+				}
+			}
+			return out
+		},
+	})
+
+	if res.Reached[g.Exit] {
+		if !res.In[g.Exit] {
+			pass.Reportf(gs.Pos(),
+				"goroutine launched here is neither joined nor observes cancellation on every path; signal completion via WaitGroup/channel/close, select on ctx.Done()/Lease.Revoked(), or route the work through internal/workpool")
+			return
+		}
+	} else {
+		// The body never falls off the end: a server loop. It must be
+		// able to see cancellation from inside the loop.
+		observes := false
+		for _, b := range g.Blocks {
+			if !res.Reached[b] {
+				continue
+			}
+			for _, n := range b.Nodes {
+				if _, o := a.classify(n, b.Kind); o {
+					observes = true
+				}
+			}
+		}
+		if !observes {
+			pass.Reportf(gs.Pos(),
+				"goroutine launched here loops forever without observing cancellation; add a ctx.Done()/Lease.Revoked()/quit case so the fabric can reclaim it")
+			return
+		}
+	}
+
+	// The goroutine is controlled — but a blocking semaphore-style send
+	// with work still to do can wedge before reaching its control point.
+	a.checkBlockingAcquire(g, res)
+}
+
+type goAnalysis struct {
+	pass *analyze.Pass
+	body *ast.BlockStmt
+}
+
+// external reports whether id resolves to an object declared outside
+// the goroutine body — a captured variable, a parameter, or a package
+// var: the only objects a spawner or supervisor can share.
+func (a *goAnalysis) external(id *ast.Ident) bool {
+	obj := a.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = a.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() < a.body.Pos() || obj.Pos() >= a.body.End()
+}
+
+// rootIdent peels selectors/indexes/derefs down to the base identifier
+// of an expression ("p.sem" -> p), or nil for call results and
+// literals.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (a *goAnalysis) externalExpr(e ast.Expr) bool {
+	id := rootIdent(e)
+	return id != nil && a.external(id)
+}
+
+// classify decides whether node n signals completion (controls) or
+// observes cancellation. kind is the CFG block kind — a range head
+// over an external channel is a receive even though only the ranged
+// expression appears as a node.
+func (a *goAnalysis) classify(n ast.Node, kind string) (controls, observes bool) {
+	intoLits := false
+	if _, ok := n.(*ast.DeferStmt); ok {
+		// `defer wg.Done()` and `defer func(){ close(done) }()` run on
+		// every exit path from here on.
+		intoLits = true
+	}
+	if kind == "range.head" {
+		if e, ok := n.(ast.Expr); ok {
+			if t := a.pass.TypesInfo.TypeOf(e); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && a.externalExpr(e) {
+					observes = true
+				}
+			}
+		}
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return intoLits
+		case *ast.SendStmt:
+			if a.externalExpr(n.Chan) {
+				controls = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && a.externalExpr(n.X) {
+				observes = true
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if _, isBuiltin := a.pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin && fun.Name == "close" &&
+					len(n.Args) == 1 && a.externalExpr(n.Args[0]) {
+					controls = true
+				}
+			case *ast.SelectorExpr:
+				if sel := a.pass.TypesInfo.Selections[fun]; sel != nil {
+					if fn, ok := sel.Obj().(*types.Func); ok && a.externalExpr(fun.X) {
+						if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+							controls = true // wg.Done()
+						}
+						if fn.Name() == "Done" || fn.Name() == "Revoked" {
+							observes = true // ctx.Done(), lease.Revoked()
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			// Handing an external cancellation-capable object (anything
+			// with a Done()/Revoked() channel method) to further work
+			// counts as observation: the callee can see the signal.
+			if a.external(n) {
+				if obj, ok := a.pass.TypesInfo.Uses[n].(*types.Var); ok && hasCancelMethod(obj.Type()) {
+					observes = true
+				}
+			}
+		}
+		return true
+	})
+	return controls, observes
+}
+
+// hasCancelMethod reports whether t (or *t) has a niladic Done or
+// Revoked method returning a receivable channel — the structural
+// shape of context.Context, fabric.Context and *fabric.Lease.
+func hasCancelMethod(t types.Type) bool {
+	for _, name := range []string{"Done", "Revoked"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if ch, ok := sig.Results().At(0).Type().Underlying().(*types.Chan); ok && ch.Dir() != types.SendOnly {
+			return true
+		}
+	}
+	return false
+}
+
+// checkBlockingAcquire flags sends on external channels that behave as
+// unbounded semaphore acquires: not a select alternative, with real
+// work still ahead. The goroutine passes the join check only because
+// its control point lies beyond a block that nothing can interrupt.
+func (a *goAnalysis) checkBlockingAcquire(g *cfg.Graph, res dataflow.Result[bool]) {
+	for _, b := range g.Blocks {
+		if !res.Reached[b] || b.Kind == "select.case" {
+			continue
+		}
+		for i, n := range b.Nodes {
+			send, ok := n.(*ast.SendStmt)
+			if !ok || !a.externalExpr(send.Chan) {
+				continue
+			}
+			if a.workFollows(g, b, i+1) {
+				a.pass.Reportf(send.Arrow,
+					"goroutine blocks here sending to %s with work still ahead and no select alternative; a full channel wedges it before any join/cancellation point — select the send against ctx.Done()/quit",
+					types.ExprString(send.Chan))
+			}
+		}
+	}
+}
+
+// workFollows reports whether any call is reachable after block b's
+// node index from, ignoring defers (they run at exit regardless) and
+// function literal interiors.
+func (a *goAnalysis) workFollows(g *cfg.Graph, b *cfg.Block, from int) bool {
+	seen := map[*cfg.Block]bool{b: true}
+	var hasCall func(nodes []ast.Node) bool
+	hasCall = func(nodes []ast.Node) bool {
+		for _, n := range nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue
+			}
+			found := false
+			ast.Inspect(n, func(n ast.Node) bool {
+				switch n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.CallExpr:
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+		return false
+	}
+	if hasCall(b.Nodes[from:]) {
+		return true
+	}
+	queue := append([]*cfg.Block{}, b.Succs...)
+	for len(queue) > 0 {
+		blk := queue[0]
+		queue = queue[1:]
+		if seen[blk] {
+			continue
+		}
+		seen[blk] = true
+		if hasCall(blk.Nodes) {
+			return true
+		}
+		queue = append(queue, blk.Succs...)
+	}
+	return false
+}
+
+// callee resolves the called object of a go statement's call.
+func callee(pass *analyze.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[fun]; sel != nil {
+			return sel.Obj()
+		}
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/goleak"
+)
+
+func TestGoLeak(t *testing.T) {
+	analyzetest.Run(t, "testdata", goleak.Analyzer, "src/a")
+}
+
+func TestGoLeakSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", goleak.Analyzer, "src/sup")
+}

@@ -1,0 +1,144 @@
+// Package a exercises the goleak analyzer: unjoined goroutines,
+// server loops without a cancellation case, unanalyzable callees,
+// blocking semaphore acquires, and the sanctioned join/cancel shapes.
+package a
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+type srv struct {
+	sem  chan struct{}
+	quit chan struct{}
+	jobs chan int
+}
+
+type future struct {
+	done chan struct{}
+	err  error
+}
+
+func compute(n int) int { return n * n }
+
+func handle(int) {}
+
+func process(context.Context, int) {}
+
+func orphan(n int) {
+	go func() { // want `neither joined nor observes cancellation on every path`
+		compute(n)
+	}()
+}
+
+func serverLoopNoCancel(n int) {
+	go func() { // want `loops forever without observing cancellation`
+		for {
+			compute(n)
+		}
+	}()
+}
+
+func unanalyzable() {
+	go fmt.Println("boom") // want `runs a body nvolint cannot see`
+}
+
+func onePathMisses(ch chan int, cond bool) {
+	go func() { // want `neither joined nor observes cancellation on every path`
+		if cond {
+			ch <- 1
+			return
+		}
+		compute(2) // this path finishes silently
+	}()
+}
+
+// blockingAcquire is the unbounded-semaphore shape: joined via close,
+// but wedged forever if the semaphore never drains.
+func blockingAcquire(s *srv, fn func() error) *future {
+	f := &future{done: make(chan struct{})}
+	go func() {
+		s.sem <- struct{}{} // want `blocks here sending to s\.sem with work still ahead`
+		defer func() { <-s.sem }()
+		f.err = fn()
+		close(f.done)
+	}()
+	return f
+}
+
+// selectAcquire is the fixed shape: the acquire can lose to the quit
+// signal, so the goroutine is always reclaimable.
+func selectAcquire(s *srv, fn func() error) *future {
+	f := &future{done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.quit:
+			return
+		}
+		defer func() { <-s.sem }()
+		f.err = fn()
+	}()
+	return f
+}
+
+// joined is the WaitGroup shape.
+func joined(wg *sync.WaitGroup, job int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		handle(job)
+	}()
+}
+
+// namedWorker resolves a same-package declaration through the go call.
+func namedWorker(wg *sync.WaitGroup, job int) {
+	wg.Add(1)
+	go worker(wg, job)
+}
+
+func worker(wg *sync.WaitGroup, job int) {
+	defer wg.Done()
+	handle(job)
+}
+
+// serve is a server loop with a quit case: reclaimable.
+func (s *srv) run() {
+	go s.serve()
+}
+
+func (s *srv) serve() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case job := <-s.jobs:
+			handle(job)
+		}
+	}
+}
+
+// drain ranges over an external channel: close() is the join signal.
+func drain(jobs chan int) {
+	go func() {
+		for job := range jobs {
+			handle(job)
+		}
+	}()
+}
+
+// ctxHandoff passes the cancellation capability into the work.
+func ctxHandoff(ctx context.Context, job int) {
+	go func() {
+		process(ctx, job)
+	}()
+}
+
+// resultSend finishes into a channel send with nothing after it.
+func resultSend(out chan int, n int) {
+	go func() {
+		out <- compute(n)
+	}()
+}

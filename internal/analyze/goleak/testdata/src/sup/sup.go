@@ -1,0 +1,16 @@
+// Package sup exercises //nvolint:ignore handling for goleak.
+package sup
+
+var stats = map[string]int{}
+
+func flush(map[string]int) {}
+
+func fireAndForget() {
+	//nvolint:ignore goleak fixture: fire-and-forget stats flush, bounded by process exit
+	go flush(stats)
+}
+
+func reasonless() {
+	//nvolint:ignore goleak // want `nvolint:ignore directive requires a reason`
+	go flush(stats) // want `neither joined nor observes cancellation`
+}

@@ -1,0 +1,339 @@
+// Package lockpath is the flow-sensitive lock-hygiene analyzer: a
+// sync.Mutex or sync.RWMutex acquired in a function must be released
+// on every path to return or panic, and must not be held across a
+// channel operation or a call into the configured I/O packages.
+//
+// The fabric (PR 6) and the preemptive scheduler (PR 8) are shared
+// services in the paper's sense — long-running, multi-tenant,
+// database-style. A lock leaked on one early-return path wedges every
+// tenant behind it forever; a lock held across a blocking channel send
+// or a journal write turns one slow disk into a fabric-wide stall. The
+// analyzer builds a CFG per function body and runs a forward
+// may-analysis: `defer mu.Unlock()` and the guarded
+// `if ok { mu.Lock(); defer mu.Unlock() }` idiom are both recognized,
+// because the defer is a path-sensitive fact set only on the paths
+// that executed it.
+package lockpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analyze"
+	"repro/internal/analyze/cfg"
+	"repro/internal/analyze/dataflow"
+)
+
+// Analyzer is the lockpath check.
+var Analyzer = &analyze.Analyzer{
+	Name: "lockpath",
+	Doc: "require every sync.Mutex/RWMutex acquisition to be released on every path to return/panic, and forbid " +
+		"holding a lock across channel operations or calls into the journal/network I/O packages: the fabric is a " +
+		"shared long-running service, and a leaked or I/O-blocked lock stalls every tenant behind it",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.String("iopkgs",
+		"repro/internal/journal,repro/internal/gridftp,net,net/http",
+		"comma-separated import paths whose calls count as blocking I/O while a mutex is held")
+}
+
+// acq records one acquisition site.
+type acq struct {
+	pos  token.Pos
+	call string // rendered acquire call, e.g. "s.mu.Lock"
+}
+
+// fact is the dataflow fact: the set of locks acquired on some path.
+// leaked drops a lock when an unlock runs OR is deferred (the leak
+// check asks "is release guaranteed by function exit"); held drops it
+// only when an unlock actually runs (the held-across check asks "is
+// the lock held right now" — a deferred unlock releases too late to
+// help a blocking send inside the critical section).
+type fact struct {
+	leaked map[string]acq
+	held   map[string]acq
+}
+
+func (f fact) clone() fact {
+	out := fact{leaked: map[string]acq{}, held: map[string]acq{}}
+	for k, v := range f.leaked {
+		out.leaked[k] = v
+	}
+	for k, v := range f.held {
+		out.held[k] = v
+	}
+	return out
+}
+
+func joinMaps(a, b map[string]acq) map[string]acq {
+	out := map[string]acq{}
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := out[k]; !ok || v.pos < prev.pos {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalMaps(a, b map[string]acq) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func run(pass *analyze.Pass) error {
+	iopkgs := map[string]bool{}
+	for _, p := range analyze.CommaList(pass.Analyzer.Flags.Lookup("iopkgs").Value.String()) {
+		iopkgs[p] = true
+	}
+	a := &analysis{pass: pass, iopkgs: iopkgs}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				a.check(cfg.FuncGraph(fd))
+			}
+		}
+		// Function literals are opaque to the enclosing graph; each gets
+		// its own.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				a.check(cfg.LitGraph(lit))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type analysis struct {
+	pass   *analyze.Pass
+	iopkgs map[string]bool
+}
+
+func (a *analysis) check(g *cfg.Graph) {
+	res := dataflow.Forward(g, dataflow.Analysis[fact]{
+		Entry: fact{leaked: map[string]acq{}, held: map[string]acq{}},
+		Join: func(x, y fact) fact {
+			return fact{leaked: joinMaps(x.leaked, y.leaked), held: joinMaps(x.held, y.held)}
+		},
+		Equal: func(x, y fact) bool {
+			return equalMaps(x.leaked, y.leaked) && equalMaps(x.held, y.held)
+		},
+		Transfer: a.transfer,
+	})
+
+	// Leak check: a lock still pending release when control reaches Exit
+	// escaped some return/panic path.
+	if res.Reached[g.Exit] {
+		for _, k := range sortedKeys(res.In[g.Exit].leaked) {
+			at := res.In[g.Exit].leaked[k]
+			a.pass.Reportf(at.pos,
+				"%s() acquired here is not released on every path to return/panic; defer the unlock or release before each return",
+				at.call)
+		}
+	}
+
+	// Held-across check: replay each reached block from its in-fact and
+	// flag channel operations and I/O calls made while a lock is held.
+	for _, b := range g.Blocks {
+		if !res.Reached[b] {
+			continue
+		}
+		f := res.In[b].clone()
+		for _, n := range b.Nodes {
+			if len(f.held) > 0 {
+				a.flagRisky(f, n)
+			}
+			a.apply(&f, n)
+		}
+	}
+}
+
+func (a *analysis) transfer(b *cfg.Block, in fact) fact {
+	out := in.clone()
+	for _, n := range b.Nodes {
+		a.apply(&out, n)
+	}
+	return out
+}
+
+// apply folds one block node into the fact.
+func (a *analysis) apply(f *fact, n ast.Node) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// A deferred unlock (direct or inside a deferred closure)
+		// guarantees release at exit on every path from here on, but the
+		// lock stays held until then.
+		for _, op := range a.mutexOps(d, true) {
+			if !op.acquire {
+				delete(f.leaked, op.key)
+			}
+		}
+		return
+	}
+	for _, op := range a.mutexOps(n, false) {
+		if op.acquire {
+			at := acq{pos: op.pos, call: op.call}
+			f.leaked[op.key] = at
+			f.held[op.key] = at
+		} else {
+			delete(f.leaked, op.key)
+			delete(f.held, op.key)
+		}
+	}
+}
+
+// flagRisky reports channel operations and I/O-package calls in n made
+// while f.held is non-empty. Function literals are skipped (their
+// bodies are separate graphs and do not run here); defers are skipped
+// (they run at return, outside the critical section being replayed).
+func (a *analysis) flagRisky(f fact, n ast.Node) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	held := sortedKeys(f.held)
+	ast.Inspect(n, func(n ast.Node) bool {
+		var what string
+		var pos token.Pos
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			what, pos = "a channel send", n.Arrow
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			what, pos = "a channel receive", n.OpPos
+		case *ast.CallExpr:
+			pkg, ok := a.ioCall(n)
+			if !ok {
+				return true
+			}
+			what, pos = "a call into "+pkg, n.Pos()
+		default:
+			return true
+		}
+		for _, k := range held {
+			a.pass.Reportf(pos,
+				"%s() is held across %s; a blocked operation here stalls every tenant waiting on the lock — release first, or move the operation outside the critical section",
+				f.held[k].call, what)
+		}
+		return true
+	})
+}
+
+// op is one mutex acquire/release site.
+type mutexOp struct {
+	key     string // pairs acquire with release: receiver + lock flavor
+	call    string // rendered call for diagnostics, e.g. "s.mu.RLock"
+	acquire bool
+	pos     token.Pos
+}
+
+// mutexOps extracts the sync.Mutex/RWMutex operations in n, in source
+// order. intoLits additionally descends into function literals — used
+// only for defers, where `defer func() { mu.Unlock() }()` releases on
+// the deferring function's exit paths. TryLock/TryRLock are ignored:
+// their result is branch-dependent, and the suite forbids them
+// elsewhere anyway.
+func (a *analysis) mutexOps(n ast.Node, intoLits bool) []mutexOp {
+	var ops []mutexOp
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && !intoLits {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selInfo := a.pass.TypesInfo.Selections[sel]
+		if selInfo == nil {
+			return true
+		}
+		fn, ok := selInfo.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		var acquire, reader bool
+		switch fn.Name() {
+		case "Lock":
+			acquire = true
+		case "RLock":
+			acquire, reader = true, true
+		case "Unlock":
+		case "RUnlock":
+			reader = true
+		default:
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		key := recv
+		lock := recv + ".Lock"
+		if reader {
+			key += "/r"
+			lock = recv + ".RLock"
+		}
+		ops = append(ops, mutexOp{
+			key:     key,
+			call:    lock,
+			acquire: acquire,
+			pos:     call.Pos(),
+		})
+		return true
+	})
+	return ops
+}
+
+// ioCall reports whether call crosses into one of the configured I/O
+// packages. Calls within the I/O package itself do not count — the
+// rule guards foreign critical sections from blocking on I/O, not an
+// I/O package's own internal helpers.
+func (a *analysis) ioCall(call *ast.CallExpr) (string, bool) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if selInfo := a.pass.TypesInfo.Selections[fun]; selInfo != nil {
+			obj = selInfo.Obj()
+		} else {
+			obj = a.pass.TypesInfo.Uses[fun.Sel]
+		}
+	case *ast.Ident:
+		obj = a.pass.TypesInfo.Uses[fun]
+	}
+	if obj == nil || obj.Pkg() == nil || !a.iopkgs[obj.Pkg().Path()] {
+		return "", false
+	}
+	if a.pass.Pkg != nil && obj.Pkg().Path() == a.pass.Pkg.Path() {
+		return "", false
+	}
+	return obj.Pkg().Path(), true
+}
+
+func sortedKeys(m map[string]acq) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

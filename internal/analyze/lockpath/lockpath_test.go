@@ -1,0 +1,16 @@
+package lockpath_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/lockpath"
+)
+
+func TestLockPath(t *testing.T) {
+	analyzetest.Run(t, "testdata", lockpath.Analyzer, "src/a")
+}
+
+func TestLockPathSuppression(t *testing.T) {
+	analyzetest.Run(t, "testdata", lockpath.Analyzer, "src/sup")
+}

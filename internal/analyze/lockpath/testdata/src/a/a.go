@@ -1,0 +1,115 @@
+// Package a exercises the lockpath analyzer: leaks on early-return and
+// panic paths, the defer and guard-clause idioms, RLock/RUnlock
+// pairing, and locks held across channel operations and I/O calls.
+package a
+
+import (
+	"net"
+	"sync"
+)
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]string
+}
+
+func (s *store) leak(k string) string {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) acquired here is not released on every path to return/panic`
+	v, ok := s.data[k]
+	if !ok {
+		return "" // leaks the lock
+	}
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) panicLeak(k string) string {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) acquired here is not released on every path to return/panic`
+	v, ok := s.data[k]
+	if !ok {
+		panic("missing key")
+	}
+	s.mu.Unlock()
+	return v
+}
+
+func (s *store) readLeak() int {
+	s.rw.RLock() // want `s\.rw\.RLock\(\) acquired here is not released on every path to return/panic`
+	if len(s.data) == 0 {
+		return 0
+	}
+	s.rw.RUnlock()
+	return len(s.data)
+}
+
+// deferred is the canonical clean shape.
+func (s *store) deferred(k string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+// guarded conditionally acquires with a defer inside the guard: the
+// unlock fact is set exactly on the paths that locked.
+func (s *store) guarded(lock bool) int {
+	if lock {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return len(s.data)
+}
+
+// deferClosure releases through a deferred literal.
+func (s *store) deferClosure() {
+	s.mu.Lock()
+	defer func() { s.mu.Unlock() }()
+	s.data["y"] = "z"
+}
+
+// explicitPaths unlocks on each branch by hand.
+func (s *store) explicitPaths(k string) string {
+	s.mu.Lock()
+	if v, ok := s.data[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return ""
+}
+
+func (s *store) heldSend(ch chan string, k string) {
+	s.mu.Lock()
+	ch <- s.data[k] // want `s\.mu\.Lock\(\) is held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *store) heldRecv(ch chan string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-ch // want `s\.mu\.Lock\(\) is held across a channel receive`
+	s.data["x"] = v
+}
+
+func (s *store) heldIO(host, port string) {
+	s.mu.Lock()
+	s.data["addr"] = net.JoinHostPort(host, port) // want `s\.mu\.Lock\(\) is held across a call into net`
+	s.mu.Unlock()
+}
+
+// sendOutsideLock releases before the send: clean.
+func sendOutsideLock(s *store, ch chan int) {
+	s.mu.Lock()
+	n := len(s.data)
+	s.mu.Unlock()
+	ch <- n
+}
+
+// leakyLit shows function literals get their own graph.
+var leakyLit = func(mu *sync.Mutex, cond bool) {
+	mu.Lock() // want `mu\.Lock\(\) acquired here is not released on every path to return/panic`
+	if cond {
+		return
+	}
+	mu.Unlock()
+}

@@ -1,0 +1,27 @@
+// Package sup exercises //nvolint:ignore handling for lockpath.
+package sup
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// handoff intentionally returns holding the lock; release() is the
+// documented counterpart. The suppression carries the reason.
+func (b *box) handoff() {
+	//nvolint:ignore lockpath fixture: lock handoff protocol, caller releases via release()
+	b.mu.Lock()
+	b.n++
+}
+
+func (b *box) release() {
+	b.mu.Unlock()
+}
+
+func (b *box) reasonless() {
+	//nvolint:ignore lockpath // want `nvolint:ignore directive requires a reason`
+	b.mu.Lock() // want `b\.mu\.Lock\(\) acquired here is not released on every path to return/panic`
+	b.n++
+}

@@ -1,0 +1,155 @@
+// Package selectrevoke guards the preemption paths: in the configured
+// packages (the fabric, the DAG runner, the webservice runners), a
+// blocking select or bare channel receive must include a
+// revocation/abort alternative — <-ctx.Done(), <-lease.Revoked(), a
+// quit/stop channel — so a future edit cannot silently make a
+// preemption victim un-preemptible.
+//
+// Preemptive fair-share (PR 8) works only if every wait a tenant's
+// work can park on is also watching for the revocation signal; one
+// unguarded receive turns checkpoint-preempt into a hang. The check is
+// syntactic over names and Done/Revoked call shapes: it runs before
+// the flow-sensitive passes and is deliberately strict — a timeout
+// case does not count, because a victim that ignores revocation for
+// its timeout window still stalls the incoming tenant.
+package selectrevoke
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analyze"
+)
+
+// Analyzer is the selectrevoke check.
+var Analyzer = &analyze.Analyzer{
+	Name: "selectrevoke",
+	Doc: "require blocking selects and bare receives in the fabric/dagman/webservice runner paths to include a " +
+		"revocation case (ctx.Done(), Lease.Revoked(), quit/stop channels): one unguarded wait makes a " +
+		"preemption victim un-preemptible and wedges admission for every queued tenant",
+	Run: run,
+}
+
+func init() {
+	Analyzer.Flags.String("pkgs",
+		"repro/internal/fabric,repro/internal/dagman,repro/internal/webservice",
+		"comma-separated import paths whose blocking waits must include a revocation case")
+}
+
+// revokeName matches channel identifiers that carry an abort signal by
+// convention.
+var revokeName = regexp.MustCompile(`(?i)(revoke|abort|cancel|done|quit|stop|kill|shutdown|preempt)`)
+
+func run(pass *analyze.Pass) error {
+	inScope := false
+	for _, path := range analyze.CommaList(pass.Analyzer.Flags.Lookup("pkgs").Value.String()) {
+		if pass.Pkg != nil && pass.Pkg.Path() == path {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		// Receives that are select comms are judged as part of their
+		// select, not as bare receives.
+		comms := map[ast.Node]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+				comms[cc.Comm] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !revocationSource(pass.TypesInfo, n.X) {
+					pass.Reportf(n.OpPos,
+						"blocking receive from %s has no revocation alternative; select it against ctx.Done()/Lease.Revoked()/a quit channel so preemption can reach this wait",
+						types.ExprString(n.X))
+				}
+				return false
+			case ast.Stmt:
+				if comms[n] {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelect flags a select that can block forever with no revocation
+// case. A default clause makes the select non-blocking; a receive from
+// a revocation source makes it preemptible.
+func checkSelect(pass *analyze.Pass, sel *ast.SelectStmt) {
+	for _, cs := range sel.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return // default: never blocks
+		}
+		var recv ast.Expr
+		switch comm := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				recv = ue.X
+			}
+		case *ast.AssignStmt:
+			if len(comm.Rhs) == 1 {
+				if ue, ok := ast.Unparen(comm.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					recv = ue.X
+				}
+			}
+		}
+		if recv != nil && revocationSource(pass.TypesInfo, recv) {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(),
+		"blocking select has no revocation case; add <-ctx.Done()/<-lease.Revoked()/a quit case (or a default) so the fabric can preempt this wait")
+}
+
+// revocationSource reports whether the channel expression e carries a
+// revocation signal: a Done()/Revoked() method call, or a channel whose
+// name matches the abort-signal convention.
+func revocationSource(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "Done" || fun.Sel.Name == "Revoked"
+		case *ast.Ident:
+			return fun.Name == "Done" || fun.Name == "Revoked"
+		}
+		return false
+	}
+	return revokeName.MatchString(finalName(e))
+}
+
+// finalName is the last identifier of a channel expression ("t.granted"
+// -> "granted", "quits[i]" -> "quits").
+func finalName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return finalName(e.X)
+	case *ast.StarExpr:
+		return finalName(e.X)
+	}
+	return ""
+}

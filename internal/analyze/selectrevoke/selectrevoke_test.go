@@ -1,0 +1,35 @@
+package selectrevoke_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze/analyzetest"
+	"repro/internal/analyze/selectrevoke"
+)
+
+// scoped points the analyzer's package list at the given fixture for
+// the duration of one test.
+func scoped(t *testing.T, pkg string) {
+	t.Helper()
+	f := selectrevoke.Analyzer.Flags.Lookup("pkgs")
+	old := f.Value.String()
+	if err := f.Value.Set(pkg); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = f.Value.Set(old) })
+}
+
+func TestSelectRevoke(t *testing.T) {
+	scoped(t, "repro/internal/analyze/selectrevoke/testdata/src/a")
+	analyzetest.Run(t, "testdata", selectrevoke.Analyzer, "src/a")
+}
+
+func TestSelectRevokeSuppression(t *testing.T) {
+	scoped(t, "repro/internal/analyze/selectrevoke/testdata/src/sup")
+	analyzetest.Run(t, "testdata", selectrevoke.Analyzer, "src/sup")
+}
+
+func TestSelectRevokeOutOfScope(t *testing.T) {
+	scoped(t, "repro/internal/other")
+	analyzetest.Run(t, "testdata", selectrevoke.Analyzer, "src/clean")
+}

@@ -1,0 +1,73 @@
+// Package a exercises the selectrevoke analyzer (the test points
+// -selectrevoke.pkgs at this package).
+package a
+
+import "context"
+
+type lease struct{ revoked chan struct{} }
+
+func (l *lease) Revoked() <-chan struct{} { return l.revoked }
+
+func unguardedSelect(work, results chan int) {
+	select { // want `blocking select has no revocation case`
+	case j := <-work:
+		_ = j
+	case r := <-results:
+		_ = r
+	}
+}
+
+func unguardedSend(out chan int, v int) {
+	select { // want `blocking select has no revocation case`
+	case out <- v:
+	}
+}
+
+func bareReceive(results chan int) int {
+	return <-results // want `blocking receive from results has no revocation alternative`
+}
+
+func ctxGuarded(ctx context.Context, work chan int) {
+	select {
+	case j := <-work:
+		_ = j
+	case <-ctx.Done():
+		return
+	}
+}
+
+func leaseGuarded(l *lease, work chan int) {
+	select {
+	case j := <-work:
+		_ = j
+	case <-l.Revoked():
+		return
+	}
+}
+
+func quitGuarded(work chan int, quit chan struct{}) {
+	select {
+	case j := <-work:
+		_ = j
+	case <-quit:
+		return
+	}
+}
+
+func nonBlocking(work chan int) {
+	select {
+	case j := <-work:
+		_ = j
+	default:
+	}
+}
+
+// doneReceive waits on a completion channel whose name declares it: a
+// revocation-conventioned source is itself the signal being awaited.
+func doneReceive(done chan struct{}) {
+	<-done
+}
+
+func ctxWait(ctx context.Context) {
+	<-ctx.Done()
+}

@@ -1,0 +1,17 @@
+// Package clean duplicates the unguarded patterns but is loaded with
+// -selectrevoke.pkgs pointing elsewhere: out-of-scope packages must
+// produce no findings.
+package clean
+
+func unguardedSelect(work, results chan int) {
+	select {
+	case j := <-work:
+		_ = j
+	case r := <-results:
+		_ = r
+	}
+}
+
+func bareReceive(results chan int) int {
+	return <-results
+}

@@ -1,0 +1,13 @@
+// Package sup exercises //nvolint:ignore handling for selectrevoke
+// (the test points -selectrevoke.pkgs at this package).
+package sup
+
+func handshake(ready chan int) int {
+	//nvolint:ignore selectrevoke fixture: startup handshake, sender is guaranteed alive until it sends
+	return <-ready
+}
+
+func reasonless(ready chan int) int {
+	//nvolint:ignore selectrevoke // want `nvolint:ignore directive requires a reason`
+	return <-ready // want `blocking receive from ready has no revocation alternative`
+}

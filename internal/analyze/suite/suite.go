@@ -1,6 +1,7 @@
-// Package suite assembles the nvolint analyzer fleet — the seven
+// Package suite assembles the nvolint analyzer fleet — the eleven
 // checks that together make the repo's determinism, clock,
-// resource-hygiene and hot-path invariants a compile-time property:
+// resource-hygiene, hot-path and concurrency invariants a compile-time
+// property:
 //
 //	noclock      no wall clock in library/simulation code
 //	seededrand   no process-global math/rand
@@ -9,6 +10,14 @@
 //	errclose     no dropped Close/Flush/Sync errors on write paths
 //	fabricpool   no Condor simulator construction outside internal/fabric
 //	hotalloc     no per-request heap allocation in //nvo:hotpath functions
+//	lockpath     every mutex released on every path; no lock held across chan ops/I/O
+//	goleak       every goroutine joined or observing cancellation on every path
+//	selectrevoke blocking waits in fabric/dagman/webservice carry a revocation case
+//	errpath      no error value reaching a return unchecked on some path
+//
+// The last four are flow-sensitive: they run on a per-function CFG
+// (internal/analyze/cfg) under a forward fixpoint solver
+// (internal/analyze/dataflow) instead of a per-node AST walk.
 //
 // cmd/nvolint runs this fleet standalone and as a `go vet -vettool`;
 // the suite test runs it over the whole tree and fails on any finding,
@@ -18,11 +27,15 @@ package suite
 import (
 	"repro/internal/analyze"
 	"repro/internal/analyze/errclose"
+	"repro/internal/analyze/errpath"
 	"repro/internal/analyze/fabricpool"
+	"repro/internal/analyze/goleak"
 	"repro/internal/analyze/hotalloc"
+	"repro/internal/analyze/lockpath"
 	"repro/internal/analyze/mapiter"
 	"repro/internal/analyze/noclock"
 	"repro/internal/analyze/seededrand"
+	"repro/internal/analyze/selectrevoke"
 	"repro/internal/analyze/sharedclient"
 )
 
@@ -36,5 +49,9 @@ func Analyzers() []*analyze.Analyzer {
 		errclose.Analyzer,
 		fabricpool.Analyzer,
 		hotalloc.Analyzer,
+		lockpath.Analyzer,
+		goleak.Analyzer,
+		selectrevoke.Analyzer,
+		errpath.Analyzer,
 	}
 }

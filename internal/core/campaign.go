@@ -91,9 +91,9 @@ func RunCampaignParallel(tb *Testbed, workers int) (*CampaignReport, error) {
 	var wg sync.WaitGroup
 	for i, entry := range entries {
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(i int, name string) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			runs[i], errs[i] = RunCluster(tb, name)
 		}(i, entry.Name)

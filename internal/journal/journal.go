@@ -208,10 +208,7 @@ func (w *Writer) Close() error {
 	w.closed = true
 	flushErr := w.w.Flush()
 	closeErr := w.f.Close()
-	if flushErr != nil {
-		return flushErr
-	}
-	return closeErr
+	return errors.Join(flushErr, closeErr)
 }
 
 // Replay reads every intact record from the journal at path. A torn or

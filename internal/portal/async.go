@@ -37,6 +37,7 @@ type JobSnapshot struct {
 
 type jobRecord struct {
 	snap JobSnapshot
+	done chan struct{} // closed when the background analysis goroutine exits
 }
 
 // StartAnalysis launches the Figure 5 flow in the background and returns a
@@ -57,11 +58,15 @@ func (p *Portal) StartAnalysisAt(cluster string, priority int) (string, error) {
 	if p.jobs == nil {
 		p.jobs = map[string]*jobRecord{}
 	}
-	rec := &jobRecord{snap: JobSnapshot{ID: id, Cluster: cluster, State: JobRunning, Message: "accepted"}}
+	rec := &jobRecord{
+		snap: JobSnapshot{ID: id, Cluster: cluster, State: JobRunning, Message: "accepted"},
+		done: make(chan struct{}),
+	}
 	p.jobs[id] = rec
 	p.mu.Unlock()
 
 	go func() {
+		defer close(rec.done)
 		res, err := p.analyzeWithProgress(cluster, priority, func(done, total int) {
 			p.mu.Lock()
 			rec.snap.JobsDone = done
@@ -80,6 +85,20 @@ func (p *Portal) StartAnalysisAt(cluster string, priority int) (string, error) {
 		rec.snap.Result = res
 	}()
 	return id, nil
+}
+
+// AwaitJob blocks until the job's background goroutine has exited and
+// returns the final snapshot. It is the join for StartAnalysis: a caller
+// tearing down a portal waits here instead of polling JobStatus.
+func (p *Portal) AwaitJob(id string) (JobSnapshot, error) {
+	p.mu.Lock()
+	rec, ok := p.jobs[id]
+	p.mu.Unlock()
+	if !ok {
+		return JobSnapshot{}, fmt.Errorf("portal: unknown job %q", id)
+	}
+	<-rec.done
+	return p.JobStatus(id)
 }
 
 // JobStatus returns a snapshot of an asynchronous analysis.

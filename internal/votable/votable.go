@@ -238,12 +238,13 @@ func (t *Table) SortByFloat(col string) error {
 		return fmt.Errorf("%w: %q", ErrNoSuchColumn, col)
 	}
 	sort.SliceStable(t.Rows, func(i, j int) bool {
-		vi, oki := strconv.ParseFloat(strings.TrimSpace(t.Rows[i][c]), 64)
-		vj, okj := strconv.ParseFloat(strings.TrimSpace(t.Rows[j][c]), 64)
-		if oki != nil {
+		vi, erri := strconv.ParseFloat(strings.TrimSpace(t.Rows[i][c]), 64)
+		vj, errj := strconv.ParseFloat(strings.TrimSpace(t.Rows[j][c]), 64)
+		badI, badJ := erri != nil, errj != nil
+		if badI {
 			return false
 		}
-		if okj != nil {
+		if badJ {
 			return true
 		}
 		return vi < vj

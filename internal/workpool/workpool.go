@@ -17,7 +17,13 @@
 // execution — byte-identical to the pre-concurrency serial code paths.
 package workpool
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed resolves the Future of any task submitted after Close.
+var ErrPoolClosed = errors.New("workpool: pool closed")
 
 // Run invokes fn(i) for every i in [0, n) using at most workers concurrent
 // goroutines, and returns when all calls have finished. With workers <= 1 (or
@@ -54,10 +60,15 @@ func Run(workers, n int, fn func(i int)) {
 
 // Pool is a bounded streaming worker pool: Submit launches a task body on a
 // free worker slot (or inline when Workers <= 1) and returns a Future that
-// resolves when the body finishes.
+// resolves when the body finishes. Close revokes slot waiters and joins
+// every goroutine the pool ever spawned, so a Pool never leaks workers past
+// its owner's lifetime.
 type Pool struct {
 	workers int
 	sem     chan struct{}
+	quit    chan struct{} // closed by Close; revokes workers parked on sem
+	once    sync.Once
+	wg      sync.WaitGroup
 }
 
 // NewPool builds a pool with the given worker bound. workers <= 1 yields an
@@ -67,8 +78,22 @@ func NewPool(workers int) *Pool {
 	p := &Pool{workers: workers}
 	if workers > 1 {
 		p.sem = make(chan struct{}, workers)
+		p.quit = make(chan struct{})
 	}
 	return p
+}
+
+// Close marks the pool closed and blocks until every in-flight task body has
+// finished. Tasks already holding or waiting for a slot at close time still
+// run to completion if they win the slot; tasks submitted after Close resolve
+// immediately with ErrPoolClosed. Close is idempotent; Submit racing Close is
+// the caller's error.
+func (p *Pool) Close() {
+	if p == nil || p.sem == nil {
+		return
+	}
+	p.once.Do(func() { close(p.quit) })
+	p.wg.Wait()
 }
 
 // Workers returns the concurrency bound (minimum 1).
@@ -101,17 +126,31 @@ func (f *Future) Wait() error {
 // Submit schedules fn on the pool. On an inline pool (nil, or Workers <= 1)
 // fn runs before Submit returns, so submission order equals execution order —
 // the property the simulator's serial mode relies on. On a concurrent pool
-// fn runs on a worker goroutine as soon as a slot frees up.
+// fn runs on a worker goroutine as soon as a slot frees up; the goroutine is
+// joined by Close, and its slot wait observes the pool's revocation channel,
+// so a worker parked behind a full pool cannot outlive the pool itself.
 func (p *Pool) Submit(fn func() error) *Future {
 	if p == nil || p.sem == nil {
 		return &Future{err: fn()}
 	}
+	select {
+	case <-p.quit:
+		return Resolved(ErrPoolClosed)
+	default:
+	}
 	f := &Future{done: make(chan struct{})}
+	p.wg.Add(1)
 	go func() {
-		p.sem <- struct{}{}
+		defer p.wg.Done()
+		defer close(f.done)
+		select {
+		case p.sem <- struct{}{}:
+		case <-p.quit:
+			f.err = ErrPoolClosed
+			return
+		}
 		defer func() { <-p.sem }()
 		f.err = fn()
-		close(f.done)
 	}()
 	return f
 }

@@ -109,3 +109,89 @@ func TestPoolWaitIsIdempotent(t *testing.T) {
 		}
 	}
 }
+
+func TestPoolCloseJoinsAndRevokesParkedWaiters(t *testing.T) {
+	p := NewPool(2)
+	gate := make(chan struct{})
+	var running sync.WaitGroup
+	running.Add(2)
+	hold := func() error { running.Done(); <-gate; return nil }
+	f1, f2 := p.Submit(hold), p.Submit(hold)
+	running.Wait() // both slots now held
+
+	// This submission parks on the slot wait: the pool is full and stays
+	// full until gate closes, so Close's revocation must be what resolves it.
+	f3 := p.Submit(func() error {
+		t.Error("revoked task body must not run")
+		return nil
+	})
+
+	closed := make(chan struct{})
+	go func() {
+		p.Close()
+		close(closed)
+	}()
+	if err := f3.Wait(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("parked submission after Close: err = %v, want ErrPoolClosed", err)
+	}
+
+	// In-flight bodies run to completion, and Close joins them.
+	close(gate)
+	if err := f1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	<-closed
+}
+
+func TestPoolCloseAfterDrainReturnsImmediately(t *testing.T) {
+	p := NewPool(4)
+	var done int32
+	futs := make([]*Future, 16)
+	for i := range futs {
+		futs[i] = p.Submit(func() error {
+			atomic.AddInt32(&done, 1)
+			return nil
+		})
+	}
+	for i, f := range futs {
+		if err := f.Wait(); err != nil {
+			t.Fatalf("future %d: err = %v", i, err)
+		}
+	}
+	p.Close()
+	if got := atomic.LoadInt32(&done); got != 16 {
+		t.Fatalf("Close returned with %d/16 bodies finished", got)
+	}
+}
+
+func TestPoolSubmitAfterCloseIsRefused(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	f := p.Submit(func() error {
+		t.Error("body must not run after Close")
+		return nil
+	})
+	if err := f.Wait(); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("err = %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolCloseIsIdempotent(t *testing.T) {
+	p := NewPool(3)
+	p.Submit(func() error { return nil })
+	p.Close()
+	p.Close()
+}
+
+func TestInlinePoolCloseIsNoop(t *testing.T) {
+	var nilPool *Pool
+	nilPool.Close()
+	p := NewPool(1)
+	p.Close()
+	if err := p.Submit(func() error { return nil }).Wait(); err != nil {
+		t.Fatalf("inline pool must keep running after Close: %v", err)
+	}
+}
